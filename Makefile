@@ -1,0 +1,37 @@
+# Standard development entry points. Everything is stdlib-only Go; no
+# tools beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures ablations cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper at full 24 h × 1 Hz
+# scale (a few minutes), plus the ablations.
+figures:
+	$(GO) run ./cmd/gpsbench -fig all -duration 86400 -step 1
+
+ablations:
+	$(GO) run ./cmd/gpsbench -ablation all -duration 86400 -step 5
+
+cover:
+	$(GO) test ./... -cover
+
+clean:
+	$(GO) clean ./...

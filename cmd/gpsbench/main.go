@@ -1,0 +1,230 @@
+// Command gpsbench regenerates every table and figure of the paper's
+// evaluation (Section 5) plus the ablation studies of the Section 6
+// extensions:
+//
+//	gpsbench -fig table          # Table 5.1 (dataset specifications)
+//	gpsbench -fig 5.1            # Fig 5.1 a-d (execution time rates)
+//	gpsbench -fig 5.2            # Fig 5.2 a-d (accuracy rates)
+//	gpsbench -fig all            # everything above
+//	gpsbench -ablation base      # A1: base-satellite selection
+//	gpsbench -ablation clock     # A2: clock-predictor quality
+//	gpsbench -ablation gls       # A3: GLS covariance fast paths
+//	gpsbench -ablation direct    # A4: direct baselines + NR robustness
+//	gpsbench -ablation dgps      # A5: differential corrections (§3.3)
+//	gpsbench -ablation smoothing # A6: Hatch carrier smoothing
+//	gpsbench -ablation noise     # A7: noise sensitivity of eta
+//	gpsbench -ablation selection # A8: satellite-subset policy
+//	gpsbench -ablation all
+//
+// The paper processes 86 400 epochs per station; the default here is a
+// 2-hour window at 5-second steps so the full suite runs in seconds.
+// Raise -duration/-step for publication-grade runs.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gpsdl/internal/eval"
+	"gpsdl/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gpsbench:", err)
+		os.Exit(1)
+	}
+}
+
+type benchConfig struct {
+	duration float64
+	step     float64
+	seed     int64
+	epochs   int
+	plot     bool
+	csvDir   string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gpsbench", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "", "figure to reproduce: table, 5.1, 5.2 or all")
+		ablation = fs.String("ablation", "", "ablation to run: base, clock, gls, direct, dgps, smoothing, noise, selection or all")
+		duration = fs.Float64("duration", 7200, "seconds of data per station")
+		step     = fs.Float64("step", 5, "epoch spacing in seconds")
+		seed     = fs.Int64("seed", 2009, "generation seed")
+		epochs   = fs.Int("epochs", 0, "max epochs per satellite count (0 = all)")
+		plot     = fs.Bool("plot", false, "render ASCII charts of the figure curves")
+		csvDir   = fs.String("csv", "", "also write the figure series as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fig == "" && *ablation == "" {
+		*fig = "all"
+	}
+	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}
+	switch *fig {
+	case "":
+	case "table":
+		if err := eval.FormatTable51(os.Stdout, scenario.Table51Stations()); err != nil {
+			return err
+		}
+	case "5.1", "5.2", "all":
+		if err := runFigures(cfg, *fig); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	switch *ablation {
+	case "":
+	case "base":
+		return runAblationBase(cfg)
+	case "clock":
+		return runAblationClock(cfg)
+	case "gls":
+		return runAblationGLS(cfg)
+	case "direct":
+		return runAblationDirect(cfg)
+	case "dgps":
+		return runAblationDGPS(cfg)
+	case "smoothing":
+		return runAblationSmoothing(cfg)
+	case "noise":
+		return runAblationNoise(cfg)
+	case "selection":
+		return runAblationSelection(cfg)
+	case "all":
+		for _, f := range []func(benchConfig) error{
+			runAblationBase, runAblationClock, runAblationGLS, runAblationDirect,
+			runAblationDGPS, runAblationSmoothing, runAblationNoise, runAblationSelection,
+		} {
+			if err := f(cfg); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -ablation %q", *ablation)
+	}
+	return nil
+}
+
+// writeCSV dumps one station's sweep as a CSV with every per-m metric —
+// the machine-readable form of both figure panels.
+func writeCSV(dir string, res *eval.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create csv dir: %w", err)
+	}
+	path := filepath.Join(dir, "sweep_"+strings.ToLower(res.Station.ID)+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{
+		"sats", "epochs", "skipped_dop",
+		"d_nr_m", "d_dlo_m", "d_dlg_m",
+		"median_nr_m", "median_dlo_m", "median_dlg_m",
+		"p95_nr_m", "p95_dlo_m", "p95_dlg_m",
+		"tau_nr_ns", "tau_dlo_ns", "tau_dlg_ns",
+		"eta_dlo_pct", "eta_dlg_pct", "theta_dlo_pct", "theta_dlg_pct",
+	}
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	ftoa := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, row := range res.Rows {
+		rec := []string{
+			strconv.Itoa(row.M), strconv.Itoa(row.Epochs), strconv.Itoa(row.SkippedDOP),
+			ftoa(row.NR.MeanError), ftoa(row.DLO.MeanError), ftoa(row.DLG.MeanError),
+			ftoa(row.NR.MedianError), ftoa(row.DLO.MedianError), ftoa(row.DLG.MedianError),
+			ftoa(row.NR.P95Error), ftoa(row.DLO.P95Error), ftoa(row.DLG.P95Error),
+			ftoa(row.NR.MeanNanos), ftoa(row.DLO.MeanNanos), ftoa(row.DLG.MeanNanos),
+			ftoa(row.AccuracyRateDLO()), ftoa(row.AccuracyRateDLG()),
+			ftoa(row.TimeRateDLO()), ftoa(row.TimeRateDLG()),
+		}
+		if err := w.Write(rec); err != nil {
+			return fmt.Errorf("write csv row: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("flush %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// generate builds the dataset for one station under the bench config.
+// Code-only generation halves the cost; pseudoranges are identical to the
+// full-observable datasets (verified by TestCodeOnlyPseudorangesIdentical).
+func generate(cfg benchConfig, st scenario.Station) (*scenario.Dataset, error) {
+	gcfg := scenario.DefaultConfig(cfg.seed)
+	gcfg.Step = cfg.step
+	gcfg.CodeOnly = true
+	g := scenario.NewGenerator(st, gcfg)
+	return g.GenerateRangeParallel(0, cfg.duration, 0)
+}
+
+// runFigures reproduces Fig 5.1 and/or Fig 5.2 (plus Table 5.1 with "all").
+func runFigures(cfg benchConfig, which string) error {
+	if which == "all" {
+		if err := eval.FormatTable51(os.Stdout, scenario.Table51Stations()); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	for i, st := range scenario.Table51Stations() {
+		ds, err := generate(cfg, st)
+		if err != nil {
+			return fmt.Errorf("generate %s: %w", st.ID, err)
+		}
+		sweep := &eval.Sweep{
+			Dataset:   ds,
+			MaxEpochs: cfg.epochs,
+			Seed:      cfg.seed,
+		}
+		res, err := sweep.Run()
+		if err != nil {
+			return fmt.Errorf("sweep %s: %w", st.ID, err)
+		}
+		panel := string(rune('a' + i))
+		if cfg.csvDir != "" {
+			if err := writeCSV(cfg.csvDir, res); err != nil {
+				return err
+			}
+		}
+		if which == "5.1" || which == "all" {
+			fmt.Printf("(%s) ", panel)
+			if err := eval.FormatFig51(os.Stdout, res); err != nil {
+				return err
+			}
+			if cfg.plot {
+				if err := eval.PlotFig51(os.Stdout, res); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+		if which == "5.2" || which == "all" {
+			fmt.Printf("(%s) ", panel)
+			if err := eval.FormatFig52(os.Stdout, res); err != nil {
+				return err
+			}
+			if cfg.plot {
+				if err := eval.PlotFig52(os.Stdout, res); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Command gpsserve streams live NMEA fixes over TCP, the way gpsd's raw
+// mode does: it generates (or replays) observation epochs, positions the
+// receiver with one of the repository's solvers, and broadcasts GGA + RMC
+// sentences to every connected client.
+//
+//	gpsserve -station YYR1 -solver dlg -addr 127.0.0.1:2947 -rate 10
+//	nc 127.0.0.1 2947          # watch the sentences
+//
+// Stop with Ctrl-C; clients are disconnected cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/nmea"
+	"gpsdl/internal/scenario"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:]); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "gpsserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gpsserve", flag.ContinueOnError)
+	var (
+		stationID = fs.String("station", "YYR1", "Table 5.1 station to simulate")
+		dataset   = fs.String("dataset", "", "replay a gpsgen dataset file instead of live generation")
+		solver    = fs.String("solver", "dlg", "positioning algorithm: nr, dlo, dlg or bancroft")
+		addr      = fs.String("addr", "127.0.0.1:2947", "TCP listen address")
+		rate      = fs.Float64("rate", 1, "epochs per second to stream")
+		seed      = fs.Int64("seed", 2009, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("-rate must be positive")
+	}
+	var (
+		source epochSource
+		st     scenario.Station
+	)
+	if *dataset != "" {
+		var ds *scenario.Dataset
+		var err error
+		if strings.HasSuffix(*dataset, ".bin") {
+			ds, err = scenario.LoadBinaryFile(*dataset)
+		} else {
+			ds, err = scenario.LoadFile(*dataset)
+		}
+		if err != nil {
+			return err
+		}
+		if ds.Len() == 0 {
+			return fmt.Errorf("dataset %s has no epochs", *dataset)
+		}
+		st = ds.Station
+		source = replaySource(ds)
+	} else {
+		var err error
+		st, err = scenario.StationByID(strings.ToUpper(*stationID))
+		if err != nil {
+			return err
+		}
+		gen := scenario.NewGenerator(st, scenario.DefaultConfig(*seed))
+		source = func(i int) (scenario.Epoch, error) { return gen.EpochAt(float64(i)) }
+	}
+	pred := eval.DefaultPredictor(st.Clock)
+	var s core.Solver
+	switch strings.ToLower(*solver) {
+	case "nr":
+		s = &core.NRSolver{}
+	case "dlo":
+		s = core.NewDLOSolver(pred)
+	case "dlg":
+		s = core.NewDLGSolver(pred)
+	case "bancroft":
+		s = core.BancroftSolver{}
+	default:
+		return fmt.Errorf("unknown solver %q", *solver)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	fmt.Printf("gpsserve: streaming %s fixes for %s on %s (%g epoch/s)\n",
+		s.Name(), st.ID, ln.Addr(), *rate)
+
+	b := NewBroadcaster()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- b.Serve(ctx, ln) }()
+
+	err = streamFixes(ctx, source, s, pred, b, *rate)
+	cancelErr := <-serveErr
+	if err != nil {
+		return err
+	}
+	if cancelErr != nil && ctx.Err() == nil {
+		return cancelErr
+	}
+	return nil
+}
+
+// epochSource supplies the i-th epoch to stream.
+type epochSource func(i int) (scenario.Epoch, error)
+
+// replaySource cycles through a loaded dataset's epochs.
+func replaySource(ds *scenario.Dataset) epochSource {
+	return func(i int) (scenario.Epoch, error) {
+		return ds.Epochs[i%ds.Len()], nil
+	}
+}
+
+// streamFixes runs the epoch loop until the context ends.
+func streamFixes(ctx context.Context, source epochSource, s core.Solver,
+	pred clock.Predictor, b *Broadcaster, rate float64) error {
+	var nr core.NRSolver
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer ticker.Stop()
+	i := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		epoch, err := source(i)
+		if err != nil {
+			return err
+		}
+		i++
+		obs := make([]core.Observation, 0, len(epoch.Obs))
+		sats := make([]geo.ECEF, 0, len(epoch.Obs))
+		for _, o := range epoch.Obs {
+			obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+			sats = append(sats, o.Pos)
+		}
+		if nrSol, err := nr.Solve(epoch.T, obs); err == nil {
+			pred.Observe(clock.Fix{T: epoch.T, Bias: nrSol.ClockBias / geo.SpeedOfLight})
+		}
+		sol, err := s.Solve(epoch.T, obs)
+		if err != nil {
+			continue // predictor warming up or degenerate epoch
+		}
+		hdop := 0.0
+		if dop, err := core.ComputeDOP(sol.Pos, sats); err == nil {
+			hdop = dop.HDOP
+		}
+		fix := nmea.Fix{
+			TimeOfDay: epoch.T,
+			Pos:       sol.Pos.ToLLA(),
+			Quality:   nmea.QualityGPS,
+			NumSats:   len(obs),
+			HDOP:      hdop,
+		}
+		b.Broadcast(nmea.GGA(fix))
+		b.Broadcast(nmea.RMC(fix))
+	}
+}

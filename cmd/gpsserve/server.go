@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Broadcaster fans NMEA sentences out to every connected TCP client —
+// the raw-NMEA service gpsd exposes on port 2947. Slow consumers are
+// disconnected rather than allowed to stall the epoch loop: each client
+// gets a bounded queue and a write deadline.
+type Broadcaster struct {
+	// QueueLen is each client's pending-line budget; a client whose
+	// queue overflows is dropped. 0 means 64.
+	QueueLen int
+	// WriteTimeout bounds each TCP write. 0 means 5 s.
+	WriteTimeout time.Duration
+
+	mu      sync.Mutex
+	clients map[net.Conn]chan string
+	closed  bool
+}
+
+// NewBroadcaster returns a broadcaster with default limits.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{clients: make(map[net.Conn]chan string)}
+}
+
+// Serve accepts clients on the listener until the context is cancelled,
+// then closes every connection. It always returns the reason the accept
+// loop ended (ctx.Err after cancellation).
+func (b *Broadcaster) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	// Close the listener when the context ends so Accept unblocks.
+	stop := context.AfterFunc(ctx, func() { ln.Close() }) //nolint:errcheck
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				b.shutdown()
+				wg.Wait()
+				return ctx.Err()
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			b.shutdown()
+			wg.Wait()
+			return fmt.Errorf("gpsserve: accept: %w", err)
+		}
+		ch := b.register(conn)
+		if ch == nil {
+			conn.Close()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.writeLoop(conn, ch)
+		}()
+	}
+}
+
+// register adds a client and returns its queue (nil if shut down).
+func (b *Broadcaster) register(conn net.Conn) chan string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	qlen := b.QueueLen
+	if qlen <= 0 {
+		qlen = 64
+	}
+	ch := make(chan string, qlen)
+	b.clients[conn] = ch
+	return ch
+}
+
+// remove drops a client; idempotent.
+func (b *Broadcaster) remove(conn net.Conn) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.clients[conn]; ok {
+		delete(b.clients, conn)
+		close(ch)
+	}
+	conn.Close()
+}
+
+// shutdown closes all connections and stops accepting broadcasts.
+func (b *Broadcaster) shutdown() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for conn, ch := range b.clients {
+		delete(b.clients, conn)
+		close(ch)
+		conn.Close()
+	}
+}
+
+// writeLoop drains one client's queue onto its socket.
+func (b *Broadcaster) writeLoop(conn net.Conn, ch chan string) {
+	timeout := b.WriteTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	defer b.remove(conn)
+	for line := range ch {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return
+		}
+		if _, err := conn.Write([]byte(line + "\r\n")); err != nil {
+			return
+		}
+	}
+}
+
+// Broadcast enqueues a sentence for every client. Clients whose queue is
+// full are dropped (they cannot keep up with the epoch rate).
+func (b *Broadcaster) Broadcast(line string) {
+	b.mu.Lock()
+	var evict []net.Conn
+	for conn, ch := range b.clients {
+		select {
+		case ch <- line:
+		default:
+			evict = append(evict, conn)
+		}
+	}
+	b.mu.Unlock()
+	for _, conn := range evict {
+		b.remove(conn)
+	}
+}
+
+// ClientCount returns the number of connected clients.
+func (b *Broadcaster) ClientCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
+}

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gpsdl/internal/nmea"
+	"gpsdl/internal/scenario"
+)
+
+// startBroadcaster spins up a broadcaster on an ephemeral port.
+func startBroadcaster(t *testing.T) (*Broadcaster, string, context.CancelFunc) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroadcaster()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = b.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("broadcaster did not shut down")
+		}
+	})
+	return b, ln.Addr().String(), cancel
+}
+
+// waitForClients polls until the broadcaster sees n clients.
+func waitForClients(t *testing.T, b *Broadcaster, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.ClientCount() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("client count %d, want %d", b.ClientCount(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBroadcastReachesAllClients(t *testing.T) {
+	b, addr, _ := startBroadcaster(t)
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	waitForClients(t, b, 2)
+
+	b.Broadcast("$GPGGA,test*00")
+	b.Broadcast("$GPRMC,test*00")
+	for i, c := range []net.Conn{c1, c2} {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		r := bufio.NewReader(c)
+		l1, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("client %d read: %v", i, err)
+		}
+		if !strings.HasPrefix(l1, "$GPGGA") {
+			t.Errorf("client %d line 1 = %q", i, l1)
+		}
+		l2, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("client %d read 2: %v", i, err)
+		}
+		if !strings.HasPrefix(l2, "$GPRMC") {
+			t.Errorf("client %d line 2 = %q", i, l2)
+		}
+		if !strings.HasSuffix(l2, "\r\n") {
+			t.Errorf("client %d missing CRLF: %q", i, l2)
+		}
+	}
+}
+
+func TestSlowClientIsDropped(t *testing.T) {
+	b, addr, _ := startBroadcaster(t)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitForClients(t, b, 1)
+	// Never read from c; flood well past queue + socket buffers.
+	long := strings.Repeat("x", 1024)
+	for i := 0; i < 20000; i++ {
+		b.Broadcast(long)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for b.ClientCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow client was never dropped")
+		}
+		b.Broadcast(long)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestShutdownClosesClients(t *testing.T) {
+	b, addr, cancel := startBroadcaster(t)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitForClients(t, b, 1)
+	cancel()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("connection still open after shutdown")
+	}
+	// New connections must be rejected or immediately closed.
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(buf); err == nil {
+			t.Error("post-shutdown connection served")
+		}
+		conn.Close()
+	}
+}
+
+// End-to-end: run the full server briefly and read real NMEA sentences.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network end-to-end")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", addr, "-rate", "50", "-solver", "nr"})
+	}()
+	// Wait for the listener, then read two sentences.
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, err := nmea.ParseGGA(strings.TrimSpace(line)); err != nil {
+		t.Errorf("first sentence not valid GGA: %v (%q)", err, line)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("server did not stop")
+	}
+}
+
+// Replay mode: serve from a saved dataset file.
+func TestServeReplayDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network end-to-end")
+	}
+	st, err := scenario.StationByID("FAI1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(4))
+	ds, err := g.GenerateRange(0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/fai1.bin"
+	if err := ds.SaveBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", addr, "-rate", "100", "-solver", "nr", "-dataset", path})
+	}()
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	fix, err := nmea.ParseGGA(strings.TrimSpace(line))
+	if err != nil {
+		t.Fatalf("not GGA: %v (%q)", err, line)
+	}
+	// The replayed fixes must be near the dataset's station.
+	if d := fix.Pos.ToECEF().DistanceTo(st.Pos); d > 100 {
+		t.Errorf("replayed fix %v m from station", d)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Error("server did not stop")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-zap"}},
+		{"bad rate", []string{"-rate", "0"}},
+		{"unknown station", []string{"-station", "NOPE"}},
+		{"unknown solver", []string{"-solver", "magic"}},
+		{"missing dataset", []string{"-dataset", "/does/not/exist.jsonl"}},
+		{"bad listen address", []string{"-addr", "256.256.256.256:99999"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(ctx, tt.args); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestRunEmptyDataset(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(1))
+	ds, err := g.GenerateRange(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/empty.bin"
+	if err := ds.SaveBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-dataset", path}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"gpsdl/internal/rinex"
+)
+
+func dumpObs(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	obs, err := rinex.ReadObs(f)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	fmt.Printf("observation file %s\n", path)
+	fmt.Printf("  marker          %s\n", obs.Marker)
+	fmt.Printf("  approx position (%.3f, %.3f, %.3f)\n", obs.ApproxPos.X, obs.ApproxPos.Y, obs.ApproxPos.Z)
+	fmt.Printf("  first obs       %04d/%02d/%02d\n", obs.Year, obs.Month, obs.Day)
+	fmt.Printf("  interval        %.3f s\n", obs.Interval)
+	fmt.Printf("  epochs          %d\n", len(obs.Epochs))
+	if len(obs.Epochs) == 0 {
+		return nil
+	}
+	minSats, maxSats := len(obs.Epochs[0].Sats), 0
+	prns := make(map[int]int)
+	minPR, maxPR := math.Inf(1), math.Inf(-1)
+	for _, e := range obs.Epochs {
+		if n := len(e.Sats); n < minSats {
+			minSats = n
+		}
+		if n := len(e.Sats); n > maxSats {
+			maxSats = n
+		}
+		for _, s := range e.Sats {
+			prns[s.PRN]++
+			if s.C1 < minPR {
+				minPR = s.C1
+			}
+			if s.C1 > maxPR {
+				maxPR = s.C1
+			}
+		}
+	}
+	fmt.Printf("  sats per epoch  %d-%d\n", minSats, maxSats)
+	fmt.Printf("  distinct PRNs   %d\n", len(prns))
+	fmt.Printf("  C1 range        %.3f - %.3f m\n", minPR, maxPR)
+	return nil
+}
+
+func dumpNav(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	sats, err := rinex.ReadNav(f)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	fmt.Printf("navigation file %s\n", path)
+	fmt.Printf("  satellites %d\n", len(sats))
+	fmt.Printf("  %-4s %-12s %-10s %-10s %-12s\n", "PRN", "sqrtA(m^.5)", "ecc", "inc(rad)", "period(s)")
+	for _, s := range sats {
+		fmt.Printf("  G%02d  %-12.3f %-10.6f %-10.6f %-12.1f\n",
+			s.PRN, math.Sqrt(s.Orbit.SemiMajorAxis), s.Orbit.Eccentricity,
+			s.Orbit.Inclination, s.Orbit.Period())
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package gpsdl is a reproduction of "Design and Analysis of a New GPS
+// Algorithm" (Li, Li, Yang, Xu, Zhao — ICDCS 2010): the DLO and DLG
+// direct-linearization positioning algorithms, the Newton-Raphson
+// baseline, and the full simulation substrate (orbits, clocks,
+// atmosphere, RINEX) needed to regenerate the paper's evaluation.
+//
+// The implementation lives under internal/; see README.md for the map,
+// cmd/ for executables, and bench_test.go for the per-figure benchmarks.
+package gpsdl

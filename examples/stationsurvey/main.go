@@ -1,0 +1,102 @@
+// Station survey: process hours of observations at a CORS-style static
+// station — the paper's evaluation workload — and watch the surveyed
+// (time-averaged) position converge toward the published coordinates.
+//
+//	go run ./examples/stationsurvey                # YYR1, 2 hours
+//	go run ./examples/stationsurvey -station KYCP -hours 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stationsurvey:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		stationID = flag.String("station", "YYR1", "Table 5.1 station ID")
+		hours     = flag.Float64("hours", 2, "survey length in hours")
+		step      = flag.Float64("step", 5, "epoch spacing in seconds")
+	)
+	flag.Parse()
+	station, err := scenario.StationByID(*stationID)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.DefaultConfig(7)
+	cfg.Step = *step
+	gen := scenario.NewGenerator(station, cfg)
+	fmt.Printf("surveying %s (%s clock) for %.1f h at %.0f s epochs\n\n",
+		station.ID, station.Clock, *hours, *step)
+
+	pred := eval.DefaultPredictor(station.Clock)
+	var nr core.NRSolver
+	dlg := core.NewDLGSolver(pred)
+
+	var (
+		sum        geo.ECEF
+		fixes      int
+		sumErr     float64
+		worst      float64
+		printEvery = int(1800 / *step) // progress twice an hour
+	)
+	end := *hours * 3600
+	i := 0
+	for t := 0.0; t < end; t += *step {
+		epoch, err := gen.EpochAt(t)
+		if err != nil {
+			return err
+		}
+		obs := make([]core.Observation, 0, len(epoch.Obs))
+		for _, o := range epoch.Obs {
+			obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+		}
+		// NR maintains the clock predictor (Section 5.2.2 protocol)...
+		nrSol, err := nr.Solve(t, obs)
+		if err == nil {
+			pred.Observe(clock.Fix{T: t, Bias: nrSol.ClockBias / geo.SpeedOfLight})
+		}
+		// ...and DLG produces the survey fixes.
+		sol, err := dlg.Solve(t, obs)
+		if err != nil {
+			continue // predictor warming up
+		}
+		d := sol.Pos.DistanceTo(station.Pos)
+		sum = sum.Add(sol.Pos)
+		fixes++
+		sumErr += d
+		if d > worst {
+			worst = d
+		}
+		if i++; i%printEvery == 0 {
+			avg := sum.Scale(1 / float64(fixes))
+			fmt.Printf("t=%5.0f min: %6d fixes, mean epoch error %6.2f m, surveyed position off by %6.3f m\n",
+				t/60, fixes, sumErr/float64(fixes), avg.DistanceTo(station.Pos))
+		}
+	}
+	if fixes == 0 {
+		return fmt.Errorf("no fixes produced")
+	}
+	avg := sum.Scale(1 / float64(fixes))
+	enu := geo.ToENU(station.Pos, avg)
+	fmt.Printf("\nfinal survey over %d fixes:\n", fixes)
+	fmt.Printf("  mean per-epoch error  %8.3f m (worst %.3f m)\n", sumErr/float64(fixes), worst)
+	fmt.Printf("  surveyed position     %8.3f m from published coordinates\n", avg.DistanceTo(station.Pos))
+	fmt.Printf("  offset ENU            (%.3f, %.3f, %.3f) m\n", enu.E, enu.N, enu.U)
+	lat, lon := avg.ToLLA().Degrees()
+	fmt.Printf("  geodetic              %.6f°, %.6f°, %.1f m\n", lat, lon, avg.ToLLA().Alt)
+	return nil
+}

@@ -1,0 +1,106 @@
+// Vehicle tracking: the paper's motivating scenario — "in many application
+// systems, the object to be positioned may move at a high speed. It is
+// then necessary to reduce the computation time overhead in order to
+// provide real-time response" (Section 1).
+//
+// A receiver circles a track at aircraft speed while NR and DLG position
+// it each epoch; the example reports both tracking accuracy and the
+// per-fix latency that determines how stale each fix is at speed.
+//
+//	go run ./examples/vehicletracking
+//	go run ./examples/vehicletracking -speed 300 -radius 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vehicletracking:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		speed    = flag.Float64("speed", 250, "vehicle speed in m/s")
+		radius   = flag.Float64("radius", 10000, "track radius in meters")
+		duration = flag.Float64("duration", 600, "tracking time in seconds")
+	)
+	flag.Parse()
+	station, err := scenario.StationByID("SRZN")
+	if err != nil {
+		return err
+	}
+	traj := scenario.CircularTrajectory(station.Pos, *radius, *speed)
+	gen := scenario.NewGenerator(station, scenario.DefaultConfig(11), scenario.WithTrajectory(traj))
+	fmt.Printf("vehicle on a %.1f km circle at %.0f m/s near %s\n\n", *radius/1000, *speed, station.ID)
+
+	pred := eval.DefaultPredictor(station.Clock)
+	var nr core.NRSolver
+	dlg := core.NewDLGSolver(pred)
+
+	type trackStats struct {
+		sumErr, sumNanos float64
+		fixes            int
+	}
+	var nrStats, dlgStats trackStats
+	for t := 0.0; t < *duration; t++ {
+		epoch, err := gen.EpochAt(t)
+		if err != nil {
+			return err
+		}
+		obs := make([]core.Observation, 0, len(epoch.Obs))
+		for _, o := range epoch.Obs {
+			obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+		}
+		truth := gen.TruthPosition(t)
+
+		start := time.Now()
+		nrSol, nrErr := nr.Solve(t, obs)
+		nrNanos := float64(time.Since(start).Nanoseconds())
+		if nrErr == nil {
+			nrStats.sumErr += nrSol.Pos.DistanceTo(truth)
+			nrStats.sumNanos += nrNanos
+			nrStats.fixes++
+			pred.Observe(clock.Fix{T: t, Bias: nrSol.ClockBias / geo.SpeedOfLight})
+		}
+
+		start = time.Now()
+		dlgSol, dlgErr := dlg.Solve(t, obs)
+		dlgNanos := float64(time.Since(start).Nanoseconds())
+		if dlgErr == nil {
+			dlgStats.sumErr += dlgSol.Pos.DistanceTo(truth)
+			dlgStats.sumNanos += dlgNanos
+			dlgStats.fixes++
+		}
+	}
+	if nrStats.fixes == 0 || dlgStats.fixes == 0 {
+		return fmt.Errorf("no fixes produced (NR %d, DLG %d)", nrStats.fixes, dlgStats.fixes)
+	}
+	report := func(name string, s trackStats) {
+		meanNanos := s.sumNanos / float64(s.fixes)
+		// At v m/s, a fix computed in τ ns describes a position that is
+		// v·τ meters stale by the time it is available.
+		staleness := *speed * meanNanos * 1e-9
+		fmt.Printf("%-4s %6d fixes  mean error %6.2f m  mean latency %7.0f ns  motion staleness %.2g mm\n",
+			name, s.fixes, s.sumErr/float64(s.fixes), meanNanos, staleness*1000)
+	}
+	report("NR", nrStats)
+	report("DLG", dlgStats)
+	fmt.Println("(DLG produces no fixes during its ~60 s clock-predictor calibration window.)")
+	fmt.Printf("\nDLG delivers each fix in %.0f%% of NR's time — the paper's headline claim,\n",
+		100*dlgStats.sumNanos/nrStats.sumNanos)
+	fmt.Println("which compounds when a tracking loop re-solves at high rate or on slow hardware.")
+	return nil
+}

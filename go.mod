@@ -1,0 +1,3 @@
+module gpsdl
+
+go 1.22

@@ -1,0 +1,248 @@
+// Cross-module integration tests: full pipelines that no single package
+// test exercises end to end.
+package gpsdl_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/dgps"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/orbit"
+	"gpsdl/internal/rinex"
+	"gpsdl/internal/scenario"
+	"gpsdl/internal/smoothing"
+	"gpsdl/internal/tracking"
+)
+
+// Pipeline 1: generate → RINEX → reload → position. The solution from the
+// reconstructed dataset must match the original to well under the
+// measurement noise.
+func TestPipelineRINEXRoundTripPositioning(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(99))
+	ds, err := g.GenerateRange(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obsBuf, navBuf bytes.Buffer
+	if err := rinex.WriteObs(&obsBuf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := rinex.WriteNav(&navBuf, orbit.DefaultConstellation().Satellites()); err != nil {
+		t.Fatal(err)
+	}
+	obsFile, err := rinex.ReadObs(&obsBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sats, err := rinex.ReadNav(&navBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rinex.ToDataset(obsFile, sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nr core.NRSolver
+	for i := range ds.Epochs {
+		orig, err1 := nr.Solve(ds.Epochs[i].T, adaptEpoch(ds.Epochs[i]))
+		rec, err2 := nr.Solve(back.Epochs[i].T, adaptEpoch(back.Epochs[i]))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("epoch %d solves: %v, %v", i, err1, err2)
+		}
+		if d := orig.Pos.DistanceTo(rec.Pos); d > 0.05 {
+			t.Errorf("epoch %d: reconstructed fix differs by %v m", i, d)
+		}
+	}
+}
+
+// Pipeline 2: RAIM on top of injected faults — the integrity stack finds
+// the faulty satellite the generator corrupted.
+func TestPipelineFaultInjectionRAIM(t *testing.T) {
+	st, err := scenario.StationByID("SRZN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a PRN that is visible at t = 1000.
+	probe := scenario.NewGenerator(st, scenario.DefaultConfig(3))
+	e, err := probe.EpochAt(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := e.Obs[2].PRN
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(3),
+		scenario.WithFaults([]scenario.Fault{{PRN: victim, From: 900, Until: 1100, Bias: 400}}))
+	r := &core.RAIM{Solver: &core.NRSolver{}}
+
+	inFault, err := g.EpochAt(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Check(1000, adaptEpoch(inFault))
+	if err != nil {
+		t.Fatalf("RAIM in fault window: %v", err)
+	}
+	if res.Excluded < 0 || inFault.Obs[res.Excluded].PRN != victim {
+		t.Errorf("RAIM excluded index %d, want PRN %d", res.Excluded, victim)
+	}
+	if d := res.Solution.Pos.DistanceTo(st.Pos); d > 25 {
+		t.Errorf("post-exclusion error %v m", d)
+	}
+
+	afterFault, err := g.EpochAt(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.Check(1200, adaptEpoch(afterFault))
+	if err != nil {
+		t.Fatalf("RAIM after fault window: %v", err)
+	}
+	if res.Excluded != -1 {
+		t.Errorf("RAIM excluded %d on a clean epoch", res.Excluded)
+	}
+}
+
+// Pipeline 3: DGPS + Hatch smoothing + DLG stack — all three layers
+// compose and each one helps.
+func TestPipelineDGPSSmoothedDLG(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(55)
+	cfg.IonoRemainder = 1.0 // uncorrected receivers: DGPS's use case
+	refGen := scenario.NewGenerator(st, cfg)
+	rover := st
+	rover.ID = "ROVR"
+	rover.Pos = geo.FromENU(st.Pos, geo.ENU{E: 8000, N: 5000})
+	roverGen := scenario.NewGenerator(rover, cfg)
+
+	ref := dgps.NewReference(st.Pos)
+	hatch := smoothing.NewHatch(100)
+	pred := eval.DefaultPredictor(st.Clock)
+	var nr core.NRSolver
+	dlg := core.NewDLGSolver(pred)
+
+	var sumPlain, sumStacked float64
+	var n int
+	for i := 0; i < 900; i++ {
+		tt := float64(i)
+		refEpoch, err := refGen.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roverEpoch, err := roverGen.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := ref.ComputeCorrections(refEpoch)
+		if err != nil {
+			continue
+		}
+		stackedEpoch := hatch.Smooth(dgps.Apply(roverEpoch, corr))
+		if nrSol, err := nr.Solve(tt, adaptEpoch(stackedEpoch)); err == nil {
+			pred.Observe(clock.Fix{T: tt, Bias: nrSol.ClockBias / geo.SpeedOfLight})
+		}
+		if i < 400 {
+			continue // smoother + predictor warm-up
+		}
+		plainSol, err1 := nr.Solve(tt, adaptEpoch(roverEpoch))
+		stackSol, err2 := dlg.Solve(tt, adaptEpoch(stackedEpoch))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		sumPlain += plainSol.Pos.DistanceTo(rover.Pos)
+		sumStacked += stackSol.Pos.DistanceTo(rover.Pos)
+		n++
+	}
+	if n < 300 {
+		t.Fatalf("only %d epochs", n)
+	}
+	plain, stacked := sumPlain/float64(n), sumStacked/float64(n)
+	t.Logf("rover error: raw NR %.3f m, DGPS+Hatch+DLG %.3f m over %d epochs", plain, stacked, n)
+	if stacked > plain*0.5 {
+		t.Errorf("stacked pipeline %.3f m did not halve raw %.3f m", stacked, plain)
+	}
+}
+
+// Pipeline 4: DLG snapshot → EKF with Doppler → velocity solver cross
+// check. The two independent velocity estimates must agree.
+func TestPipelineVelocityConsistency(t *testing.T) {
+	st, err := scenario.StationByID("KYCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := scenario.LinearTrajectory(st.Pos, geo.ENU{E: 25, N: -10})
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(66), scenario.WithTrajectory(traj))
+	f := tracking.NewFilter(tracking.Config{})
+	var nr core.NRSolver
+
+	epoch0, err := g.EpochAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol0, err := nr.Solve(0, adaptEpoch(epoch0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Init(sol0, 0)
+	var lastEpoch scenario.Epoch
+	for i := 1; i <= 90; i++ {
+		tt := float64(i)
+		epoch, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Step(tt, adaptEpoch(epoch)); err != nil {
+			t.Fatal(err)
+		}
+		vel := make([]core.VelObservation, 0, len(epoch.Obs))
+		for _, o := range epoch.Obs {
+			vel = append(vel, core.VelObservation{Pos: o.Pos, Vel: o.Vel, RangeRate: o.Doppler})
+		}
+		if err := f.UpdateDoppler(vel); err != nil {
+			t.Fatal(err)
+		}
+		lastEpoch = epoch
+	}
+	ekfState, err := f.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent snapshot velocity from the same last epoch.
+	nrSol, err := nr.Solve(90, adaptEpoch(lastEpoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vel := make([]core.VelObservation, 0, len(lastEpoch.Obs))
+	for _, o := range lastEpoch.Obs {
+		vel = append(vel, core.VelObservation{Pos: o.Pos, Vel: o.Vel, RangeRate: o.Doppler})
+	}
+	snap, err := core.SolveVelocity(nrSol.Pos, vel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ekfState.Vel.Sub(snap.Vel).Norm(); d > 0.5 {
+		t.Errorf("EKF and snapshot velocities differ by %v m/s", d)
+	}
+	truthSpeed := math.Hypot(25, 10)
+	if d := math.Abs(ekfState.Vel.Norm() - truthSpeed); d > 0.5 {
+		t.Errorf("EKF speed %.2f, truth %.2f", ekfState.Vel.Norm(), truthSpeed)
+	}
+}
+
+func adaptEpoch(e scenario.Epoch) []core.Observation {
+	obs := make([]core.Observation, 0, len(e.Obs))
+	for _, o := range e.Obs {
+		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+	}
+	return obs
+}

@@ -1,0 +1,114 @@
+// Package clock implements the receiver-clock substrate of the paper:
+//
+//   - truth models for the two clock-correction disciplines named in
+//     Table 5.1 ("Steering" and "Threshold", Section 5.2.2),
+//   - the paper's linear clock-bias predictor Δt̂ = D + r·tₑ
+//     (eq. 4-3/4-4) with the calibration procedure of Section 5.2.2,
+//   - a Kalman-filter predictor implementing the Section 6 extension
+//     ("consider better clock bias models"), following refs [12][33].
+//
+// All biases are expressed in seconds; multiply by geo.SpeedOfLight to get
+// the range-domain error εᴿ used in the pseudo-range equations.
+package clock
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model is a receiver clock-bias truth model: BiasAt returns Δt at time t,
+// the amount by which the receiver clock is ahead of true time (eq. 3-7).
+type Model interface {
+	BiasAt(t float64) float64
+}
+
+// SteeringModel represents a receiver whose clock is actively steered to
+// stay within a small band of standard time (Section 5.2.2). The residual
+// is a constant offset plus a slow bounded oscillation left over from the
+// steering loop, plus optional white jitter.
+type SteeringModel struct {
+	// Offset is the constant residual D the steering loop converges to,
+	// in seconds.
+	Offset float64
+	// Amplitude and Period describe the bounded steering-loop residual
+	// oscillation (seconds, seconds). Zero amplitude gives a constant bias.
+	Amplitude float64
+	Period    float64
+	// Jitter is the standard deviation of white clock jitter in seconds.
+	// Zero disables jitter; deterministic given JitterSeed.
+	Jitter     float64
+	JitterSeed int64
+}
+
+var _ Model = (*SteeringModel)(nil)
+
+// BiasAt returns the steered clock bias at time t.
+func (m *SteeringModel) BiasAt(t float64) float64 {
+	b := m.Offset
+	if m.Amplitude != 0 && m.Period > 0 {
+		b += m.Amplitude * math.Sin(2*math.Pi*t/m.Period)
+	}
+	if m.Jitter > 0 {
+		// Derive a per-epoch deterministic jitter so BiasAt is a pure
+		// function of t (required for reproducible datasets).
+		rng := rand.New(rand.NewSource(m.JitterSeed ^ int64(math.Float64bits(t))))
+		b += m.Jitter * rng.NormFloat64()
+	}
+	return b
+}
+
+// ThresholdModel represents a free-running oscillator whose bias grows at
+// a constant drift rate and is reset whenever it reaches a threshold
+// (Section 5.2.2: "Whenever the clock error reaches a pre-set threshold,
+// the clock will be adjusted."). The resulting bias is a sawtooth.
+type ThresholdModel struct {
+	// Offset is the bias at t = 0, seconds.
+	Offset float64
+	// Drift is the clock drift r in s/s (typical quartz: 1e-8 … 1e-6).
+	Drift float64
+	// Threshold is the reset limit in seconds (common receivers use 1 ms).
+	Threshold float64
+}
+
+var _ Model = (*ThresholdModel)(nil)
+
+// BiasAt returns the sawtooth clock bias at time t.
+func (m *ThresholdModel) BiasAt(t float64) float64 {
+	if m.Drift == 0 || m.Threshold <= 0 {
+		return m.Offset + m.Drift*t
+	}
+	b := m.Offset + m.Drift*t
+	// Reset subtracts a full threshold (with the drift's sign) each time
+	// |bias| crosses the threshold, reproducing receiver behaviour where
+	// the clock is slewed back by the threshold amount.
+	span := m.Threshold
+	if b >= 0 {
+		n := math.Floor(b / span)
+		return b - n*span
+	}
+	n := math.Floor(-b / span)
+	return b + n*span
+}
+
+// ResetTimes returns the times in [t0, t1) at which the threshold clock
+// resets. Useful for tests and for the clock-calibration example.
+func (m *ThresholdModel) ResetTimes(t0, t1 float64) []float64 {
+	if m.Drift == 0 || m.Threshold <= 0 {
+		return nil
+	}
+	interval := m.Threshold / math.Abs(m.Drift)
+	// First crossing after t0: solve |Offset + Drift·t| = k·Threshold.
+	var out []float64
+	// Walk crossings from the first k whose time is >= t0.
+	start := (m.Threshold*math.Copysign(1, m.Drift) - m.Offset) / m.Drift
+	for k := 0; ; k++ {
+		tc := start + float64(k)*interval
+		if tc >= t1 {
+			break
+		}
+		if tc >= t0 {
+			out = append(out, tc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package clock
+
+// KalmanPredictor estimates the receiver clock with a two-state Kalman
+// filter over state x = [bias, drift], the standard clock model of the
+// paper's references [12] (Marques Filho et al., "Real time estimation of
+// GPS receiver clock offset by the Kalman filter") and [33] (Thomas,
+// "Real-Time Restitution of GPS time through a Kalman Estimation"). It
+// implements the Section 6 extension: "consider better clock bias models
+// so the clock prediction can be further improved".
+//
+// Dynamics between fixes Δt apart:
+//
+//	bias  ← bias + drift·Δt      (+ process noise)
+//	drift ← drift                (+ process noise)
+//
+// Measurements are bias fixes (e.g. the clock term of an NR solution).
+type KalmanPredictor struct {
+	// ProcessNoiseBias and ProcessNoiseDrift are the continuous process
+	// noise spectral densities for the two states (s²/s and (s/s)²/s).
+	ProcessNoiseBias  float64
+	ProcessNoiseDrift float64
+	// MeasurementNoise is the variance of a bias fix (s²).
+	MeasurementNoise float64
+	// JumpTol, if positive, triggers a covariance reset when the
+	// innovation exceeds it (threshold-clock reset handling).
+	JumpTol float64
+
+	bias, drift float64
+	// Covariance entries (symmetric 2×2).
+	p00, p01, p11 float64
+	lastT         float64
+	initialized   bool
+	// Recalibrations counts innovation-triggered resets.
+	Recalibrations int
+}
+
+var _ Predictor = (*KalmanPredictor)(nil)
+
+// NewKalmanPredictor returns a filter with noise parameters suited to the
+// quartz receiver clocks the paper targets: measurement noise matching
+// NR-fix quality (~tens of ns), moderate drift process noise.
+func NewKalmanPredictor(jumpTol float64) *KalmanPredictor {
+	return &KalmanPredictor{
+		ProcessNoiseBias:  1e-20, // s²/s
+		ProcessNoiseDrift: 1e-24, // (s/s)²/s — quartz drift wanders slowly
+		MeasurementNoise:  1e-16, // (10 ns)²
+		JumpTol:           jumpTol,
+	}
+}
+
+// Observe runs one predict+update cycle with the fix.
+func (k *KalmanPredictor) Observe(fix Fix) {
+	if !k.initialized {
+		k.bias = fix.Bias
+		k.drift = 0
+		// Large initial uncertainty so the first few fixes dominate.
+		k.p00 = 1e-6
+		k.p01 = 0
+		k.p11 = 1e-12
+		k.lastT = fix.T
+		k.initialized = true
+		return
+	}
+	k.propagate(fix.T)
+	// Innovation.
+	innov := fix.Bias - k.bias
+	if k.JumpTol > 0 && (innov > k.JumpTol || innov < -k.JumpTol) {
+		// Clock reset: re-anchor bias, keep drift, inflate bias variance.
+		k.bias = fix.Bias
+		k.p00 = 1e-6
+		k.p01 = 0
+		k.Recalibrations++
+		return
+	}
+	s := k.p00 + k.MeasurementNoise
+	g0 := k.p00 / s
+	g1 := k.p01 / s
+	k.bias += g0 * innov
+	k.drift += g1 * innov
+	// Joseph-free covariance update (standard form).
+	p00, p01, p11 := k.p00, k.p01, k.p11
+	k.p00 = (1 - g0) * p00
+	k.p01 = (1 - g0) * p01
+	k.p11 = p11 - g1*p01
+}
+
+// propagate advances the state and covariance to time t.
+func (k *KalmanPredictor) propagate(t float64) {
+	dt := t - k.lastT
+	if dt <= 0 {
+		return
+	}
+	k.bias += k.drift * dt
+	// P ← F·P·Fᵀ + Q with F = [[1, dt], [0, 1]].
+	p00 := k.p00 + 2*dt*k.p01 + dt*dt*k.p11
+	p01 := k.p01 + dt*k.p11
+	p11 := k.p11
+	// Discrete process noise for the two-state clock model.
+	q00 := k.ProcessNoiseBias*dt + k.ProcessNoiseDrift*dt*dt*dt/3
+	q01 := k.ProcessNoiseDrift * dt * dt / 2
+	q11 := k.ProcessNoiseDrift * dt
+	k.p00 = p00 + q00
+	k.p01 = p01 + q01
+	k.p11 = p11 + q11
+	k.lastT = t
+}
+
+// PredictBias extrapolates the filtered state to time t without mutating
+// the filter.
+func (k *KalmanPredictor) PredictBias(t float64) (float64, error) {
+	if !k.initialized {
+		return 0, ErrNotCalibrated
+	}
+	return k.bias + k.drift*(t-k.lastT), nil
+}
+
+// State returns the current filtered bias and drift (diagnostics).
+func (k *KalmanPredictor) State() (bias, drift float64, ok bool) {
+	return k.bias, k.drift, k.initialized
+}

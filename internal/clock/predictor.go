@@ -1,0 +1,280 @@
+package clock
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gpsdl/internal/geo"
+)
+
+// Prediction errors.
+var (
+	// ErrNotCalibrated is returned when a prediction is requested before
+	// the predictor has seen enough fixes to calibrate.
+	ErrNotCalibrated = errors.New("clock: predictor not calibrated yet")
+	// ErrInsufficientFixes is returned when a calibration window has too
+	// few distinct observation times to fit a drift.
+	ErrInsufficientFixes = errors.New("clock: need at least two distinct fix times to fit drift")
+)
+
+// Fix is one externally-derived clock-bias observation: at receiver time T
+// the clock bias was Bias seconds. In the paper these come either from an
+// external time provider or from the clock-bias term of an NR solution
+// (Section 4.2, approach 2; eq. 5-4: D ≈ εᴿ/c).
+type Fix struct {
+	T    float64
+	Bias float64
+}
+
+// Predictor estimates the receiver clock bias at arbitrary times from past
+// fixes. Implementations must be cheap: prediction happens on every epoch
+// of the DLO/DLG hot path.
+type Predictor interface {
+	// Observe feeds one bias fix to the predictor.
+	Observe(fix Fix)
+	// PredictBias returns the estimated clock bias Δt̂ (seconds) at time
+	// t, or ErrNotCalibrated.
+	PredictBias(t float64) (float64, error)
+}
+
+// PredictRange converts a predicted clock bias to the range-domain
+// receiver error ε̂ᴿ = c·Δt̂ (eq. 4-4) using predictor p.
+func PredictRange(p Predictor, t float64) (float64, error) {
+	b, err := p.PredictBias(t)
+	if err != nil {
+		return 0, err
+	}
+	return geo.SpeedOfLight * b, nil
+}
+
+// FitLinear fits bias ≈ D + r·t to the fixes by least squares and returns
+// (D, r). It implements the Section 5.2.2 calibration: "For clock drift r,
+// a small set of data items at the initialization time is used".
+func FitLinear(fixes []Fix) (d, r float64, err error) {
+	n := len(fixes)
+	if n == 0 {
+		return 0, 0, ErrInsufficientFixes
+	}
+	if n == 1 {
+		// Single fix: offset only (the paper's eq. 5-4), zero drift.
+		return fixes[0].Bias, 0, nil
+	}
+	var sumT, sumB, sumTT, sumTB float64
+	for _, f := range fixes {
+		sumT += f.T
+		sumB += f.Bias
+		sumTT += f.T * f.T
+		sumTB += f.T * f.Bias
+	}
+	fn := float64(n)
+	den := fn*sumTT - sumT*sumT
+	if den == 0 {
+		return 0, 0, ErrInsufficientFixes
+	}
+	r = (fn*sumTB - sumT*sumB) / den
+	d = (sumB - r*sumT) / fn
+	return d, r, nil
+}
+
+// LinearPredictor is the paper's clock-bias predictor (eq. 4-3):
+//
+//	Δt̂(t) = D + r·t
+//
+// Calibration follows Section 5.2.2:
+//
+//   - The first InitWindow fixes are collected and fitted for (D, r).
+//   - Afterwards, each new fix is checked against the prediction. A
+//     deviation larger than JumpTol indicates a threshold-clock reset; the
+//     offset D is re-anchored from that fix (keeping the fitted drift),
+//     mirroring "D is calculated whenever clock bias is reset".
+//
+// For steering clocks no jump ever occurs, so D and r are calculated only
+// once at initialization time, exactly as the paper prescribes.
+type LinearPredictor struct {
+	// InitWindow is how many initial fixes are used to fit D and r.
+	// Values <= 1 disable drift fitting (offset-only prediction).
+	InitWindow int
+	// JumpTol is the prediction-error threshold (seconds) that signals a
+	// clock reset. Zero disables reset detection.
+	JumpTol float64
+	// DriftFloor snaps fitted drifts with |r| below it to zero. Steered
+	// clocks have no secular drift, so a tiny fitted slope is calibration
+	// noise — and extrapolating even 1e-12 s/s over a day is 26 m of
+	// range error. Zero disables the floor (use for free-running clocks).
+	DriftFloor float64
+	// RoundJumpTo, when positive, snaps each detected reset step to the
+	// nearest multiple of this quantum. Threshold receivers slew their
+	// clock by exactly the threshold amount, so rounding removes the
+	// single-fix noise from the step estimate.
+	RoundJumpTo float64
+	// OutlierTol, when positive, discards post-calibration fixes whose
+	// deviation from the prediction exceeds it but does not reach
+	// JumpTol (or when JumpTol is disabled). NR occasionally converges
+	// to a spurious solution with a wildly wrong clock term; one such
+	// fix entering the running fit would bias predictions for hours.
+	OutlierTol float64
+	// Refit, when true, keeps refining (D, r) with every fix after
+	// calibration instead of freezing the initial fit. Clock resets are
+	// handled by removing the step discontinuity before fitting (the
+	// cumulative-offset technique), so the drift estimate keeps improving
+	// across segments. This implements the ongoing use of NR-derived
+	// clock biases described in the paper's references [3][10][17][33];
+	// without it, the noise in a short calibration window extrapolates to
+	// tens of meters of range error within hours.
+	Refit bool
+
+	window     []Fix
+	d, r       float64
+	calibrated bool
+	// Running least-squares sums over offset-adjusted fixes (Refit mode).
+	n                float64
+	st, sb, stt, stb float64
+	cumOffset        float64
+	// Recalibrations counts detected clock resets (for diagnostics and
+	// the clockcal example).
+	Recalibrations int
+}
+
+var _ Predictor = (*LinearPredictor)(nil)
+
+// NewLinearPredictor returns a predictor that fits drift over initWindow
+// fixes and re-anchors on jumps larger than jumpTol seconds.
+func NewLinearPredictor(initWindow int, jumpTol float64) *LinearPredictor {
+	if initWindow < 1 {
+		initWindow = 1
+	}
+	return &LinearPredictor{InitWindow: initWindow, JumpTol: jumpTol}
+}
+
+// Observe feeds one bias fix.
+func (p *LinearPredictor) Observe(fix Fix) {
+	if !p.calibrated {
+		p.window = append(p.window, fix)
+		if len(p.window) >= p.InitWindow {
+			d, r, err := FitLinear(p.window)
+			if err == nil {
+				if r < p.DriftFloor && r > -p.DriftFloor {
+					r = 0
+					// Re-anchor the offset as the plain mean once the
+					// slope is dropped.
+					var sum float64
+					for _, f := range p.window {
+						sum += f.Bias
+					}
+					d = sum / float64(len(p.window))
+				}
+				p.d, p.r = d, r
+				p.calibrated = true
+				if p.Refit {
+					for _, f := range p.window {
+						p.accumulate(f.T, f.Bias)
+					}
+				}
+				p.window = p.window[:0]
+			}
+		}
+		return
+	}
+	pred := p.d + p.r*fix.T + p.cumOffset
+	diff := fix.Bias - pred
+	switch {
+	case p.JumpTol > 0 && (diff > p.JumpTol || diff < -p.JumpTol):
+		// Clock reset: absorb the step so the adjusted series stays
+		// continuous (Refit mode) and re-anchor the offset.
+		p.Recalibrations++
+		step := diff
+		if p.RoundJumpTo > 0 {
+			step = math.Round(diff/p.RoundJumpTo) * p.RoundJumpTo
+		}
+		if !p.Refit {
+			p.d += step
+			return
+		}
+		p.cumOffset += step
+	case p.OutlierTol > 0 && (diff > p.OutlierTol || diff < -p.OutlierTol):
+		// Spurious fix (not a reset): drop it.
+		return
+	}
+	if p.Refit {
+		p.accumulate(fix.T, fix.Bias)
+		p.refit()
+	}
+}
+
+// accumulate adds an offset-adjusted fix to the running LS sums.
+func (p *LinearPredictor) accumulate(t, bias float64) {
+	b := bias - p.cumOffset
+	p.n++
+	p.st += t
+	p.sb += b
+	p.stt += t * t
+	p.stb += t * b
+}
+
+// refit recomputes (D, r) from the running sums.
+func (p *LinearPredictor) refit() {
+	den := p.n*p.stt - p.st*p.st
+	if den == 0 {
+		return
+	}
+	r := (p.n*p.stb - p.st*p.sb) / den
+	if r < p.DriftFloor && r > -p.DriftFloor {
+		r = 0
+		p.d = p.sb / p.n
+	} else {
+		p.d = (p.sb - r*p.st) / p.n
+	}
+	p.r = r
+}
+
+// PredictBias returns Δt̂(t) = D + r·t (plus the accumulated reset offset
+// in Refit mode).
+func (p *LinearPredictor) PredictBias(t float64) (float64, error) {
+	if !p.calibrated {
+		return 0, ErrNotCalibrated
+	}
+	return p.d + p.r*t + p.cumOffset, nil
+}
+
+// Coefficients returns the fitted offset D and drift r, or an error if the
+// predictor has not calibrated yet.
+func (p *LinearPredictor) Coefficients() (d, r float64, err error) {
+	if !p.calibrated {
+		return 0, 0, ErrNotCalibrated
+	}
+	return p.d, p.r, nil
+}
+
+// OraclePredictor wraps a truth Model and predicts it exactly. It is the
+// "perfect clock knowledge" arm of ablation A2: it bounds how much of the
+// DLO/DLG error is attributable to clock prediction.
+type OraclePredictor struct {
+	Model Model
+}
+
+var _ Predictor = (*OraclePredictor)(nil)
+
+// Observe is a no-op: the oracle needs no fixes.
+func (p *OraclePredictor) Observe(Fix) {}
+
+// PredictBias returns the true bias.
+func (p *OraclePredictor) PredictBias(t float64) (float64, error) {
+	if p.Model == nil {
+		return 0, fmt.Errorf("clock: oracle predictor with nil model: %w", ErrNotCalibrated)
+	}
+	return p.Model.BiasAt(t), nil
+}
+
+// ZeroPredictor always predicts zero bias — the "no clock model" arm of
+// ablation A2, quantifying what happens if DLO/DLG ignore the receiver
+// clock entirely.
+type ZeroPredictor struct{}
+
+var _ Predictor = (*ZeroPredictor)(nil)
+
+// Observe is a no-op.
+func (ZeroPredictor) Observe(Fix) {}
+
+// PredictBias returns 0.
+func (ZeroPredictor) PredictBias(float64) (float64, error) { return 0, nil }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gpsdl/internal/geo"
+	"gpsdl/internal/mat"
+)
+
+// BancroftSolver is Bancroft's algebraic direct solution of the GPS
+// equations (paper reference [2]: S. Bancroft, "An algebraic solution of
+// the GPS equations"). Unlike DLO/DLG it solves for the receiver clock
+// bias as a fourth unknown, so it needs no clock predictor; unlike NR it
+// is non-iterative. Included as the classic direct baseline for
+// ablation A4.
+//
+// Formulation: with aᵢ = (xᵢ, yᵢ, zᵢ, ρᵢ) and the Lorentz inner product
+// ⟨u,v⟩ = u₁v₁+u₂v₂+u₃v₃−u₄v₄, the unknown y = (xₑ, yₑ, zₑ, εᴿ) satisfies
+// ⟨aᵢ−y, aᵢ−y⟩ = 0. Expanding yields the quadratic
+// ⟨u,u⟩λ² + 2(⟨u,v⟩−1)λ + ⟨v,v⟩ = 0 with y = v + λu, where u and v are
+// least-squares images of the all-ones vector and the per-satellite
+// Lorentz norms.
+type BancroftSolver struct{}
+
+var _ Solver = BancroftSolver{}
+
+// Name implements Solver.
+func (BancroftSolver) Name() string { return "Bancroft" }
+
+// Solve implements Solver. It requires at least 4 satellites.
+func (BancroftSolver) Solve(_ float64, obs []Observation) (Solution, error) {
+	if err := checkMinObs("Bancroft", obs, 4); err != nil {
+		return Solution{}, err
+	}
+	m := len(obs)
+	b := mat.NewDense(m, 4)
+	alpha := make([]float64, m)
+	ones := make([]float64, m)
+	for i, o := range obs {
+		b.SetRow(i, []float64{o.Pos.X, o.Pos.Y, o.Pos.Z, o.Pseudorange})
+		alpha[i] = 0.5 * (o.Pos.X*o.Pos.X + o.Pos.Y*o.Pos.Y + o.Pos.Z*o.Pos.Z -
+			o.Pseudorange*o.Pseudorange)
+		ones[i] = 1
+	}
+	// Least-squares pseudo-inverse application: w = (BᵀB)⁻¹Bᵀ·rhs.
+	btb := mat.MulATA(b)
+	lu, err := mat.FactorizeLU(btb)
+	if err != nil {
+		return Solution{}, fmt.Errorf("Bancroft normal matrix: %w", ErrDegenerateGeometry)
+	}
+	uRaw := lu.Solve(mat.MulTVec(b, ones))
+	vRaw := lu.Solve(mat.MulTVec(b, alpha))
+	// Apply the Lorentz metric M = diag(1,1,1,−1).
+	u := [4]float64{uRaw[0], uRaw[1], uRaw[2], -uRaw[3]}
+	v := [4]float64{vRaw[0], vRaw[1], vRaw[2], -vRaw[3]}
+	lor := func(a, c [4]float64) float64 {
+		return a[0]*c[0] + a[1]*c[1] + a[2]*c[2] - a[3]*c[3]
+	}
+	qa := lor(u, u)
+	qb := 2 * (lor(u, v) - 1)
+	qc := lor(v, v)
+	lambdas, err := solveQuadratic(qa, qb, qc)
+	if err != nil {
+		return Solution{}, fmt.Errorf("Bancroft quadratic: %w", ErrDegenerateGeometry)
+	}
+	// Each root gives a candidate fix; keep the one whose position is
+	// nearest the Earth's surface (the other lies far out in space).
+	best := Solution{}
+	bestScore := math.Inf(1)
+	for _, l := range lambdas {
+		cand := geo.ECEF{
+			X: v[0] + l*u[0],
+			Y: v[1] + l*u[1],
+			Z: v[2] + l*u[2],
+		}
+		bias := v[3] + l*u[3]
+		score := math.Abs(cand.Norm() - geo.SemiMajorAxis)
+		if score < bestScore {
+			bestScore = score
+			best = Solution{Pos: cand, ClockBias: bias, Iterations: 1}
+		}
+	}
+	return best, nil
+}
+
+// solveQuadratic returns the real roots of a·x² + b·x + c = 0 (one root
+// when a ≈ 0, two when the discriminant permits).
+func solveQuadratic(a, b, c float64) ([]float64, error) {
+	if math.Abs(a) < 1e-30 {
+		if b == 0 {
+			return nil, fmt.Errorf("core: degenerate quadratic (a=b=0)")
+		}
+		return []float64{-c / b}, nil
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil, fmt.Errorf("core: negative discriminant %g", disc)
+	}
+	sq := math.Sqrt(disc)
+	// Numerically stable pairing.
+	q := -0.5 * (b + math.Copysign(sq, b))
+	roots := []float64{q / a}
+	if q != 0 {
+		roots = append(roots, c/q)
+	} else {
+		roots = append(roots, 0)
+	}
+	return roots, nil
+}

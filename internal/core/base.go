@@ -1,0 +1,78 @@
+package core
+
+import "math/rand"
+
+// BaseSelector picks the base satellite whose equation is subtracted from
+// the others during direct linearization (eq. 4-7). The paper picks it
+// arbitrarily and conjectures in Section 6 that "the accuracy can be
+// further improved if we can identify a 'good' satellite to be used as the
+// base" — these strategies are compared in ablation A1.
+type BaseSelector interface {
+	// SelectBase returns the index into obs of the base satellite.
+	SelectBase(obs []Observation) int
+}
+
+// BaseFirst picks observation 0 (whatever order the receiver reported).
+type BaseFirst struct{}
+
+var _ BaseSelector = BaseFirst{}
+
+// SelectBase implements BaseSelector.
+func (BaseFirst) SelectBase([]Observation) int { return 0 }
+
+// BaseRandom picks uniformly at random (the paper's stated choice:
+// "this satellite is randomly chosen"). Deterministic given the seed.
+type BaseRandom struct {
+	rng *rand.Rand
+}
+
+var _ BaseSelector = (*BaseRandom)(nil)
+
+// NewBaseRandom returns a seeded random base selector.
+func NewBaseRandom(seed int64) *BaseRandom {
+	return &BaseRandom{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SelectBase implements BaseSelector.
+func (b *BaseRandom) SelectBase(obs []Observation) int {
+	if len(obs) == 0 {
+		return 0
+	}
+	return b.rng.Intn(len(obs))
+}
+
+// BaseHighestElevation picks the satellite with the greatest elevation:
+// it has the shortest atmospheric path (smallest εˢ) and the shortest
+// range ρ₁ (smallest shared covariance term ρ₁² in eq. 4-26), so it is the
+// natural "good" satellite of the Section 6 conjecture.
+type BaseHighestElevation struct{}
+
+var _ BaseSelector = BaseHighestElevation{}
+
+// SelectBase implements BaseSelector.
+func (BaseHighestElevation) SelectBase(obs []Observation) int {
+	best := 0
+	for i := 1; i < len(obs); i++ {
+		if obs[i].Elevation > obs[best].Elevation {
+			best = i
+		}
+	}
+	return best
+}
+
+// BaseNearest picks the satellite with the smallest pseudo-range, a proxy
+// for highest elevation that needs no elevation metadata.
+type BaseNearest struct{}
+
+var _ BaseSelector = BaseNearest{}
+
+// SelectBase implements BaseSelector.
+func (BaseNearest) SelectBase(obs []Observation) int {
+	best := 0
+	for i := 1; i < len(obs); i++ {
+		if obs[i].Pseudorange < obs[best].Pseudorange {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/lsq"
+	"gpsdl/internal/mat"
+)
+
+// DLGVariant selects how Algorithm DLG applies the covariance.
+type DLGVariant int
+
+// DLG variants. The zero value is the paper-faithful implementation.
+const (
+	// VariantPaper factors the dense (m−1)×(m−1) covariance Ψ with
+	// Cholesky and whitens the system — the O(m³) cost profile the
+	// paper's Fig. 5.1 measures (its DLG time rate grows with the number
+	// of satellites). Default.
+	VariantPaper DLGVariant = iota
+	// VariantFast applies Ψ⁻¹ through the Sherman–Morrison identity in
+	// O(m), implementing Section 6 extension 3 ("optimize the matrix
+	// operations in the context of our problem"). Ablation A3.
+	VariantFast
+	// VariantExplicit computes eq. 4-21 literally — form Ψ, invert it,
+	// multiply through — with general matrix code. Slowest; kept as the
+	// reference implementation the others are verified against.
+	VariantExplicit
+)
+
+// String implements fmt.Stringer.
+func (v DLGVariant) String() string {
+	switch v {
+	case VariantPaper:
+		return "paper"
+	case VariantFast:
+		return "fast"
+	case VariantExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("DLGVariant(%d)", int(v))
+	}
+}
+
+// DLGSolver is the paper's Algorithm DLG (Section 4.5): like DLO, but the
+// over-determined differenced system is solved with general least squares
+// Xᵉ = (AᵀM⁻¹A)⁻¹AᵀM⁻¹Dᵉ (eq. 4-21), where M is the covariance of the
+// differenced errors. Theorem 4.1 shows the differencing correlates every
+// pair of equations through the shared base satellite
+// (cov(Δβᵢ, Δβⱼ) = ρ₁²σ², eq. 4-20); Theorem 4.2 shows the GLS conditions
+// hold with Ψ = ρ₁²·𝟙𝟙ᵀ + diag(ρ₂², …, ρ_m²) (eq. 4-25/4-26).
+//
+// σ² scales out of eq. 4-21, so Ψ is used directly with the measured
+// (clock-corrected) pseudo-ranges standing in for the true ranges.
+//
+// A DLGSolver reuses internal scratch buffers between calls; it is not
+// safe for concurrent use. Create one per goroutine.
+type DLGSolver struct {
+	// Predictor supplies ε̂ᴿ (required).
+	Predictor clock.Predictor
+	// Base selects the base satellite; nil means BaseFirst.
+	Base BaseSelector
+	// Variant selects the covariance path; the zero value is the
+	// paper-faithful dense Cholesky.
+	Variant DLGVariant
+
+	// Scratch storage reused across Solve calls.
+	psi  []float64 // k×k covariance / Cholesky factor
+	wl   []float64 // k×3 whitened design
+	ul   []float64 // k whitened rhs
+	diag []float64 // k covariance diagonal
+}
+
+var _ Solver = (*DLGSolver)(nil)
+
+// NewDLGSolver returns a paper-faithful DLG solver with the default base
+// selection.
+func NewDLGSolver(p clock.Predictor) *DLGSolver {
+	return &DLGSolver{Predictor: p}
+}
+
+// Name implements Solver.
+func (s *DLGSolver) Name() string {
+	if s.Variant == VariantPaper {
+		return "DLG"
+	}
+	return "DLG-" + s.Variant.String()
+}
+
+// Solve implements Solver. It requires at least 4 satellites.
+func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
+	if err := checkMinObs("DLG", obs, 4); err != nil {
+		return Solution{}, err
+	}
+	rhoE, epsR, err := correctedRanges(s.Predictor, t, obs)
+	if err != nil {
+		if errors.Is(err, clock.ErrNotCalibrated) {
+			return Solution{}, fmt.Errorf("DLG: %w", ErrNoClockPrediction)
+		}
+		return Solution{}, fmt.Errorf("DLG clock prediction: %w", err)
+	}
+	base := 0
+	if s.Base != nil {
+		base = s.Base.SelectBase(obs)
+	}
+	rows, d := buildDifferenced(obs, rhoE, base)
+	// Covariance terms (eq. 4-26): diagonal ρⱼ² per remaining satellite
+	// plus the shared base term ρ_base².
+	k := len(rows)
+	if cap(s.diag) < k {
+		s.diag = make([]float64, k)
+	}
+	diag := s.diag[:0]
+	for j := range obs {
+		if j == base {
+			continue
+		}
+		diag = append(diag, rhoE[j]*rhoE[j])
+	}
+	shared := rhoE[base] * rhoE[base]
+
+	var x [3]float64
+	switch s.Variant {
+	case VariantFast:
+		x, err = solveGLSFast(rows, d, diag, shared)
+	case VariantExplicit:
+		x, err = solveGLSExplicit(rows, d, diag, shared)
+	default:
+		x, err = s.solveGLSPaper(rows, d, diag, shared)
+	}
+	if err != nil {
+		return Solution{}, fmt.Errorf("DLG GLS solve (%s): %w", s.Variant, ErrDegenerateGeometry)
+	}
+	return Solution{
+		Pos:        geo.ECEF{X: x[0], Y: x[1], Z: x[2]},
+		ClockBias:  epsR,
+		Iterations: 1,
+	}, nil
+}
+
+// solveGLSPaper whitens the system with an in-place Cholesky factorization
+// of the dense covariance Ψ = diag + shared·𝟙𝟙ᵀ, then solves the 3×3
+// normal equations of the whitened system. Scratch buffers live in the
+// solver, so the hot path allocates nothing once warmed up.
+func (s *DLGSolver) solveGLSPaper(rows [][3]float64, d, diag []float64, shared float64) ([3]float64, error) {
+	k := len(rows)
+	if cap(s.psi) < k*k {
+		s.psi = make([]float64, k*k)
+		s.wl = make([]float64, k*3)
+		s.ul = make([]float64, k)
+	}
+	psi := s.psi[:k*k]
+	w := s.wl[:k*3]
+	u := s.ul[:k]
+	// Build Ψ.
+	for i := 0; i < k; i++ {
+		ri := psi[i*k : (i+1)*k]
+		for j := range ri {
+			ri[j] = shared
+		}
+		ri[i] += diag[i]
+	}
+	// In-place Cholesky (lower triangle).
+	for j := 0; j < k; j++ {
+		sum := psi[j*k+j]
+		for p := 0; p < j; p++ {
+			sum -= psi[j*k+p] * psi[j*k+p]
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return [3]float64{}, mat.ErrNotSPD
+		}
+		ljj := math.Sqrt(sum)
+		psi[j*k+j] = ljj
+		for i := j + 1; i < k; i++ {
+			sum := psi[i*k+j]
+			for p := 0; p < j; p++ {
+				sum -= psi[i*k+p] * psi[j*k+p]
+			}
+			psi[i*k+j] = sum / ljj
+		}
+	}
+	// Forward-substitute L·W = A (3 columns) and L·u = d.
+	for i := 0; i < k; i++ {
+		w0, w1, w2, ud := rows[i][0], rows[i][1], rows[i][2], d[i]
+		for p := 0; p < i; p++ {
+			l := psi[i*k+p]
+			w0 -= l * w[p*3]
+			w1 -= l * w[p*3+1]
+			w2 -= l * w[p*3+2]
+			ud -= l * u[p]
+		}
+		inv := 1 / psi[i*k+i]
+		w[i*3] = w0 * inv
+		w[i*3+1] = w1 * inv
+		w[i*3+2] = w2 * inv
+		u[i] = ud * inv
+	}
+	// 3×3 normal equations of the whitened system.
+	var ata [9]float64
+	var atb [3]float64
+	for i := 0; i < k; i++ {
+		a0, a1, a2 := w[i*3], w[i*3+1], w[i*3+2]
+		b := u[i]
+		ata[0] += a0 * a0
+		ata[1] += a0 * a1
+		ata[2] += a0 * a2
+		ata[4] += a1 * a1
+		ata[5] += a1 * a2
+		ata[8] += a2 * a2
+		atb[0] += a0 * b
+		atb[1] += a1 * b
+		atb[2] += a2 * b
+	}
+	ata[3], ata[6], ata[7] = ata[1], ata[2], ata[5]
+	return mat.Solve3(ata, atb)
+}
+
+// solveGLSFast solves the same GLS problem through the Sherman–Morrison
+// identity: AᵀΨ⁻¹A = Σ aⱼaⱼᵀ/dⱼ − γ·ppᵀ and AᵀΨ⁻¹b = Σ aⱼbⱼ/dⱼ − γ·q·p,
+// where p = Σ aⱼ/dⱼ, q = Σ bⱼ/dⱼ and γ = s/(1 + s·Σ 1/dⱼ). O(m) work and
+// no allocations.
+func solveGLSFast(rows [][3]float64, d, diag []float64, shared float64) ([3]float64, error) {
+	var ata [9]float64
+	var atb [3]float64
+	var p [3]float64
+	var q, sumInv float64
+	for i, r := range rows {
+		di := diag[i]
+		if di <= 0 {
+			return [3]float64{}, mat.ErrNotSPD
+		}
+		inv := 1 / di
+		a0, a1, a2 := r[0]*inv, r[1]*inv, r[2]*inv
+		ata[0] += a0 * r[0]
+		ata[1] += a0 * r[1]
+		ata[2] += a0 * r[2]
+		ata[4] += a1 * r[1]
+		ata[5] += a1 * r[2]
+		ata[8] += a2 * r[2]
+		atb[0] += a0 * d[i]
+		atb[1] += a1 * d[i]
+		atb[2] += a2 * d[i]
+		p[0] += a0
+		p[1] += a1
+		p[2] += a2
+		q += d[i] * inv
+		sumInv += inv
+	}
+	gamma := shared / (1 + shared*sumInv)
+	ata[0] -= gamma * p[0] * p[0]
+	ata[1] -= gamma * p[0] * p[1]
+	ata[2] -= gamma * p[0] * p[2]
+	ata[4] -= gamma * p[1] * p[1]
+	ata[5] -= gamma * p[1] * p[2]
+	ata[8] -= gamma * p[2] * p[2]
+	atb[0] -= gamma * q * p[0]
+	atb[1] -= gamma * q * p[1]
+	atb[2] -= gamma * q * p[2]
+	ata[3], ata[6], ata[7] = ata[1], ata[2], ata[5]
+	return mat.Solve3(ata, atb)
+}
+
+// solveGLSExplicit computes eq. 4-21 exactly as written, through the
+// general-purpose lsq/mat layers (forms Ψ, inverts it, multiplies
+// through). Reference implementation for the ablation.
+func solveGLSExplicit(rows [][3]float64, d, diag []float64, shared float64) ([3]float64, error) {
+	k := len(rows)
+	a := mat.NewDense(k, 3)
+	for i, r := range rows {
+		a.SetRow(i, r[:])
+	}
+	diagCopy := make([]float64, k)
+	copy(diagCopy, diag)
+	cov := lsq.RankOneCov{Diag: diagCopy, S: shared}
+	x, err := lsq.GLSExplicit(a, d, cov.Dense())
+	if err != nil {
+		return [3]float64{}, err
+	}
+	return [3]float64{x[0], x[1], x[2]}, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/mat"
+)
+
+// DLOSolver is the paper's Algorithm DLO (Section 4.5): predict the
+// receiver clock bias, correct the pseudo-ranges (Step 1-2), linearize
+// directly by base-satellite subtraction, and solve the resulting linear
+// system with ordinary least squares Xᵉ = (AᵀA)⁻¹AᵀDᵉ (Step 3, eq. 4-12).
+type DLOSolver struct {
+	// Predictor supplies ε̂ᴿ (required).
+	Predictor clock.Predictor
+	// Base selects the base satellite; nil means BaseFirst (the paper
+	// uses an arbitrary choice).
+	Base BaseSelector
+}
+
+var _ Solver = (*DLOSolver)(nil)
+
+// NewDLOSolver returns a DLO solver with the default base selection.
+func NewDLOSolver(p clock.Predictor) *DLOSolver {
+	return &DLOSolver{Predictor: p}
+}
+
+// Name implements Solver.
+func (s *DLOSolver) Name() string { return "DLO" }
+
+// Solve implements Solver. It requires at least 4 satellites (m−1 ≥ 3
+// difference equations).
+func (s *DLOSolver) Solve(t float64, obs []Observation) (Solution, error) {
+	if err := checkMinObs("DLO", obs, 4); err != nil {
+		return Solution{}, err
+	}
+	rhoE, epsR, err := correctedRanges(s.Predictor, t, obs)
+	if err != nil {
+		if errors.Is(err, clock.ErrNotCalibrated) {
+			return Solution{}, fmt.Errorf("DLO: %w", ErrNoClockPrediction)
+		}
+		return Solution{}, fmt.Errorf("DLO clock prediction: %w", err)
+	}
+	base := 0
+	if s.Base != nil {
+		base = s.Base.SelectBase(obs)
+	}
+	rows, d := buildDifferenced(obs, rhoE, base)
+	// Ordinary least squares via the 3×3 normal equations (eq. 4-12).
+	ata, atb := mat.NormalEq3(rows, d)
+	x, err := mat.Solve3(ata, atb)
+	if err != nil {
+		return Solution{}, fmt.Errorf("DLO normal equations: %w", ErrDegenerateGeometry)
+	}
+	return Solution{
+		Pos:        geo.ECEF{X: x[0], Y: x[1], Z: x[2]},
+		ClockBias:  epsR,
+		Iterations: 1,
+	}, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gpsdl/internal/geo"
+	"gpsdl/internal/mat"
+)
+
+// DOP holds the dilution-of-precision factors of a satellite geometry:
+// how measurement noise amplifies into solution error. Standard receiver
+// diagnostics; used by the harness to report geometry quality alongside
+// the accuracy metrics.
+type DOP struct {
+	GDOP float64 // geometric (position + time)
+	PDOP float64 // 3-D position
+	HDOP float64 // horizontal
+	VDOP float64 // vertical
+	TDOP float64 // time
+}
+
+// ComputeDOP returns the DOP factors for a receiver at recv observing the
+// given satellite positions. At least 4 satellites are required.
+func ComputeDOP(recv geo.ECEF, sats []geo.ECEF) (DOP, error) {
+	if len(sats) < 4 {
+		return DOP{}, fmt.Errorf("DOP needs >= 4 satellites, have %d: %w", len(sats), ErrTooFewSatellites)
+	}
+	// Geometry matrix in the local ENU frame so HDOP/VDOP are meaningful.
+	lla := recv.ToLLA()
+	sinLat, cosLat := math.Sincos(lla.Lat)
+	sinLon, cosLon := math.Sincos(lla.Lon)
+	g := mat.NewDense(len(sats), 4)
+	for i, s := range sats {
+		d := s.Sub(recv)
+		r := d.Norm()
+		if r == 0 {
+			return DOP{}, fmt.Errorf("satellite %d coincides with receiver: %w", i, ErrDegenerateGeometry)
+		}
+		ux, uy, uz := d.X/r, d.Y/r, d.Z/r
+		e := -sinLon*ux + cosLon*uy
+		n := -sinLat*cosLon*ux - sinLat*sinLon*uy + cosLat*uz
+		u := cosLat*cosLon*ux + cosLat*sinLon*uy + sinLat*uz
+		g.SetRow(i, []float64{e, n, u, 1})
+	}
+	q, err := mat.Inverse(mat.MulATA(g))
+	if err != nil {
+		return DOP{}, fmt.Errorf("DOP covariance: %w", ErrDegenerateGeometry)
+	}
+	qe, qn, qu, qt := q.At(0, 0), q.At(1, 1), q.At(2, 2), q.At(3, 3)
+	return DOP{
+		GDOP: math.Sqrt(qe + qn + qu + qt),
+		PDOP: math.Sqrt(qe + qn + qu),
+		HDOP: math.Sqrt(qe + qn),
+		VDOP: math.Sqrt(qu),
+		TDOP: math.Sqrt(qt),
+	}, nil
+}
+
+// AccuracyEstimate is the formal (receiver-reported) 1σ accuracy of a
+// fix: the post-fit residual scatter scaled by the geometry's dilution
+// factors — what a receiver shows the user as "estimated accuracy".
+type AccuracyEstimate struct {
+	// SigmaUERE is the estimated per-range error sqrt(RSS/(m−4)).
+	SigmaUERE float64
+	// Horizontal, Vertical and Position are σ·HDOP, σ·VDOP and σ·PDOP.
+	Horizontal, Vertical, Position float64
+}
+
+// EstimateAccuracy derives the formal accuracy of a solution from its
+// own residuals and geometry. At least 5 satellites are required (with 4
+// the residuals are identically zero and tell nothing).
+func EstimateAccuracy(sol Solution, obs []Observation) (AccuracyEstimate, error) {
+	if len(obs) < 5 {
+		return AccuracyEstimate{}, fmt.Errorf("accuracy estimate needs >= 5 satellites, have %d: %w",
+			len(obs), ErrTooFewSatellites)
+	}
+	sats := make([]geo.ECEF, len(obs))
+	for i, o := range obs {
+		sats[i] = o.Pos
+	}
+	dop, err := ComputeDOP(sol.Pos, sats)
+	if err != nil {
+		return AccuracyEstimate{}, err
+	}
+	sigma := residualStat(sol, obs)
+	return AccuracyEstimate{
+		SigmaUERE:  sigma,
+		Horizontal: sigma * dop.HDOP,
+		Vertical:   sigma * dop.VDOP,
+		Position:   sigma * dop.PDOP,
+	}, nil
+}

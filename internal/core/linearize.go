@@ -1,0 +1,52 @@
+package core
+
+import (
+	"gpsdl/internal/clock"
+)
+
+// buildDifferenced forms the direct-linearization system of eq. 4-7…4-11:
+// subtracting the base satellite's quadratic range equation from every
+// other eliminates the common xₑ²+yₑ²+zₑ² terms, leaving m−1 linear
+// equations A·Xᵉ = Dᵉ in the position alone.
+//
+// rhoE must hold the clock-corrected pseudo-ranges ρᴱᵢ = ρᵉᵢ − ε̂ᴿ
+// (eq. 4-1). Each Dᵉ entry is computed in the product form
+// (a−b)(a+b)/2 rather than (a²−b²)/2: with ECEF coordinates of magnitude
+// ~2.6e7 m the squared terms reach 7e14, where float64 cancellation would
+// cost decimeters.
+//
+// The returned rows/d exclude the base satellite, preserving input order.
+func buildDifferenced(obs []Observation, rhoE []float64, base int) (rows [][3]float64, d []float64) {
+	m := len(obs)
+	rows = make([][3]float64, 0, m-1)
+	d = make([]float64, 0, m-1)
+	b := obs[base].Pos
+	rb := rhoE[base]
+	for j, o := range obs {
+		if j == base {
+			continue
+		}
+		dx, dy, dz := o.Pos.X-b.X, o.Pos.Y-b.Y, o.Pos.Z-b.Z
+		rows = append(rows, [3]float64{dx, dy, dz})
+		rj := rhoE[j]
+		dj := 0.5 * (dx*(o.Pos.X+b.X) + dy*(o.Pos.Y+b.Y) + dz*(o.Pos.Z+b.Z) -
+			(rj-rb)*(rj+rb))
+		d = append(d, dj)
+	}
+	return rows, d
+}
+
+// correctedRanges applies the predicted receiver clock bias: ρᴱᵢ = ρᵉᵢ − ε̂ᴿ
+// (eq. 4-1, with ε̂ᴿ from eq. 4-4). It returns the corrected ranges and the
+// range-domain bias ε̂ᴿ that was subtracted.
+func correctedRanges(p clock.Predictor, t float64, obs []Observation) ([]float64, float64, error) {
+	epsR, err := clock.PredictRange(p, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]float64, len(obs))
+	for i, o := range obs {
+		out[i] = o.Pseudorange - epsR
+	}
+	return out, epsR, nil
+}

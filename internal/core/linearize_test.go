@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpsdl/internal/geo"
+)
+
+// Algebraic identity of eq. 4-7: for noise-free data, the differenced
+// system is satisfied exactly by the true position: A·X = D.
+func TestBuildDifferencedIdentity(t *testing.T) {
+	recv := yyr1()
+	obs := scene(t, recv, 8000, 0, 8)
+	rho := make([]float64, len(obs))
+	for i, o := range obs {
+		rho[i] = o.Pseudorange
+	}
+	for base := 0; base < len(obs); base++ {
+		rows, d := buildDifferenced(obs, rho, base)
+		if len(rows) != len(obs)-1 || len(d) != len(obs)-1 {
+			t.Fatalf("base=%d: got %d rows, %d rhs", base, len(rows), len(d))
+		}
+		for j, row := range rows {
+			lhs := row[0]*recv.X + row[1]*recv.Y + row[2]*recv.Z
+			// Row magnitudes are ~1e14; equality to ~1e-2 relative 1e-16.
+			if math.Abs(lhs-d[j]) > 50 {
+				t.Errorf("base=%d row %d: A·X = %v, D = %v (diff %v)", base, j, lhs, d[j], lhs-d[j])
+			}
+		}
+	}
+}
+
+// Property: the differenced system excludes exactly the base satellite and
+// preserves order of the rest.
+func TestPropBuildDifferencedStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 4 + r.Intn(8)
+		obs := make([]Observation, m)
+		rho := make([]float64, m)
+		for i := range obs {
+			obs[i] = Observation{
+				Pos: geo.ECEF{
+					X: r.NormFloat64() * 1e7,
+					Y: r.NormFloat64() * 1e7,
+					Z: r.NormFloat64() * 1e7,
+				},
+				Pseudorange: 2e7 + r.Float64()*6e6,
+			}
+			rho[i] = obs[i].Pseudorange
+		}
+		base := r.Intn(m)
+		rows, d := buildDifferenced(obs, rho, base)
+		if len(rows) != m-1 || len(d) != m-1 {
+			return false
+		}
+		k := 0
+		for j := range obs {
+			if j == base {
+				continue
+			}
+			want := obs[j].Pos.Sub(obs[base].Pos)
+			if rows[k][0] != want.X || rows[k][1] != want.Y || rows[k][2] != want.Z {
+				return false
+			}
+			k++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A common-mode pseudo-range error δ (uncorrected clock) does not cancel
+// in the differenced system: it perturbs D by δ·(ρⱼ−ρ_b), shifting the
+// solution. This is why the clock predictor is load-bearing for DLO/DLG.
+func TestCommonModeErrorDoesNotCancel(t *testing.T) {
+	recv := yyr1()
+	obs := scene(t, recv, 8000, 0, 8)
+	clean := make([]float64, len(obs))
+	dirty := make([]float64, len(obs))
+	const delta = 100.0 // meters of uncorrected clock bias
+	for i, o := range obs {
+		clean[i] = o.Pseudorange
+		dirty[i] = o.Pseudorange + delta
+	}
+	_, dClean := buildDifferenced(obs, clean, 0)
+	_, dDirty := buildDifferenced(obs, dirty, 0)
+	for j := range dClean {
+		wantShift := -delta * (clean[j+1] - clean[0]) // ½·[−2δ(ρⱼ−ρ_b)] − ½δ²·0
+		got := dDirty[j] - dClean[j]
+		// The shift also contains the −½(δ²−δ²) = 0 term; compare loosely
+		// against the dominant linear term.
+		if math.Abs(got-wantShift) > math.Abs(wantShift)*1e-6+1 {
+			t.Errorf("row %d: D shift %v, want ≈%v", j, got, wantShift)
+		}
+	}
+}
+
+// DLO and DLG coincide when m = 4: three equations, three unknowns, so
+// the weighting is irrelevant.
+func TestDLOEqualsDLGWhenExactlyDetermined(t *testing.T) {
+	recv := yyr1()
+	obs := scene(t, recv, 3000, 25, 4)
+	rng := rand.New(rand.NewSource(77))
+	for i := range obs {
+		obs[i].Pseudorange += rng.NormFloat64() * 5
+	}
+	dlo := NewDLOSolver(oracle(25))
+	dlg := NewDLGSolver(oracle(25))
+	so, err := dlo.Solve(3000, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := dlg.Solve(3000, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := so.Pos.DistanceTo(sg.Pos); d > 1e-6 {
+		t.Errorf("m=4 DLO and DLG differ by %v m", d)
+	}
+}
+
+// DLG's solution is invariant to the base-satellite choice: the GLS
+// covariance of Theorem 4.2 absorbs the base selection algebraically.
+func TestDLGBaseInvariance(t *testing.T) {
+	recv := yyr1()
+	obs := scene(t, recv, 6100, -40, 9)
+	rng := rand.New(rand.NewSource(88))
+	for i := range obs {
+		obs[i].Pseudorange += rng.NormFloat64() * 4
+	}
+	var ref geo.ECEF
+	for base := 0; base < len(obs); base++ {
+		s := &DLGSolver{Predictor: oracle(-40), Base: fixedBase(base)}
+		sol, err := s.Solve(6100, obs)
+		if err != nil {
+			t.Fatalf("base=%d: %v", base, err)
+		}
+		if base == 0 {
+			ref = sol.Pos
+			continue
+		}
+		if d := sol.Pos.DistanceTo(ref); d > 1e-4 {
+			t.Errorf("base=%d solution differs from base=0 by %v m", base, d)
+		}
+	}
+}
+
+// DLO is NOT base-invariant: OLS ignores the error correlation, so the
+// base choice changes the solution in the over-determined case.
+func TestDLOBaseSensitivity(t *testing.T) {
+	recv := yyr1()
+	obs := scene(t, recv, 6100, 0, 9)
+	rng := rand.New(rand.NewSource(99))
+	for i := range obs {
+		obs[i].Pseudorange += rng.NormFloat64() * 4
+	}
+	var solutions []geo.ECEF
+	for base := 0; base < len(obs); base++ {
+		s := &DLOSolver{Predictor: oracle(0), Base: fixedBase(base)}
+		sol, err := s.Solve(6100, obs)
+		if err != nil {
+			t.Fatalf("base=%d: %v", base, err)
+		}
+		solutions = append(solutions, sol.Pos)
+	}
+	var maxSpread float64
+	for _, p := range solutions[1:] {
+		if d := p.DistanceTo(solutions[0]); d > maxSpread {
+			maxSpread = d
+		}
+	}
+	if maxSpread < 1e-3 {
+		t.Errorf("DLO base choice spread only %v m; expected sensitivity", maxSpread)
+	}
+}
+
+// fixedBase selects a fixed observation index.
+type fixedBase int
+
+func (b fixedBase) SelectBase([]Observation) int { return int(b) }

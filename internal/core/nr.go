@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gpsdl/internal/geo"
+	"gpsdl/internal/mat"
+)
+
+// NRSolver is the classic Newton–Raphson positioning algorithm of
+// Section 3.4: four unknowns (xₑ, yₑ, zₑ, εᴿ), Taylor-series linearization
+// at each iterate (eq. 3-25/3-26), and ordinary least squares on the
+// over-determined per-iteration system (Step 4 of the algorithm).
+//
+// The zero value is ready to use with the paper's defaults: initial guess
+// (0, 0, 0, 0) (eq. 3-27) and convergence when the update is below 1e-4 m.
+type NRSolver struct {
+	// MaxIter caps the iteration count; 0 means the default of 20.
+	MaxIter int
+	// Tol is the convergence threshold on the ∞-norm of the state update
+	// in meters; 0 means the default of 1e-4.
+	Tol float64
+	// InitialGuess, when non-nil, overrides the paper's (0,0,0,0) start.
+	// Warm-starting from the previous fix is what tracking receivers do;
+	// used in ablation A4.
+	InitialGuess *Solution
+	// Weight, when non-nil, turns the per-iteration OLS into weighted
+	// least squares with the returned per-observation weights (must be
+	// > 0). Receivers typically use elevation weighting (see
+	// ElevationWeight) because low satellites carry more atmospheric and
+	// multipath error. Nil keeps the paper's unweighted OLS.
+	Weight func(Observation) float64
+}
+
+// ElevationWeight is the standard sin²(elev) weighting with a floor at
+// 5°: low-elevation pseudo-ranges are noisier, so they should pull less.
+func ElevationWeight(o Observation) float64 {
+	elev := o.Elevation
+	if elev < 5*math.Pi/180 {
+		elev = 5 * math.Pi / 180
+	}
+	s := math.Sin(elev)
+	return s * s
+}
+
+var _ Solver = (*NRSolver)(nil)
+
+// Name implements Solver.
+func (s *NRSolver) Name() string { return "NR" }
+
+// Solve implements Solver. It requires at least 4 satellites.
+func (s *NRSolver) Solve(_ float64, obs []Observation) (Solution, error) {
+	if err := checkMinObs("NR", obs, 4); err != nil {
+		return Solution{}, err
+	}
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	// State: (xₑ, yₑ, zₑ, εᴿ), eq. 3-27 initial solution.
+	var x, y, z, eps float64
+	if s.InitialGuess != nil {
+		x, y, z = s.InitialGuess.Pos.X, s.InitialGuess.Pos.Y, s.InitialGuess.Pos.Z
+		eps = s.InitialGuess.ClockBias
+	}
+	m := len(obs)
+	rows := make([][4]float64, m)
+	rhs := make([]float64, m)
+	// Precompute sqrt-weights once: scaling each equation by √wᵢ makes
+	// the normal equations those of the weighted problem.
+	var sqw []float64
+	if s.Weight != nil {
+		sqw = make([]float64, m)
+		for i, o := range obs {
+			w := s.Weight(o)
+			if w <= 0 || math.IsNaN(w) {
+				return Solution{}, fmt.Errorf("NR weight %v for observation %d: %w", w, i, ErrBadObservation)
+			}
+			sqw[i] = math.Sqrt(w)
+		}
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		// Build the linearized system of eq. 3-26: for each satellite,
+		// residual Pᵢ = ℜᵢ − ρᵉᵢ + εᴿ (eq. 3-24) and partials
+		// X'ᵢ = (xₑ−xᵢ)/ℜᵢ, …, E'ᵢ = 1 (eq. 3-20…3-23).
+		for i, o := range obs {
+			dx, dy, dz := x-o.Pos.X, y-o.Pos.Y, z-o.Pos.Z
+			r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if r == 0 {
+				return Solution{}, fmt.Errorf("NR iterate coincides with satellite %d: %w", i, ErrDegenerateGeometry)
+			}
+			rows[i] = [4]float64{dx / r, dy / r, dz / r, 1}
+			rhs[i] = -(r - o.Pseudorange + eps) // −Pᵢ
+			if sqw != nil {
+				w := sqw[i]
+				rows[i][0] *= w
+				rows[i][1] *= w
+				rows[i][2] *= w
+				rows[i][3] *= w
+				rhs[i] *= w
+			}
+		}
+		// Step 4: ordinary least squares on the (possibly over-
+		// determined) system via the 4×4 normal equations.
+		ata, atb := mat.NormalEq4(rows, rhs)
+		delta, err := mat.Solve4(ata, atb)
+		if err != nil {
+			return Solution{}, fmt.Errorf("NR normal equations: %w", ErrDegenerateGeometry)
+		}
+		x += delta[0]
+		y += delta[1]
+		z += delta[2]
+		eps += delta[3]
+		if math.Abs(delta[0]) < tol && math.Abs(delta[1]) < tol &&
+			math.Abs(delta[2]) < tol && math.Abs(delta[3]) < tol {
+			return Solution{
+				Pos:        geo.ECEF{X: x, Y: y, Z: z},
+				ClockBias:  eps,
+				Iterations: iter,
+			}, nil
+		}
+	}
+	return Solution{}, fmt.Errorf("NR after %d iterations: %w", maxIter, ErrNoConvergence)
+}

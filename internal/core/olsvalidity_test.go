@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The paper's Section 3.4.2 argues the OLS method is valid inside NR
+// because the equation errors satisfy (3-33) zero mean, (3-34) equal
+// variance, and (3-35) zero pairwise covariance. This test verifies those
+// conditions empirically for the *undifferenced* residuals — and, as the
+// contrast Theorem 4.1 draws, verifies that the *differenced* system
+// violates (3-35).
+func TestOLSValidityConditionsUndifferenced(t *testing.T) {
+	recv := yyr1()
+	clean := scene(t, recv, 7000, 0, 6)
+	const (
+		trials = 20000
+		sigma  = 4.0
+	)
+	rng := rand.New(rand.NewSource(17))
+	m := len(clean)
+	// For NR at the true solution, the equation error of satellite i is
+	// just its pseudo-range noise (eq. 3-17's approximation): collect the
+	// injected noise directly as the v_i of eq. 3-28.
+	sum := make([]float64, m)
+	sumSq := make([]float64, m)
+	sumCross := make([][]float64, m)
+	for i := range sumCross {
+		sumCross[i] = make([]float64, m)
+	}
+	noise := make([]float64, m)
+	for trial := 0; trial < trials; trial++ {
+		for i := range noise {
+			noise[i] = sigma * rng.NormFloat64()
+			sum[i] += noise[i]
+			sumSq[i] += noise[i] * noise[i]
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < i; j++ {
+				sumCross[i][j] += noise[i] * noise[j]
+			}
+		}
+	}
+	wantVar := sigma * sigma
+	for i := 0; i < m; i++ {
+		mean := sum[i] / trials
+		if math.Abs(mean) > 0.15 {
+			t.Errorf("(3-33) violated: E[v_%d] = %v", i, mean)
+		}
+		variance := sumSq[i]/trials - mean*mean
+		if math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("(3-34) violated: var(v_%d) = %v, want %v", i, variance, wantVar)
+		}
+		for j := 0; j < i; j++ {
+			cov := sumCross[i][j] / trials
+			if math.Abs(cov) > 0.15*wantVar {
+				t.Errorf("(3-35) violated: cov(v_%d, v_%d) = %v", i, j, cov)
+			}
+		}
+	}
+}
+
+// The contrast: after base-satellite differencing, every pair of equation
+// errors shares the base noise, so cov(Δβᵢ, Δβⱼ) = ρ₁²σ² ≠ 0 — exactly
+// why Theorem 4.1 disqualifies OLS and the paper reaches for GLS. (The
+// quantitative covariance check lives in TestTheorem41CovarianceStructure;
+// here we check only the sign/significance of the violation.)
+func TestOLSConditionViolatedAfterDifferencing(t *testing.T) {
+	recv := yyr1()
+	clean := scene(t, recv, 7000, 0, 5)
+	rhoTrue := make([]float64, len(clean))
+	for i, o := range clean {
+		rhoTrue[i] = recv.DistanceTo(o.Pos)
+	}
+	_, dClean := buildDifferenced(clean, rhoTrue, 0)
+	const (
+		trials = 8000
+		sigma  = 4.0
+	)
+	rng := rand.New(rand.NewSource(18))
+	k := len(clean) - 1
+	rho := make([]float64, len(clean))
+	var cross01 float64
+	means := make([]float64, k)
+	for trial := 0; trial < trials; trial++ {
+		for i := range rho {
+			rho[i] = rhoTrue[i] + sigma*rng.NormFloat64()
+		}
+		_, d := buildDifferenced(clean, rho, 0)
+		db0 := d[0] - dClean[0]
+		db1 := d[1] - dClean[1]
+		means[0] += db0
+		means[1] += db1
+		cross01 += db0 * db1
+	}
+	cov := cross01/trials - (means[0]/trials)*(means[1]/trials)
+	// Theory: ρ₁²σ² — an enormous positive number at ECEF scales.
+	want := rhoTrue[0] * rhoTrue[0] * sigma * sigma
+	if cov < want/2 {
+		t.Errorf("differenced covariance %g not strongly positive (theory %g): Theorem 4.1 not visible", cov, want)
+	}
+}

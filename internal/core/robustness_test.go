@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Solvers must return errors, never panic and never return NaN positions,
+// when fed corrupted observations.
+func TestSolversRejectCorruptedInput(t *testing.T) {
+	recv := yyr1()
+	solvers := func() []Solver {
+		return []Solver{
+			&NRSolver{},
+			NewDLOSolver(oracle(0)),
+			NewDLGSolver(oracle(0)),
+			BancroftSolver{},
+		}
+	}
+	corruptions := []struct {
+		name    string
+		corrupt func(obs []Observation)
+	}{
+		{"NaN pseudorange", func(obs []Observation) {
+			obs[2].Pseudorange = math.NaN()
+		}},
+		{"Inf pseudorange", func(obs []Observation) {
+			obs[1].Pseudorange = math.Inf(1)
+		}},
+		{"NaN satellite position", func(obs []Observation) {
+			obs[0].Pos.X = math.NaN()
+		}},
+		{"all satellites identical", func(obs []Observation) {
+			for i := range obs {
+				obs[i] = obs[0]
+			}
+		}},
+		{"satellite at receiver", func(obs []Observation) {
+			obs[3].Pos = yyr1()
+			obs[3].Pseudorange = 0
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, s := range solvers() {
+				obs := scene(t, recv, 1000, 0, 6)
+				tc.corrupt(obs)
+				sol, err := func() (sol Solution, err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Errorf("%s panicked: %v", s.Name(), r)
+						}
+					}()
+					return s.Solve(1000, obs)
+				}()
+				if err != nil {
+					continue // rejecting is the preferred outcome
+				}
+				// If the solver accepted the input, the output must at
+				// least be finite.
+				if math.IsNaN(sol.Pos.X) || math.IsInf(sol.Pos.X, 0) ||
+					math.IsNaN(sol.Pos.Y) || math.IsNaN(sol.Pos.Z) ||
+					math.IsNaN(sol.ClockBias) {
+					t.Errorf("%s returned non-finite solution %+v", s.Name(), sol)
+				}
+			}
+		})
+	}
+}
+
+// NR must diverge (error out or converge elsewhere) rather than loop
+// forever when all pseudoranges are zero.
+func TestNRZeroPseudoranges(t *testing.T) {
+	obs := scene(t, yyr1(), 0, 0, 6)
+	for i := range obs {
+		obs[i].Pseudorange = 0
+	}
+	var s NRSolver
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = s.Solve(0, obs)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		// 20 iterations of a 6-satellite solve is microseconds; seconds
+		// mean an infinite loop.
+		t.Fatal("NR did not terminate on zero pseudoranges")
+	}
+}
+
+// Solvers must cope with very small constellations of exactly 4 after
+// removal of duplicates, and with the receiver on the geoid far from the
+// original station (e.g. antipodal) — geometry changes sign conventions.
+func TestSolversAtAntipode(t *testing.T) {
+	anti := yyr1().Scale(-1)
+	// Build a fresh scene around the antipodal point.
+	obs := scene(t, anti, 43210, 10, 8)
+	for _, s := range []Solver{&NRSolver{}, NewDLOSolver(oracle(10)), NewDLGSolver(oracle(10)), BancroftSolver{}} {
+		sol, err := s.Solve(43210, obs)
+		if err != nil {
+			t.Errorf("%s at antipode: %v", s.Name(), err)
+			continue
+		}
+		if d := sol.Pos.DistanceTo(anti); d > 1 {
+			t.Errorf("%s at antipode: error %v m", s.Name(), d)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/geo"
+)
+
+// TriSatSolver positions with only THREE satellites by exploiting a
+// precise clock estimate — the approach the paper's related work
+// discusses via ref [30] (Sturza, "GPS navigation using three satellites
+// and a precise clock") and ref [27] (Misra, "The Role of the Clock in a
+// GPS Receiver"). With the receiver clock bias supplied by a predictor
+// rather than solved for, the fix reduces to the intersection of three
+// spheres, computed in closed form.
+//
+// The intersection yields two candidate points mirrored about the plane
+// of the three satellites; the terrestrial candidate is selected. Use
+// this solver when fewer than four satellites are visible (urban canyon,
+// outages) and the clock predictor is well calibrated — the clock
+// prediction error maps directly into position error.
+type TriSatSolver struct {
+	// Predictor supplies ε̂ᴿ (required).
+	Predictor clock.Predictor
+}
+
+var _ Solver = (*TriSatSolver)(nil)
+
+// ErrNoIntersection is returned when the three corrected ranges admit no
+// real sphere intersection (inconsistent measurements).
+var ErrNoIntersection = errors.New("core: three-sphere intersection does not exist")
+
+// Name implements Solver.
+func (s *TriSatSolver) Name() string { return "TriSat" }
+
+// Solve implements Solver. Exactly the first three observations are used;
+// fewer than three is an error (extras are ignored so the solver can be
+// dropped into harnesses that select m >= 3).
+func (s *TriSatSolver) Solve(t float64, obs []Observation) (Solution, error) {
+	if err := checkMinObs("TriSat", obs, 3); err != nil {
+		return Solution{}, err
+	}
+	rho, epsR, err := correctedRanges(s.Predictor, t, obs)
+	if err != nil {
+		if errors.Is(err, clock.ErrNotCalibrated) {
+			return Solution{}, fmt.Errorf("TriSat: %w", ErrNoClockPrediction)
+		}
+		return Solution{}, fmt.Errorf("TriSat clock prediction: %w", err)
+	}
+	p1, p2, p3 := obs[0].Pos, obs[1].Pos, obs[2].Pos
+	r1, r2, r3 := rho[0], rho[1], rho[2]
+
+	// Local orthonormal frame anchored at p1 with ex toward p2.
+	ex := p2.Sub(p1)
+	d := ex.Norm()
+	if d == 0 {
+		return Solution{}, fmt.Errorf("TriSat satellites 0/1 coincide: %w", ErrDegenerateGeometry)
+	}
+	ex = ex.Scale(1 / d)
+	v3 := p3.Sub(p1)
+	i := ex.Dot(v3)
+	eyRaw := v3.Sub(ex.Scale(i))
+	j := eyRaw.Norm()
+	if j == 0 {
+		return Solution{}, fmt.Errorf("TriSat satellites are collinear: %w", ErrDegenerateGeometry)
+	}
+	ey := eyRaw.Scale(1 / j)
+	ez := cross(ex, ey)
+
+	// Standard trilateration in the local frame.
+	x := (r1*r1 - r2*r2 + d*d) / (2 * d)
+	y := (r1*r1 - r3*r3 + i*i + j*j) / (2 * j)
+	y -= x * i / j
+	z2 := r1*r1 - x*x - y*y
+	if z2 < 0 {
+		// Allow small negative values from measurement noise: the
+		// spheres nearly touch; clamp to the tangent point.
+		if z2 < -1e6 { // (1 km)² of inconsistency is a real failure
+			return Solution{}, fmt.Errorf("TriSat z² = %g: %w", z2, ErrNoIntersection)
+		}
+		z2 = 0
+	}
+	z := math.Sqrt(z2)
+	base := p1.Add(ex.Scale(x)).Add(ey.Scale(y))
+	candA := base.Add(ez.Scale(z))
+	candB := base.Sub(ez.Scale(z))
+	// The two candidates mirror about the satellite plane; GPS satellites
+	// are above the receiver, so the terrestrial solution is the one
+	// nearer the Earth's surface.
+	pos := candA
+	if surfaceDistance(candB) < surfaceDistance(candA) {
+		pos = candB
+	}
+	return Solution{Pos: pos, ClockBias: epsR, Iterations: 1}, nil
+}
+
+// surfaceDistance returns |‖p‖ − a|, the distance from the WGS-84 sphere.
+func surfaceDistance(p geo.ECEF) float64 {
+	return math.Abs(p.Norm() - geo.SemiMajorAxis)
+}
+
+// cross returns the cross product a×b.
+func cross(a, b geo.ECEF) geo.ECEF {
+	return geo.ECEF{
+		X: a.Y*b.Z - a.Z*b.Y,
+		Y: a.Z*b.X - a.X*b.Z,
+		Z: a.X*b.Y - a.Y*b.X,
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"gpsdl/internal/geo"
+	"gpsdl/internal/mat"
+)
+
+// Velocity estimation from Doppler (range-rate) measurements: with the
+// position already fixed by any of the positioning algorithms, the
+// range-rate equations are *linear* in the receiver velocity and clock
+// drift, so a single least-squares solve recovers them — the natural
+// companion to the paper's closed-form position methods for the
+// high-speed receivers its introduction targets.
+
+// VelObservation is one satellite's Doppler measurement: ephemeris
+// position and velocity plus the measured range rate (m/s, positive when
+// the range grows; includes receiver clock drift).
+type VelObservation struct {
+	Pos       geo.ECEF
+	Vel       geo.ECEF
+	RangeRate float64
+}
+
+// VelocitySolution is the estimated receiver velocity and clock drift.
+type VelocitySolution struct {
+	Vel geo.ECEF
+	// ClockDrift is the receiver clock drift in m/s (c·ṫ).
+	ClockDrift float64
+}
+
+// SolveVelocity estimates receiver velocity from at least 4 Doppler
+// observations, given the receiver position (from a prior position fix).
+// Model per satellite i with unit line-of-sight uᵢ (receiver→satellite):
+//
+//	rateᵢ = uᵢ·(vˢᵢ − v) + c·ṫ
+//
+// which is linear in (v, c·ṫ); OLS solves the over-determined system.
+func SolveVelocity(recv geo.ECEF, obs []VelObservation) (VelocitySolution, error) {
+	if len(obs) < 4 {
+		return VelocitySolution{}, fmt.Errorf("velocity needs >= 4 Doppler measurements, have %d: %w",
+			len(obs), ErrTooFewSatellites)
+	}
+	rows := make([][4]float64, len(obs))
+	rhs := make([]float64, len(obs))
+	for i, o := range obs {
+		if !finite(o.RangeRate) || !finite(o.Pos.X) || !finite(o.Vel.X) {
+			return VelocitySolution{}, fmt.Errorf("velocity observation %d: %w", i, ErrBadObservation)
+		}
+		los := o.Pos.Sub(recv)
+		r := los.Norm()
+		if r == 0 {
+			return VelocitySolution{}, fmt.Errorf("velocity satellite %d at receiver: %w", i, ErrDegenerateGeometry)
+		}
+		u := los.Scale(1 / r)
+		// rateᵢ − uᵢ·vˢᵢ = −uᵢ·v + c·ṫ
+		rows[i] = [4]float64{-u.X, -u.Y, -u.Z, 1}
+		rhs[i] = o.RangeRate - u.Dot(o.Vel)
+	}
+	ata, atb := mat.NormalEq4(rows, rhs)
+	x, err := mat.Solve4(ata, atb)
+	if err != nil {
+		return VelocitySolution{}, fmt.Errorf("velocity normal equations: %w", ErrDegenerateGeometry)
+	}
+	return VelocitySolution{
+		Vel:        geo.ECEF{X: x[0], Y: x[1], Z: x[2]},
+		ClockDrift: x[3],
+	}, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+// velScene generates one epoch at a station moving with the given ENU
+// velocity, returning the observations, the true receiver position and
+// the true receiver velocity in ECEF.
+func velScene(t *testing.T, enuVel geo.ENU, clockDrift float64) ([]VelObservation, geo.ECEF, geo.ECEF) {
+	t.Helper()
+	st, err := scenario.StationByID("SRZN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(42)
+	traj := scenario.LinearTrajectory(st.Pos, enuVel)
+	g := scenario.NewGenerator(st, cfg,
+		scenario.WithTrajectory(traj),
+		scenario.WithClockModel(&clock.ThresholdModel{Drift: clockDrift, Threshold: 1}))
+	const epoch = 500.0
+	e, err := g.EpochAt(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]VelObservation, 0, len(e.Obs))
+	for _, o := range e.Obs {
+		obs = append(obs, VelObservation{Pos: o.Pos, Vel: o.Vel, RangeRate: o.Doppler})
+	}
+	truthPos := g.TruthPosition(epoch)
+	truthVel := g.TruthPosition(epoch + 0.5).Sub(g.TruthPosition(epoch - 0.5))
+	return obs, truthPos, truthVel
+}
+
+func TestSolveVelocityStaticReceiver(t *testing.T) {
+	obs, pos, _ := velScene(t, geo.ENU{}, 0)
+	sol, err := SolveVelocity(pos, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Vel.Norm(); v > 0.5 {
+		t.Errorf("static receiver velocity = %v m/s", v)
+	}
+	if math.Abs(sol.ClockDrift) > 0.5 {
+		t.Errorf("zero-drift clock drift = %v m/s", sol.ClockDrift)
+	}
+}
+
+func TestSolveVelocityMovingReceiver(t *testing.T) {
+	want := geo.ENU{E: 40, N: -25, U: 3}
+	obs, pos, truthVel := velScene(t, want, 0)
+	sol, err := SolveVelocity(pos, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sol.Vel.Sub(truthVel).Norm(); d > 0.5 {
+		t.Errorf("velocity error %v m/s (est %v, truth %v)", d, sol.Vel, truthVel)
+	}
+}
+
+func TestSolveVelocityRecoversClockDrift(t *testing.T) {
+	drift := 1e-7 // s/s → ≈30 m/s
+	obs, pos, _ := velScene(t, geo.ENU{E: 10}, drift)
+	sol, err := SolveVelocity(pos, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drift * geo.SpeedOfLight
+	if math.Abs(sol.ClockDrift-want) > 0.5 {
+		t.Errorf("clock drift %v m/s, want %v", sol.ClockDrift, want)
+	}
+}
+
+func TestSolveVelocityErrors(t *testing.T) {
+	obs, pos, _ := velScene(t, geo.ENU{}, 0)
+	if _, err := SolveVelocity(pos, obs[:3]); !errors.Is(err, ErrTooFewSatellites) {
+		t.Errorf("3 obs: %v", err)
+	}
+	bad := make([]VelObservation, len(obs))
+	copy(bad, obs)
+	bad[0].RangeRate = math.NaN()
+	if _, err := SolveVelocity(pos, bad); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("NaN rate: %v", err)
+	}
+	copy(bad, obs)
+	bad[2].Pos = pos
+	if _, err := SolveVelocity(pos, bad); !errors.Is(err, ErrDegenerateGeometry) {
+		t.Errorf("satellite at receiver: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package dgps implements Differential GPS, the correction scheme the
+// paper invokes in Section 3.3: "In the case where there are only clock
+// dependent errors, or where satellite dependent errors can be
+// compensated, 4 satellites are sufficient. For example, Differential GPS
+// (DGPS) technology as described in [24][29] can be used."
+//
+// A reference station at a surveyed position measures each satellite's
+// pseudo-range, computes what the range *should* be, and broadcasts the
+// difference as a pseudo-range correction (PRC). A nearby rover adds the
+// PRC to its own measurement, cancelling the error components the two
+// receivers share: satellite clock error and (for short baselines) the
+// atmospheric residuals. Receiver-local effects — thermal noise,
+// multipath, and each receiver's own clock bias — do not cancel.
+package dgps
+
+import (
+	"errors"
+	"fmt"
+
+	"gpsdl/internal/core"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+// ErrNoReferenceFix is returned when the reference station cannot resolve
+// its own clock bias for an epoch.
+var ErrNoReferenceFix = errors.New("dgps: reference station has no valid fix")
+
+// Corrections maps PRN to the pseudo-range correction (meters) for one
+// epoch.
+type Corrections map[int]float64
+
+// Reference is a DGPS base station: a receiver at a precisely surveyed
+// position that generates pseudo-range corrections.
+type Reference struct {
+	// Pos is the surveyed ECEF position of the reference antenna.
+	Pos geo.ECEF
+	// Smoothing is the exponential-averaging time constant (seconds)
+	// applied per satellite to the raw corrections. The quantities DGPS
+	// cancels (satellite clock, atmospheric residuals) vary over minutes,
+	// while the reference receiver's own thermal noise is white — without
+	// smoothing that noise would be forwarded to every rover and *double*
+	// their local noise. Zero disables smoothing.
+	Smoothing float64
+
+	// solver resolves the reference receiver's own clock bias each epoch
+	// (the bias must be removed from the broadcast corrections, or every
+	// rover would inherit it).
+	solver core.NRSolver
+	state  map[int]*prcState
+}
+
+// prcState is the per-PRN smoothing state.
+type prcState struct {
+	value float64
+	lastT float64
+}
+
+// NewReference returns a reference station at the surveyed position with
+// the default 300 s correction smoothing (common for code-phase DGPS
+// services; the cancelable errors vary over tens of minutes).
+func NewReference(pos geo.ECEF) *Reference {
+	return &Reference{Pos: pos, Smoothing: 300, state: make(map[int]*prcState)}
+}
+
+// ComputeCorrections derives per-satellite corrections from one epoch of
+// the reference receiver's observations:
+//
+//	PRC_i = geometricRange_i − (ρᵉ_i − ε̂ᴿ_ref)
+//
+// where ε̂ᴿ_ref is the reference clock bias estimated by NR from the same
+// epoch. At least 4 satellites are required for that estimate.
+func (r *Reference) ComputeCorrections(epoch scenario.Epoch) (Corrections, error) {
+	obs := make([]core.Observation, 0, len(epoch.Obs))
+	for _, o := range epoch.Obs {
+		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+	}
+	sol, err := r.solver.Solve(epoch.T, obs)
+	if err != nil {
+		return nil, fmt.Errorf("dgps: reference clock solve: %w", ErrNoReferenceFix)
+	}
+	out := make(Corrections, len(epoch.Obs))
+	for _, o := range epoch.Obs {
+		geom := r.Pos.DistanceTo(o.Pos)
+		raw := geom - (o.Pseudorange - sol.ClockBias)
+		out[o.PRN] = r.smooth(o.PRN, epoch.T, raw)
+	}
+	return out, nil
+}
+
+// smooth applies the per-PRN exponential average. A satellite that
+// disappears for longer than the time constant restarts fresh.
+func (r *Reference) smooth(prn int, t, raw float64) float64 {
+	if r.Smoothing <= 0 {
+		return raw
+	}
+	if r.state == nil {
+		r.state = make(map[int]*prcState)
+	}
+	st, ok := r.state[prn]
+	if !ok || t-st.lastT > r.Smoothing {
+		r.state[prn] = &prcState{value: raw, lastT: t}
+		return raw
+	}
+	dt := t - st.lastT
+	if dt <= 0 {
+		return st.value
+	}
+	alpha := dt / (r.Smoothing + dt)
+	st.value += alpha * (raw - st.value)
+	st.lastT = t
+	return st.value
+}
+
+// Apply returns a copy of the rover epoch with corrections added to each
+// matching satellite's pseudo-range. Satellites without a correction are
+// dropped (a real rover cannot use an uncorrected satellite in DGPS mode).
+func Apply(epoch scenario.Epoch, corr Corrections) scenario.Epoch {
+	out := scenario.Epoch{T: epoch.T, Obs: make([]scenario.SatObs, 0, len(epoch.Obs))}
+	for _, o := range epoch.Obs {
+		prc, ok := corr[o.PRN]
+		if !ok {
+			continue
+		}
+		o.Pseudorange += prc
+		out.Obs = append(out.Obs, o)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package dgps
+
+import (
+	"testing"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+// buildPair returns generators for a reference station and a rover ~20 km
+// away, sharing the constellation and error seeds (so satellite-coherent
+// errors are common while receiver-local noise differs).
+func buildPair(t *testing.T) (ref, rover *scenario.Generator, roverPos geo.ECEF) {
+	t.Helper()
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(31)
+	// Model receivers that apply no broadcast atmospheric corrections —
+	// the classic DGPS use case. The shared (cancelable) error component
+	// is then the dominant one.
+	cfg.IonoRemainder = 1.0
+	cfg.TropoRemainder = 0.5
+	refGen := scenario.NewGenerator(st, cfg)
+
+	roverStation := st
+	roverStation.ID = "ROVR"
+	roverPos = geo.FromENU(st.Pos, geo.ENU{E: 15000, N: 12000, U: 20})
+	roverStation.Pos = roverPos
+	roverGen := scenario.NewGenerator(roverStation, cfg)
+	return refGen, roverGen, roverPos
+}
+
+func TestComputeCorrectionsRemovesCommonErrors(t *testing.T) {
+	refGen, roverGen, roverPos := buildPair(t)
+	ref := NewReference(refGen.Station().Pos)
+
+	var plain, corrected core.NRSolver
+	var sumPlain, sumCorr float64
+	var n int
+	// 10-second correction cadence; the first epochs warm the smoother.
+	for i := 0; i < 360; i++ {
+		tt := 100 + float64(i)*10
+		refEpoch, err := refGen.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roverEpoch, err := roverGen.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := ref.ComputeCorrections(refEpoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := Apply(roverEpoch, corr)
+		if len(applied.Obs) < 4 {
+			continue
+		}
+		if i < 90 {
+			continue // smoother warm-up (3 time constants)
+		}
+		solPlain, err1 := plain.Solve(tt, adapt(roverEpoch))
+		solCorr, err2 := corrected.Solve(tt, adapt(applied))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		sumPlain += solPlain.Pos.DistanceTo(roverPos)
+		sumCorr += solCorr.Pos.DistanceTo(roverPos)
+		n++
+	}
+	if n < 100 {
+		t.Fatalf("only %d comparable epochs", n)
+	}
+	meanPlain := sumPlain / float64(n)
+	meanCorr := sumCorr / float64(n)
+	t.Logf("rover NR error: %.3f m plain, %.3f m with DGPS over %d epochs", meanPlain, meanCorr, n)
+	// DGPS removes the shared atmospheric errors; for an uncorrected
+	// receiver the improvement must be large (paper §3.3: satellite-
+	// dependent errors can be compensated).
+	if meanCorr >= meanPlain*0.8 {
+		t.Errorf("DGPS did not help: %.3f m -> %.3f m", meanPlain, meanCorr)
+	}
+}
+
+func TestApplyDropsUncorrectedSatellites(t *testing.T) {
+	_, roverGen, _ := buildPair(t)
+	epoch, err := roverGen.EpochAt(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := Corrections{epoch.Obs[0].PRN: 1.5}
+	applied := Apply(epoch, corr)
+	if len(applied.Obs) != 1 {
+		t.Fatalf("Apply kept %d satellites, want 1", len(applied.Obs))
+	}
+	if got := applied.Obs[0].Pseudorange - epoch.Obs[0].Pseudorange; got != 1.5 {
+		t.Errorf("correction applied = %v, want 1.5", got)
+	}
+	// The input epoch must be untouched.
+	fresh, err := roverGen.EpochAt(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch.Obs[0].Pseudorange != fresh.Obs[0].Pseudorange {
+		t.Error("Apply mutated the input epoch")
+	}
+}
+
+func TestComputeCorrectionsNeedsFourSatellites(t *testing.T) {
+	refGen, _, _ := buildPair(t)
+	ref := NewReference(refGen.Station().Pos)
+	epoch, err := refGen.EpochAt(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch.Obs = epoch.Obs[:3]
+	if _, err := ref.ComputeCorrections(epoch); err == nil {
+		t.Error("ComputeCorrections with 3 satellites succeeded")
+	}
+}
+
+// With zero receiver-local noise, DGPS-corrected pseudo-ranges at the
+// reference position itself must equal geometric ranges plus the rover
+// clock bias exactly: the corrections fully cancel everything shared.
+func TestCorrectionsExactAtReference(t *testing.T) {
+	st, err := scenario.StationByID("FAI1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(9)
+	cfg.NoiseSigma = 0
+	cfg.Multipath = false
+	cfg.IonoRemainder = 0
+	cfg.TropoRemainder = 0
+	gen := scenario.NewGenerator(st, cfg, scenario.WithClockModel(&clock.SteeringModel{Offset: 1e-7}))
+	ref := NewReference(st.Pos)
+	epoch, err := gen.EpochAt(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := ref.ComputeCorrections(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := Apply(epoch, corr)
+	biasMeters := 1e-7 * geo.SpeedOfLight
+	for _, o := range applied.Obs {
+		want := st.Pos.DistanceTo(o.Pos) + biasMeters
+		if d := o.Pseudorange - want; d > 1e-3 || d < -1e-3 {
+			t.Errorf("PRN %d corrected pseudorange off by %v m", o.PRN, d)
+		}
+	}
+}
+
+func adapt(e scenario.Epoch) []core.Observation {
+	obs := make([]core.Observation, 0, len(e.Obs))
+	for _, o := range e.Obs {
+		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+	}
+	return obs
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapRatioCI estimates a percentile-bootstrap confidence interval
+// for the paper's accuracy rate η = 100·mean(x)/mean(y), where x and y
+// are *paired* per-epoch errors (algorithm O and NR on the same epochs).
+// Pairs where either value is NaN (failed solve) are dropped. Resampling
+// pairs preserves the epoch-level correlation between the algorithms —
+// both see the same satellite noise — which makes the interval much
+// tighter than independent resampling would suggest.
+func BootstrapRatioCI(x, y []float64, iters int, conf float64, seed int64) (lo, hi float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, fmt.Errorf("eval: bootstrap pairs mismatch: %d vs %d", len(x), len(y))
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("eval: bootstrap confidence %v outside (0,1)", conf)
+	}
+	if iters < 10 {
+		iters = 1000
+	}
+	type pair struct{ a, b float64 }
+	pairs := make([]pair, 0, len(x))
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			continue
+		}
+		pairs = append(pairs, pair{x[i], y[i]})
+	}
+	if len(pairs) < 10 {
+		return 0, 0, fmt.Errorf("eval: only %d valid pairs for bootstrap", len(pairs))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ratios := make([]float64, 0, iters)
+	n := len(pairs)
+	for it := 0; it < iters; it++ {
+		var sx, sy float64
+		for k := 0; k < n; k++ {
+			p := pairs[rng.Intn(n)]
+			sx += p.a
+			sy += p.b
+		}
+		if sy == 0 {
+			continue
+		}
+		ratios = append(ratios, 100*sx/sy)
+	}
+	if len(ratios) == 0 {
+		return 0, 0, fmt.Errorf("eval: bootstrap produced no ratios")
+	}
+	sort.Float64s(ratios)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(len(ratios)))
+	hiIdx := int((1 - alpha) * float64(len(ratios)))
+	if hiIdx >= len(ratios) {
+		hiIdx = len(ratios) - 1
+	}
+	return ratios[loIdx], ratios[hiIdx], nil
+}

@@ -1,0 +1,99 @@
+// Package eval is the experiment harness: it runs the positioning
+// algorithms over generated datasets and computes the paper's metrics —
+// absolute error d_O (eq. 5-1), accuracy rate η (eq. 5-2) and execution
+// time rate θ (eq. 5-3) — swept over the number of satellites, exactly the
+// axes of Fig. 5.1 and Fig. 5.2.
+package eval
+
+import (
+	"math"
+
+	"gpsdl/internal/core"
+	"gpsdl/internal/geo"
+)
+
+// AbsoluteError returns d_O of eq. 5-1: the Euclidean distance between the
+// estimated and true receiver positions.
+func AbsoluteError(sol core.Solution, truth geo.ECEF) float64 {
+	return sol.Pos.DistanceTo(truth)
+}
+
+// AccuracyRate returns η of eq. 5-2 in percent: 100·d_O/d_NR. Values above
+// 100 mean algorithm O is less accurate than NR.
+func AccuracyRate(dO, dNR float64) float64 {
+	if dNR == 0 {
+		if dO == 0 {
+			return 100
+		}
+		return 0 // NR was exact; rate undefined, report sentinel
+	}
+	return 100 * dO / dNR
+}
+
+// TimeRate returns θ of eq. 5-3 in percent: 100·τ_O/τ_NR. Values below 100
+// mean algorithm O is faster than NR.
+func TimeRate(tauO, tauNR float64) float64 {
+	if tauNR == 0 {
+		return 0
+	}
+	return 100 * tauO / tauNR
+}
+
+// Accumulator collects streaming error/time statistics for one algorithm
+// over a run.
+type Accumulator struct {
+	n        int
+	sumErr   float64
+	sumSqErr float64
+	maxErr   float64
+	sumNanos float64
+	failures int
+}
+
+// AddFix records a successful fix with error d (meters) and solve time
+// nanos.
+func (a *Accumulator) AddFix(d, nanos float64) {
+	a.n++
+	a.sumErr += d
+	a.sumSqErr += d * d
+	if d > a.maxErr {
+		a.maxErr = d
+	}
+	a.sumNanos += nanos
+}
+
+// AddFailure records a solve failure.
+func (a *Accumulator) AddFailure() { a.failures++ }
+
+// Fixes returns the number of successful fixes.
+func (a *Accumulator) Fixes() int { return a.n }
+
+// Failures returns the number of failed solves.
+func (a *Accumulator) Failures() int { return a.failures }
+
+// MeanError returns the mean absolute error in meters (0 if no fixes).
+func (a *Accumulator) MeanError() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumErr / float64(a.n)
+}
+
+// RMSError returns the root-mean-square error in meters.
+func (a *Accumulator) RMSError() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.sumSqErr / float64(a.n))
+}
+
+// MaxError returns the largest single-epoch error seen.
+func (a *Accumulator) MaxError() float64 { return a.maxErr }
+
+// MeanNanos returns the mean solve time in nanoseconds.
+func (a *Accumulator) MeanNanos() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumNanos / float64(a.n)
+}

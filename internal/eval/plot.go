@@ -1,0 +1,239 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line: a label, a marker rune, and y values
+// aligned with the shared x axis.
+type Series struct {
+	Label  string
+	Marker rune
+	Y      []float64
+}
+
+// PlotConfig sizes an ASCII chart.
+type PlotConfig struct {
+	// Width and Height are the plot-area dimensions in characters;
+	// zero values default to 56×16.
+	Width, Height int
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// XLabel annotates the horizontal axis.
+	XLabel string
+}
+
+// RenderPlot draws an ASCII line chart of the series against the shared
+// integer x axis — enough to eyeball the paper's figures in a terminal.
+// NaN values are skipped.
+func RenderPlot(w io.Writer, title string, xs []int, series []Series, cfg PlotConfig) error {
+	if cfg.Width <= 0 {
+		cfg.Width = 56
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 16
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return fmt.Errorf("eval: RenderPlot with no data")
+	}
+	for _, s := range series {
+		if len(s.Y) != len(xs) {
+			return fmt.Errorf("eval: series %q has %d points for %d x values", s.Label, len(s.Y), len(xs))
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("eval: RenderPlot with only NaN values")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad the range slightly so extremes don't sit on the frame.
+	pad := (hi - lo) * 0.05
+	lo -= pad
+	hi += pad
+
+	grid := make([][]rune, cfg.Height)
+	for r := range grid {
+		grid[r] = make([]rune, cfg.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	xAt := func(i int) int {
+		if len(xs) == 1 {
+			return 0
+		}
+		return i * (cfg.Width - 1) / (len(xs) - 1)
+	}
+	yAt := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(cfg.Height-1) * (1 - f)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= cfg.Height {
+			r = cfg.Height - 1
+		}
+		return r
+	}
+	for _, s := range series {
+		prevCol, prevRow := -1, -1
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				prevCol = -1
+				continue
+			}
+			col, row := xAt(i), yAt(v)
+			if prevCol >= 0 {
+				drawSegment(grid, prevCol, prevRow, col, row, '·')
+			}
+			grid[row][col] = s.Marker
+			prevCol, prevRow = col, row
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteString("\n")
+	for r, rowRunes := range grid {
+		// Left axis: max at top, min at bottom, blank between.
+		switch r {
+		case 0:
+			fmt.Fprintf(&sb, "%8.1f |", hi)
+		case cfg.Height - 1:
+			fmt.Fprintf(&sb, "%8.1f |", lo)
+		default:
+			sb.WriteString("         |")
+		}
+		sb.WriteString(string(rowRunes))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("         +")
+	sb.WriteString(strings.Repeat("-", cfg.Width))
+	sb.WriteString("\n          ")
+	// X tick labels at first and last columns.
+	first := fmt.Sprintf("%d", xs[0])
+	last := fmt.Sprintf("%d", xs[len(xs)-1])
+	gap := cfg.Width - len(first) - len(last)
+	if gap < 1 {
+		gap = 1
+	}
+	sb.WriteString(first)
+	sb.WriteString(strings.Repeat(" ", gap))
+	sb.WriteString(last)
+	if cfg.XLabel != "" {
+		sb.WriteString("  " + cfg.XLabel)
+	}
+	sb.WriteString("\n")
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Label))
+	}
+	sb.WriteString("          legend: " + strings.Join(legend, "   "))
+	if cfg.YLabel != "" {
+		sb.WriteString("   (y: " + cfg.YLabel + ")")
+	}
+	sb.WriteString("\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// drawSegment draws a sparse connector between two plotted points.
+func drawSegment(grid [][]rune, c0, r0, c1, r1 int, ch rune) {
+	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	if steps <= 1 {
+		return
+	}
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+// PlotFig51 renders the θ-vs-satellites curves of one Fig 5.1 panel.
+// A panel with no populated rows prints a note instead of a chart.
+func PlotFig51(w io.Writer, r *Result) error {
+	xs, dlo, dlg := ratesSeries(r, Row.TimeRateDLO, Row.TimeRateDLG)
+	title := fmt.Sprintf("Fig 5.1 (%s): execution time rate vs satellites", r.Station.ID)
+	if allNaN(dlo) {
+		_, err := fmt.Fprintf(w, "%s: no populated rows to plot\n", title)
+		return err
+	}
+	return RenderPlot(w, title, xs, []Series{
+		{Label: "theta_DLO", Marker: 'o', Y: dlo},
+		{Label: "theta_DLG", Marker: '#', Y: dlg},
+	}, PlotConfig{YLabel: "% of NR time", XLabel: "satellites"})
+}
+
+// PlotFig52 renders the η-vs-satellites curves of one Fig 5.2 panel.
+// A panel with no populated rows prints a note instead of a chart.
+func PlotFig52(w io.Writer, r *Result) error {
+	xs, dlo, dlg := ratesSeries(r, Row.AccuracyRateDLO, Row.AccuracyRateDLG)
+	title := fmt.Sprintf("Fig 5.2 (%s): accuracy rate vs satellites", r.Station.ID)
+	if allNaN(dlo) {
+		_, err := fmt.Fprintf(w, "%s: no populated rows to plot\n", title)
+		return err
+	}
+	return RenderPlot(w, title, xs, []Series{
+		{Label: "eta_DLO", Marker: 'o', Y: dlo},
+		{Label: "eta_DLG", Marker: '#', Y: dlg},
+	}, PlotConfig{YLabel: "% of NR error", XLabel: "satellites"})
+}
+
+// allNaN reports whether a series has no plottable values.
+func allNaN(ys []float64) bool {
+	for _, v := range ys {
+		if !math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ratesSeries extracts two per-row rate series, NaN for empty rows.
+func ratesSeries(r *Result, f, g func(Row) float64) (xs []int, a, b []float64) {
+	xs = make([]int, 0, len(r.Rows))
+	a = make([]float64, 0, len(r.Rows))
+	b = make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		xs = append(xs, row.M)
+		if row.Epochs == 0 {
+			a = append(a, math.NaN())
+			b = append(b, math.NaN())
+			continue
+		}
+		a = append(a, f(row))
+		b = append(b, g(row))
+	}
+	return xs, a, b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation distorts sub-microsecond timings beyond usefulness.
+const raceEnabled = true

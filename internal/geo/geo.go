@@ -1,0 +1,194 @@
+// Package geo provides WGS-84 geodesy for the GPS substrate: ECEF/geodetic
+// conversions, local ENU frames, satellite elevation/azimuth, and the
+// Earth-rotation (Sagnac) correction applied to signal propagation.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical and WGS-84 constants.
+const (
+	// SpeedOfLight is c in m/s, the value GPS uses for range conversion.
+	SpeedOfLight = 299792458.0
+	// SemiMajorAxis is the WGS-84 ellipsoid semi-major axis a in meters.
+	SemiMajorAxis = 6378137.0
+	// Flattening is the WGS-84 ellipsoid flattening f.
+	Flattening = 1.0 / 298.257223563
+	// EarthRotationRate is the WGS-84 value of ωe in rad/s.
+	EarthRotationRate = 7.2921151467e-5
+	// GM is the WGS-84 Earth gravitational constant in m³/s².
+	GM = 3.986005e14
+)
+
+// Derived ellipsoid parameters.
+var (
+	// semiMinorAxis is b = a(1−f).
+	semiMinorAxis = SemiMajorAxis * (1 - Flattening)
+	// ecc2 is the first eccentricity squared e² = f(2−f).
+	ecc2 = Flattening * (2 - Flattening)
+	// eccPrime2 is the second eccentricity squared e'² = e²/(1−e²).
+	eccPrime2 = ecc2 / (1 - ecc2)
+)
+
+// ECEF is an Earth-Centered Earth-Fixed cartesian position in meters.
+type ECEF struct {
+	X, Y, Z float64
+}
+
+// Add returns p+q.
+func (p ECEF) Add(q ECEF) ECEF { return ECEF{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p−q.
+func (p ECEF) Sub(q ECEF) ECEF { return ECEF{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns s·p.
+func (p ECEF) Scale(s float64) ECEF { return ECEF{s * p.X, s * p.Y, s * p.Z} }
+
+// Dot returns the dot product p·q.
+func (p ECEF) Dot(q ECEF) float64 { return p.X*q.X + p.Y*q.Y + p.Z*q.Z }
+
+// Norm returns the Euclidean length of p.
+func (p ECEF) Norm() float64 { return math.Sqrt(p.Dot(p)) }
+
+// DistanceTo returns the Euclidean distance ‖p−q‖, the geometric range of
+// paper eq. 3-1.
+func (p ECEF) DistanceTo(q ECEF) float64 { return p.Sub(q).Norm() }
+
+// String renders the position for logs.
+func (p ECEF) String() string {
+	return fmt.Sprintf("ECEF(%.3f, %.3f, %.3f)", p.X, p.Y, p.Z)
+}
+
+// LLA is a geodetic position: latitude and longitude in radians, height
+// above the WGS-84 ellipsoid in meters.
+type LLA struct {
+	Lat, Lon, Alt float64
+}
+
+// Degrees returns latitude and longitude in degrees.
+func (l LLA) Degrees() (latDeg, lonDeg float64) {
+	return l.Lat * 180 / math.Pi, l.Lon * 180 / math.Pi
+}
+
+// FromDegrees builds an LLA from degree inputs.
+func FromDegrees(latDeg, lonDeg, alt float64) LLA {
+	return LLA{Lat: latDeg * math.Pi / 180, Lon: lonDeg * math.Pi / 180, Alt: alt}
+}
+
+// ToECEF converts geodetic coordinates to ECEF.
+func (l LLA) ToECEF() ECEF {
+	sinLat, cosLat := math.Sincos(l.Lat)
+	sinLon, cosLon := math.Sincos(l.Lon)
+	// Prime vertical radius of curvature.
+	n := SemiMajorAxis / math.Sqrt(1-ecc2*sinLat*sinLat)
+	return ECEF{
+		X: (n + l.Alt) * cosLat * cosLon,
+		Y: (n + l.Alt) * cosLat * sinLon,
+		Z: (n*(1-ecc2) + l.Alt) * sinLat,
+	}
+}
+
+// ToLLA converts an ECEF position to geodetic coordinates using Bowring's
+// closed-form approximation followed by two fixed-point refinements, giving
+// sub-millimeter accuracy for terrestrial and orbital altitudes.
+func (p ECEF) ToLLA() LLA {
+	lon := math.Atan2(p.Y, p.X)
+	rho := math.Hypot(p.X, p.Y)
+	if rho == 0 {
+		// On the polar axis.
+		lat := math.Pi / 2
+		if p.Z < 0 {
+			lat = -lat
+		}
+		return LLA{Lat: lat, Lon: 0, Alt: math.Abs(p.Z) - semiMinorAxis}
+	}
+	// Bowring's initial parametric latitude.
+	beta := math.Atan2(p.Z*SemiMajorAxis, rho*semiMinorAxis)
+	sinB, cosB := math.Sincos(beta)
+	lat := math.Atan2(p.Z+eccPrime2*semiMinorAxis*sinB*sinB*sinB,
+		rho-ecc2*SemiMajorAxis*cosB*cosB*cosB)
+	// Two refinement passes.
+	for iter := 0; iter < 2; iter++ {
+		sinL, cosL := math.Sincos(lat)
+		n := SemiMajorAxis / math.Sqrt(1-ecc2*sinL*sinL)
+		beta = math.Atan2((1-Flattening)*sinL, cosL)
+		sinB, cosB = math.Sincos(beta)
+		lat = math.Atan2(p.Z+eccPrime2*semiMinorAxis*sinB*sinB*sinB,
+			rho-ecc2*SemiMajorAxis*cosB*cosB*cosB)
+		_ = n
+	}
+	sinL, cosL := math.Sincos(lat)
+	n := SemiMajorAxis / math.Sqrt(1-ecc2*sinL*sinL)
+	var alt float64
+	if math.Abs(cosL) > 1e-10 {
+		alt = rho/cosL - n
+	} else {
+		alt = math.Abs(p.Z)/math.Abs(sinL) - n*(1-ecc2)
+	}
+	return LLA{Lat: lat, Lon: lon, Alt: alt}
+}
+
+// ENU is a local East-North-Up offset in meters relative to some origin.
+type ENU struct {
+	E, N, U float64
+}
+
+// Norm returns the Euclidean length of the ENU vector.
+func (e ENU) Norm() float64 { return math.Sqrt(e.E*e.E + e.N*e.N + e.U*e.U) }
+
+// ToENU expresses target relative to the origin (an ECEF point) in the
+// origin's local East-North-Up frame.
+func ToENU(origin, target ECEF) ENU {
+	ll := origin.ToLLA()
+	sinLat, cosLat := math.Sincos(ll.Lat)
+	sinLon, cosLon := math.Sincos(ll.Lon)
+	d := target.Sub(origin)
+	return ENU{
+		E: -sinLon*d.X + cosLon*d.Y,
+		N: -sinLat*cosLon*d.X - sinLat*sinLon*d.Y + cosLat*d.Z,
+		U: cosLat*cosLon*d.X + cosLat*sinLon*d.Y + sinLat*d.Z,
+	}
+}
+
+// FromENU converts a local ENU offset at origin back to an ECEF position.
+func FromENU(origin ECEF, offset ENU) ECEF {
+	ll := origin.ToLLA()
+	sinLat, cosLat := math.Sincos(ll.Lat)
+	sinLon, cosLon := math.Sincos(ll.Lon)
+	return ECEF{
+		X: origin.X - sinLon*offset.E - sinLat*cosLon*offset.N + cosLat*cosLon*offset.U,
+		Y: origin.Y + cosLon*offset.E - sinLat*sinLon*offset.N + cosLat*sinLon*offset.U,
+		Z: origin.Z + cosLat*offset.N + sinLat*offset.U,
+	}
+}
+
+// ElevationAzimuth returns the elevation and azimuth (radians) of the
+// satellite as seen from the receiver. Azimuth is measured clockwise from
+// north; elevation from the local horizon.
+func ElevationAzimuth(receiver, satellite ECEF) (elev, azim float64) {
+	enu := ToENU(receiver, satellite)
+	horiz := math.Hypot(enu.E, enu.N)
+	elev = math.Atan2(enu.U, horiz)
+	azim = math.Atan2(enu.E, enu.N)
+	if azim < 0 {
+		azim += 2 * math.Pi
+	}
+	return elev, azim
+}
+
+// RotateEarth rotates an ECEF position about the Z axis by the Earth's
+// rotation over dt seconds. This implements the Sagnac correction: a signal
+// emitted at satellite position p arrives after travel time τ in a frame
+// that has rotated by ωe·τ, so the emission position must be expressed in
+// the reception-time frame as RotateEarth(p, τ).
+func RotateEarth(p ECEF, dt float64) ECEF {
+	theta := EarthRotationRate * dt
+	sinT, cosT := math.Sincos(theta)
+	return ECEF{
+		X: cosT*p.X + sinT*p.Y,
+		Y: -sinT*p.X + cosT*p.Y,
+		Z: p.Z,
+	}
+}

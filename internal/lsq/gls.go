@@ -1,0 +1,196 @@
+package lsq
+
+import (
+	"fmt"
+
+	"gpsdl/internal/mat"
+)
+
+// GLS returns the general least-squares solution
+//
+//	x = (AᵀM⁻¹A)⁻¹ AᵀM⁻¹ b        (paper eq. 4-21)
+//
+// for a positive definite covariance M. The computation whitens the system
+// with the Cholesky factor of M (M = L·Lᵀ): Ã = L⁻¹A, b̃ = L⁻¹b, then
+// solves the OLS problem on the whitened system. This is algebraically
+// identical to eq. 4-21 but avoids forming M⁻¹ explicitly.
+func GLS(a *mat.Dense, b []float64, m *mat.Dense) ([]float64, error) {
+	rows, _ := a.Dims()
+	mr, mc := m.Dims()
+	if mr != rows || mc != rows {
+		panic(fmt.Sprintf("lsq: GLS covariance %dx%d for %d-row system", mr, mc, rows))
+	}
+	ch, err := mat.FactorizeCholesky(m)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: GLS covariance factorization: %w", err)
+	}
+	// Whiten: solve L·Ã = A column-block and L·b̃ = b by forward substitution.
+	aw := forwardSolveMat(ch, a)
+	bw := forwardSolveVec(ch, b)
+	x, err := OLS(aw, bw)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: GLS whitened solve: %w", err)
+	}
+	return x, nil
+}
+
+// GLSExplicit returns the GLS solution computed exactly as written in the
+// paper: form M⁻¹, then (AᵀM⁻¹A)⁻¹AᵀM⁻¹b. Exposed for the A3 ablation so
+// the optimized paths can be benchmarked against the naive formula.
+func GLSExplicit(a *mat.Dense, b []float64, m *mat.Dense) ([]float64, error) {
+	minv, err := mat.Inverse(m)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: GLS explicit inverse: %w", err)
+	}
+	at := a.T()
+	atm := mat.Mul(at, minv)  // n×m
+	lhs := mat.Mul(atm, a)    // n×n
+	rhs := mat.MulVec(atm, b) // n
+	x, err := mat.SolveSPD(lhs, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: GLS explicit solve: %w", err)
+	}
+	return x, nil
+}
+
+// RankOneCov is the covariance structure of the paper's differenced
+// pseudo-range equations (eq. 4-26):
+//
+//	Ψ = diag(d₁,…,d_m) + s·𝟙𝟙ᵀ
+//
+// where dⱼ = ρⱼ₊₁² (variance contribution of satellite j+1) and s = ρ₁²
+// (the shared base-satellite term that correlates every pair of rows).
+type RankOneCov struct {
+	// Diag holds the per-row diagonal terms d (all must be > 0).
+	Diag []float64
+	// S is the shared rank-one coefficient (must be >= 0).
+	S float64
+}
+
+// Dense materializes the covariance as a dense matrix.
+func (c RankOneCov) Dense() *mat.Dense {
+	n := len(c.Diag)
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := c.S
+			if i == j {
+				v += c.Diag[i]
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// ApplyInv computes y = Ψ⁻¹·x in O(m) using the Sherman–Morrison identity
+//
+//	Ψ⁻¹ = D⁻¹ − (s · D⁻¹𝟙𝟙ᵀD⁻¹) / (1 + s·Σ 1/dⱼ)
+//
+// This is the paper's Section 6 extension 3 ("optimize the matrix
+// operations in the context of our problem").
+func (c RankOneCov) ApplyInv(x []float64) ([]float64, error) {
+	n := len(c.Diag)
+	if len(x) != n {
+		panic(fmt.Sprintf("lsq: RankOneCov.ApplyInv vec(%d) for dim %d", len(x), n))
+	}
+	if c.S < 0 {
+		return nil, ErrBadWeights
+	}
+	y := make([]float64, n)
+	var sumInvD, sumXOverD float64
+	for i, d := range c.Diag {
+		if d <= 0 {
+			return nil, ErrBadWeights
+		}
+		y[i] = x[i] / d
+		sumInvD += 1 / d
+		sumXOverD += x[i] / d
+	}
+	denom := 1 + c.S*sumInvD
+	factor := c.S * sumXOverD / denom
+	for i, d := range c.Diag {
+		y[i] -= factor / d
+	}
+	return y, nil
+}
+
+// GLSRankOne solves the GLS problem with covariance Ψ = diag(d) + s·𝟙𝟙ᵀ
+// without ever forming Ψ or Ψ⁻¹: each column of A and the vector b are
+// pushed through ApplyInv, then the n×n normal system is solved. Total
+// cost O(m·n + n³) versus O(m³) for the generic path.
+func GLSRankOne(a *mat.Dense, b []float64, cov RankOneCov) ([]float64, error) {
+	rows, cols := a.Dims()
+	if len(cov.Diag) != rows {
+		panic(fmt.Sprintf("lsq: GLSRankOne covariance dim %d for %d-row system", len(cov.Diag), rows))
+	}
+	// Compute W = Ψ⁻¹A column by column and u = Ψ⁻¹b.
+	u, err := cov.ApplyInv(b)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: GLSRankOne apply to b: %w", err)
+	}
+	w := mat.NewDense(rows, cols)
+	col := make([]float64, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = a.At(i, j)
+		}
+		wc, err := cov.ApplyInv(col)
+		if err != nil {
+			return nil, fmt.Errorf("lsq: GLSRankOne apply to column %d: %w", j, err)
+		}
+		for i := 0; i < rows; i++ {
+			w.Set(i, j, wc[i])
+		}
+	}
+	// Normal system: (AᵀΨ⁻¹A)x = AᵀΨ⁻¹b.
+	lhs := mat.NewDense(cols, cols)
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			var s float64
+			for k := 0; k < rows; k++ {
+				s += a.At(k, i) * w.At(k, j)
+			}
+			lhs.Set(i, j, s)
+			lhs.Set(j, i, s)
+		}
+	}
+	rhs := mat.MulTVec(a, u)
+	x, err := mat.SolveSPD(lhs, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: GLSRankOne solve: %w", err)
+	}
+	return x, nil
+}
+
+// forwardSolveVec solves L·y = b where L is the Cholesky factor in ch.
+func forwardSolveVec(ch *mat.Cholesky, b []float64) []float64 {
+	l := ch.L()
+	n := len(b)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * y[j]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	return y
+}
+
+// forwardSolveMat solves L·Y = B for all columns of B.
+func forwardSolveMat(ch *mat.Cholesky, b *mat.Dense) *mat.Dense {
+	l := ch.L()
+	rows, cols := b.Dims()
+	y := mat.NewDense(rows, cols)
+	for c := 0; c < cols; c++ {
+		for i := 0; i < rows; i++ {
+			s := b.At(i, c)
+			for j := 0; j < i; j++ {
+				s -= l.At(i, j) * y.At(j, c)
+			}
+			y.Set(i, c, s/l.At(i, i))
+		}
+	}
+	return y
+}

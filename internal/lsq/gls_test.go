@@ -1,0 +1,173 @@
+package lsq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpsdl/internal/mat"
+)
+
+// randomRankOneCov draws a valid paper-style covariance.
+func randomRankOneCov(rng *rand.Rand, n int) RankOneCov {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 0.5 + rng.Float64()*4
+	}
+	return RankOneCov{Diag: d, S: rng.Float64() * 3}
+}
+
+func TestGLSIdentityCovMatchesOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := randomDense(rng, 7, 3)
+	b := randomVec(rng, 7)
+	x1, err := GLS(a, b, mat.Identity(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := OLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsClose(x1, x2, 1e-8) {
+		t.Errorf("GLS(I) = %v, OLS = %v", x1, x2)
+	}
+}
+
+func TestGLSMatchesExplicitFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		m := n + 1 + r.Intn(6)
+		a := randomDense(r, m, n)
+		b := randomVec(r, m)
+		cov := randomRankOneCov(r, m).Dense()
+		x1, err1 := GLS(a, b, cov)
+		x2, err2 := GLSExplicit(a, b, cov)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return vecsClose(x1, x2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGLSRejectsNonSPDCovariance(t *testing.T) {
+	a := randomDense(rand.New(rand.NewSource(1)), 3, 2)
+	b := []float64{1, 2, 3}
+	bad := mat.NewDenseData(3, 3, []float64{
+		1, 2, 0,
+		2, 1, 0,
+		0, 0, 1,
+	}) // indefinite
+	if _, err := GLS(a, b, bad); err == nil {
+		t.Error("GLS with indefinite covariance succeeded")
+	}
+}
+
+func TestRankOneCovDense(t *testing.T) {
+	c := RankOneCov{Diag: []float64{1, 2}, S: 3}
+	want := mat.NewDenseData(2, 2, []float64{4, 3, 3, 5})
+	if got := c.Dense(); !mat.EqualApprox(got, want, 0) {
+		t.Errorf("Dense = \n%v want \n%v", got, want)
+	}
+}
+
+// Property: ApplyInv agrees with explicitly inverting the dense Ψ.
+func TestPropApplyInvMatchesDenseInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		cov := randomRankOneCov(r, n)
+		x := randomVec(r, n)
+		fast, err := cov.ApplyInv(x)
+		if err != nil {
+			return false
+		}
+		inv, err := mat.Inverse(cov.Dense())
+		if err != nil {
+			return false
+		}
+		slow := mat.MulVec(inv, x)
+		return vecsClose(fast, slow, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ψ·(Ψ⁻¹x) = x.
+func TestPropApplyInvRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		cov := randomRankOneCov(r, n)
+		x := randomVec(r, n)
+		y, err := cov.ApplyInv(x)
+		if err != nil {
+			return false
+		}
+		back := mat.MulVec(cov.Dense(), y)
+		return vecsClose(back, x, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyInvRejectsBadCov(t *testing.T) {
+	c := RankOneCov{Diag: []float64{1, -1}, S: 1}
+	if _, err := c.ApplyInv([]float64{1, 2}); err == nil {
+		t.Error("ApplyInv with negative diag succeeded")
+	}
+	c2 := RankOneCov{Diag: []float64{1, 1}, S: -1}
+	if _, err := c2.ApplyInv([]float64{1, 2}); err == nil {
+		t.Error("ApplyInv with negative S succeeded")
+	}
+}
+
+// Property: GLSRankOne agrees with the generic dense GLS.
+func TestPropGLSRankOneMatchesGeneric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		m := n + 1 + r.Intn(7)
+		a := randomDense(r, m, n)
+		b := randomVec(r, m)
+		cov := randomRankOneCov(r, m)
+		x1, err1 := GLSRankOne(a, b, cov)
+		x2, err2 := GLS(a, b, cov.Dense())
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return vecsClose(x1, x2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGLSRankOneZeroSharedTermIsWLS(t *testing.T) {
+	// With S = 0, GLS with diagonal covariance equals WLS with weights 1/d.
+	rng := rand.New(rand.NewSource(61))
+	a := randomDense(rng, 6, 2)
+	b := randomVec(rng, 6)
+	d := []float64{1, 2, 3, 4, 5, 6}
+	w := make([]float64, len(d))
+	for i, v := range d {
+		w[i] = 1 / v
+	}
+	x1, err := GLSRankOne(a, b, RankOneCov{Diag: d, S: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := WLS(a, b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsClose(x1, x2, 1e-8) {
+		t.Errorf("GLSRankOne(S=0) = %v, WLS = %v", x1, x2)
+	}
+}

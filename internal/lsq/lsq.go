@@ -1,0 +1,100 @@
+// Package lsq implements the least-squares estimators used by the GPS
+// solvers: ordinary least squares (OLS, paper eq. 4-12), weighted least
+// squares, and general least squares (GLS, paper eq. 4-21) with an
+// optimized path for the paper's rank-one-plus-diagonal covariance
+// (eq. 4-26).
+//
+// Throughout, the model is b = A·x + v with A an m×n design matrix
+// (m ≥ n). OLS is optimal when cov(v) = σ²I (paper conditions 3-33..3-35);
+// GLS is optimal when cov(v) = σ²Ω for a known positive definite Ω
+// (conditions 4-23/4-24).
+package lsq
+
+import (
+	"errors"
+	"fmt"
+
+	"gpsdl/internal/mat"
+)
+
+// ErrBadWeights is returned when a weight or variance is not strictly
+// positive.
+var ErrBadWeights = errors.New("lsq: weights must be strictly positive")
+
+// OLS returns the ordinary least-squares solution x = (AᵀA)⁻¹Aᵀb via the
+// normal equations solved with Cholesky. This matches how the paper's
+// algorithms are specified (eq. 4-12) and is the fastest route for the
+// small, well-conditioned systems GPS positioning produces.
+func OLS(a *mat.Dense, b []float64) ([]float64, error) {
+	if a.Rows() < a.Cols() {
+		return nil, mat.ErrUnderdetermined
+	}
+	ata := mat.MulATA(a)
+	atb := mat.MulTVec(a, b)
+	x, err := mat.SolveSPD(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: OLS normal equations: %w", err)
+	}
+	return x, nil
+}
+
+// OLSQR returns the ordinary least-squares solution computed with
+// Householder QR. Numerically more robust than OLS when A is
+// ill-conditioned (condition number is not squared), at roughly 2× cost.
+func OLSQR(a *mat.Dense, b []float64) ([]float64, error) {
+	x, err := mat.SolveLSQR(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: OLS via QR: %w", err)
+	}
+	return x, nil
+}
+
+// WLS returns the weighted least-squares solution minimizing
+// Σ wᵢ·(A·x − b)ᵢ². Weights must be strictly positive.
+func WLS(a *mat.Dense, b []float64, w []float64) ([]float64, error) {
+	rows, cols := a.Dims()
+	if len(w) != rows || len(b) != rows {
+		panic(fmt.Sprintf("lsq: WLS dims %dx%d with b(%d), w(%d)", rows, cols, len(b), len(w)))
+	}
+	// Form AᵀWA and AᵀWb directly.
+	ata := mat.NewDense(cols, cols)
+	atb := make([]float64, cols)
+	row := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		if w[i] <= 0 {
+			return nil, ErrBadWeights
+		}
+		for j := 0; j < cols; j++ {
+			row[j] = a.At(i, j)
+		}
+		wi := w[i]
+		for j := 0; j < cols; j++ {
+			wv := wi * row[j]
+			for k := j; k < cols; k++ {
+				ata.Set(j, k, ata.At(j, k)+wv*row[k])
+			}
+			atb[j] += wv * b[i]
+		}
+	}
+	for j := 0; j < cols; j++ {
+		for k := 0; k < j; k++ {
+			ata.Set(j, k, ata.At(k, j))
+		}
+	}
+	x, err := mat.SolveSPD(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("lsq: WLS normal equations: %w", err)
+	}
+	return x, nil
+}
+
+// Residuals returns v = A·x − b.
+func Residuals(a *mat.Dense, b, x []float64) []float64 {
+	return mat.VecSub(mat.MulVec(a, x), b)
+}
+
+// RSS returns the residual sum of squares ‖A·x − b‖₂².
+func RSS(a *mat.Dense, b, x []float64) float64 {
+	r := Residuals(a, b, x)
+	return mat.VecDot(r, r)
+}

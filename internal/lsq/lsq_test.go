@@ -1,0 +1,155 @@
+package lsq
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpsdl/internal/mat"
+)
+
+func randomDense(rng *rand.Rand, rows, cols int) *mat.Dense {
+	m := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func vecsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOLSExactSystem(t *testing.T) {
+	// Overdetermined but consistent: exact solution recovered.
+	a := mat.NewDenseData(4, 2, []float64{
+		1, 0,
+		0, 1,
+		1, 1,
+		2, 1,
+	})
+	x := []float64{3, -2}
+	b := mat.MulVec(a, x)
+	got, err := OLS(a, b)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if !vecsClose(got, x, 1e-10) {
+		t.Errorf("OLS = %v, want %v", got, x)
+	}
+}
+
+func TestOLSUnderdetermined(t *testing.T) {
+	if _, err := OLS(mat.NewDense(2, 3), []float64{1, 2}); !errors.Is(err, mat.ErrUnderdetermined) {
+		t.Errorf("error = %v, want ErrUnderdetermined", err)
+	}
+}
+
+func TestOLSMatchesQRPath(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		m := n + r.Intn(6)
+		a := randomDense(r, m, n)
+		b := randomVec(r, m)
+		x1, err1 := OLS(a, b)
+		x2, err2 := OLSQR(a, b)
+		if err1 != nil || err2 != nil {
+			return true // degenerate draw
+		}
+		return vecsClose(x1, x2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWLSUnitWeightsMatchOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomDense(rng, 8, 3)
+	b := randomVec(rng, 8)
+	w := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	x1, err := WLS(a, b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := OLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsClose(x1, x2, 1e-9) {
+		t.Errorf("WLS(unit) = %v, OLS = %v", x1, x2)
+	}
+}
+
+func TestWLSDownweightsOutlier(t *testing.T) {
+	// Fit a constant through {1,1,1,100}; weighting the outlier to ~0
+	// should give ~1, OLS gives the contaminated mean.
+	a := mat.NewDenseData(4, 1, []float64{1, 1, 1, 1})
+	b := []float64{1, 1, 1, 100}
+	xOLS, err := OLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xOLS[0]-25.75) > 1e-10 {
+		t.Errorf("OLS mean = %v, want 25.75", xOLS[0])
+	}
+	xWLS, err := WLS(a, b, []float64{1, 1, 1, 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xWLS[0]-1) > 1e-4 {
+		t.Errorf("WLS fit = %v, want ≈1", xWLS[0])
+	}
+}
+
+func TestWLSRejectsNonPositiveWeights(t *testing.T) {
+	a := mat.NewDenseData(2, 1, []float64{1, 1})
+	tests := []struct {
+		name string
+		w    []float64
+	}{
+		{"zero", []float64{1, 0}},
+		{"negative", []float64{-1, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := WLS(a, []float64{1, 2}, tt.w); !errors.Is(err, ErrBadWeights) {
+				t.Errorf("error = %v, want ErrBadWeights", err)
+			}
+		})
+	}
+}
+
+func TestResidualsAndRSS(t *testing.T) {
+	a := mat.NewDenseData(2, 1, []float64{1, 2})
+	b := []float64{1, 5}
+	x := []float64{2}
+	r := Residuals(a, b, x) // A·x−b = [2−1, 4−5] = [1, −1]
+	if r[0] != 1 || r[1] != -1 {
+		t.Errorf("Residuals = %v, want [1 -1]", r)
+	}
+	if got := RSS(a, b, x); got != 2 {
+		t.Errorf("RSS = %v, want 2", got)
+	}
+}

@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L*Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// FactorizeCholesky computes the Cholesky factorization of the symmetric
+// positive definite matrix a. Only the lower triangle of a is read.
+// It returns ErrNotSPD if a pivot is non-positive.
+func FactorizeCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: FactorizeCholesky of non-square %dx%d matrix", a.rows, a.cols))
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		lrowJ := l.rawRow(j)
+		for k := 0; k < j; k++ {
+			d += lrowJ[k] * lrowJ[k]
+		}
+		d = a.data[j*n+j] - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		diag := math.Sqrt(d)
+		lrowJ[j] = diag
+		for i := j + 1; i < n; i++ {
+			lrowI := l.rawRow(i)
+			var s float64
+			for k := 0; k < j; k++ {
+				s += lrowI[k] * lrowJ[k]
+			}
+			lrowI[j] = (a.data[i*n+j] - s) / diag
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// Solve solves A*x = b using the factorization: L*y = b, then Lᵀ*x = y.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: Cholesky.Solve with vec(%d) for %dx%d system", len(b), n, n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	l := c.l
+	// Forward substitution: L*y = b.
+	for i := 0; i < n; i++ {
+		row := l.rawRow(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	// Back substitution: Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += l.data[j*n+i] * x[j]
+		}
+		x[i] = (x[i] - s) / l.data[i*n+i]
+	}
+	return x
+}
+
+// SolveMat solves A*X = B column by column.
+func (c *Cholesky) SolveMat(b *Dense) *Dense {
+	n := c.l.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: Cholesky.SolveMat with %dx%d rhs for %dx%d system", b.rows, b.cols, n, n))
+	}
+	out := NewDense(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x := c.Solve(col)
+		for i := 0; i < n; i++ {
+			out.data[i*out.cols+j] = x[i]
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of the factorized matrix.
+func (c *Cholesky) Det() float64 {
+	n := c.l.rows
+	det := 1.0
+	for i := 0; i < n; i++ {
+		d := c.l.data[i*n+i]
+		det *= d * d
+	}
+	return det
+}
+
+// SolveSPD solves the symmetric positive definite system a*x = b via
+// Cholesky, falling back to LU if a is not numerically SPD.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	ch, err := FactorizeCholesky(a)
+	if err == nil {
+		return ch.Solve(b), nil
+	}
+	return Solve(a, b)
+}

@@ -1,0 +1,92 @@
+package mat
+
+import "fmt"
+
+// In-place variants for hot loops (the tracking EKF runs one of these per
+// measurement epoch). All require dst to be pre-shaped and, for MulInto,
+// not to alias the operands.
+
+// MulInto computes dst = a·b, reusing dst's storage. dst must be
+// a.rows×b.cols and must not share storage with a or b.
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto dst %dx%d for %dx%d product", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	if dst == a || dst == b {
+		panic("mat: MulInto dst aliases an operand")
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.rawRow(i)
+		orow := dst.rawRow(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.rawRow(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// AddInto computes dst = a + b elementwise; dst may alias a or b.
+func AddInto(dst, a, b *Dense) *Dense {
+	checkSameShape("AddInto", a, b)
+	checkSameShape("AddInto dst", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = v + b.data[i]
+	}
+	return dst
+}
+
+// SubInto computes dst = a − b elementwise; dst may alias a or b.
+func SubInto(dst, a, b *Dense) *Dense {
+	checkSameShape("SubInto", a, b)
+	checkSameShape("SubInto dst", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = v - b.data[i]
+	}
+	return dst
+}
+
+// ScaleInto computes dst = s·a; dst may alias a.
+func ScaleInto(dst *Dense, s float64, a *Dense) *Dense {
+	checkSameShape("ScaleInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = s * v
+	}
+	return dst
+}
+
+// TransposeInto computes dst = aᵀ. dst must be a.cols×a.rows and must not
+// alias a.
+func TransposeInto(dst, a *Dense) *Dense {
+	if dst.rows != a.cols || dst.cols != a.rows {
+		panic(fmt.Sprintf("mat: TransposeInto dst %dx%d for %dx%d input", dst.rows, dst.cols, a.rows, a.cols))
+	}
+	if dst == a {
+		panic("mat: TransposeInto dst aliases input")
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.rawRow(i)
+		for j, v := range row {
+			dst.data[j*dst.cols+i] = v
+		}
+	}
+	return dst
+}
+
+// CopyInto copies a into dst (same shape).
+func CopyInto(dst, a *Dense) *Dense {
+	checkSameShape("CopyInto", dst, a)
+	copy(dst.data, a.data)
+	return dst
+}

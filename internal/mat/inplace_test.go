@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the Into variants match their allocating counterparts.
+func TestPropInPlaceMatchesAllocating(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randomDense(r, m, k)
+		b := randomDense(r, k, n)
+		mulDst := NewDense(m, n)
+		if !EqualApprox(MulInto(mulDst, a, b), Mul(a, b), 1e-12) {
+			return false
+		}
+		c := randomDense(r, m, k)
+		addDst := NewDense(m, k)
+		if !EqualApprox(AddInto(addDst, a, c), Add(a, c), 0) {
+			return false
+		}
+		subDst := NewDense(m, k)
+		if !EqualApprox(SubInto(subDst, a, c), Sub(a, c), 0) {
+			return false
+		}
+		sclDst := NewDense(m, k)
+		if !EqualApprox(ScaleInto(sclDst, 2.5, a), Scale(2.5, a), 0) {
+			return false
+		}
+		tDst := NewDense(k, m)
+		if !EqualApprox(TransposeInto(tDst, a), a.T(), 0) {
+			return false
+		}
+		cpDst := NewDense(m, k)
+		return EqualApprox(CopyInto(cpDst, a), a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInPlaceAliasedAddSub(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{10, 20, 30, 40})
+	AddInto(a, a, b) // a += b
+	want := NewDenseData(2, 2, []float64{11, 22, 33, 44})
+	if !EqualApprox(a, want, 0) {
+		t.Errorf("aliased AddInto = \n%v", a)
+	}
+	SubInto(a, a, b)
+	want = NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	if !EqualApprox(a, want, 0) {
+		t.Errorf("aliased SubInto = \n%v", a)
+	}
+}
+
+func TestInPlacePanics(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 2)
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"MulInto wrong dst", func() { MulInto(NewDense(3, 3), a, b) }},
+		{"MulInto alias", func() { sq := NewDense(2, 2); _ = sq; MulInto(b, b, b) }},
+		{"AddInto shape", func() { AddInto(NewDense(2, 2), a, a) }},
+		{"TransposeInto wrong dst", func() { TransposeInto(NewDense(2, 3), a) }},
+		{"CopyInto shape", func() { CopyInto(NewDense(1, 1), a) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestMulIntoOverwritesPriorContents(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 0, 0, 1})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	dst := NewDenseData(2, 2, []float64{99, 99, 99, 99})
+	MulInto(dst, a, b)
+	if !EqualApprox(dst, b, 0) {
+		t.Errorf("MulInto left stale data: \n%v", dst)
+	}
+}

@@ -1,0 +1,319 @@
+// Package mat implements the dense linear algebra needed by the GPS solvers:
+// matrix arithmetic, LU/Cholesky/QR factorizations, linear solves, inverses
+// and norms. It is deliberately small, allocation-conscious and written
+// against the standard library only.
+//
+// Conventions:
+//   - Matrices are dense, row-major, float64.
+//   - Dimension mismatches are programmer errors and panic with a
+//     descriptive message (as gonum does); numerical failures such as
+//     singular or non-positive-definite inputs are returned as errors.
+//   - Vectors are plain []float64.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Numerical failure modes reported by factorizations and solvers.
+var (
+	// ErrSingular is returned when a matrix is singular to working precision.
+	ErrSingular = errors.New("mat: matrix is singular")
+	// ErrNotSPD is returned by Cholesky when the input is not symmetric
+	// positive definite.
+	ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
+	// ErrUnderdetermined is returned by least-squares solvers when the
+	// system has fewer rows than columns.
+	ErrUnderdetermined = errors.New("mat: system is underdetermined (rows < cols)")
+)
+
+// Dense is a dense, row-major matrix of float64 values.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len == rows*cols
+}
+
+// NewDense returns a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: NewDense with non-positive dims %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseData returns a rows×cols matrix initialized with a copy of data,
+// which must have exactly rows*cols elements in row-major order.
+func NewDenseData(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: NewDenseData with %d elements for %dx%d matrix", len(data), rows, cols))
+	}
+	m := NewDense(rows, cols)
+	copy(m.data, data)
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []float64) *Dense {
+	n := len(d)
+	m := NewDense(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Dims returns the number of rows and columns.
+func (m *Dense) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// rawRow returns the i-th row as a slice aliasing the matrix storage.
+func (m *Dense) rawRow(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.rawRow(i))
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow with %d elements for %d columns", len(v), m.cols))
+	}
+	copy(m.rawRow(i), v)
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.rawRow(i)
+		for j, v := range row {
+			out.data[j*out.cols+i] = v
+		}
+	}
+	return out
+}
+
+// Add returns a+b. Panics if shapes differ.
+func Add(a, b *Dense) *Dense {
+	checkSameShape("Add", a, b)
+	out := NewDense(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a-b. Panics if shapes differ.
+func Sub(a, b *Dense) *Dense {
+	checkSameShape("Sub", a, b)
+	out := NewDense(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s*a.
+func Scale(s float64, a *Dense) *Dense {
+	out := NewDense(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+func checkSameShape(op string, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product a*b. Panics if a.cols != b.rows.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.rawRow(i)
+		orow := out.rawRow(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.rawRow(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x. Panics if a.cols != len(x).
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d * vec(%d)", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.rawRow(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulTVec returns aᵀ*x without forming the transpose.
+// Panics if a.rows != len(x).
+func MulTVec(a *Dense, x []float64) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: MulTVec shape mismatch %dx%d with vec(%d)", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.rawRow(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+	return out
+}
+
+// MulATA returns aᵀ*a, exploiting symmetry of the result.
+func MulATA(a *Dense) *Dense {
+	out := NewDense(a.cols, a.cols)
+	for k := 0; k < a.rows; k++ {
+		row := a.rawRow(k)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			orow := out.rawRow(i)
+			for j := i; j < a.cols; j++ {
+				orow[j] += vi * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle into the lower.
+	for i := 0; i < a.cols; i++ {
+		for j := 0; j < i; j++ {
+			out.data[i*a.cols+j] = out.data[j*a.cols+i]
+		}
+	}
+	return out
+}
+
+// EqualApprox reports whether a and b have the same shape and all elements
+// within tol of each other.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSymmetric reports whether m is square and symmetric to within tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.data[i*m.cols+j]-m.data[j*m.cols+i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%.6g", m.data[i*m.cols+j])
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package mat
+
+import "math"
+
+// Norm1 returns the matrix 1-norm (maximum absolute column sum).
+func Norm1(a *Dense) float64 {
+	var maxSum float64
+	for j := 0; j < a.cols; j++ {
+		var s float64
+		for i := 0; i < a.rows; i++ {
+			s += math.Abs(a.data[i*a.cols+j])
+		}
+		if s > maxSum {
+			maxSum = s
+		}
+	}
+	return maxSum
+}
+
+// NormInf returns the matrix ∞-norm (maximum absolute row sum).
+func NormInf(a *Dense) float64 {
+	var maxSum float64
+	for i := 0; i < a.rows; i++ {
+		var s float64
+		for _, v := range a.rawRow(i) {
+			s += math.Abs(v)
+		}
+		if s > maxSum {
+			maxSum = s
+		}
+	}
+	return maxSum
+}
+
+// NormFrob returns the Frobenius norm of a.
+func NormFrob(a *Dense) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// VecNorm2 returns the Euclidean norm of x.
+func VecNorm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// VecNormInf returns the maximum absolute element of x.
+func VecNormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// VecDot returns the dot product of x and y, which must have equal length.
+func VecDot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: VecDot with mismatched lengths")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// VecSub returns x−y as a new slice.
+func VecSub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: VecSub with mismatched lengths")
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - y[i]
+	}
+	return out
+}
+
+// VecAdd returns x+y as a new slice.
+func VecAdd(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: VecAdd with mismatched lengths")
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v + y[i]
+	}
+	return out
+}

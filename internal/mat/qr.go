@@ -1,0 +1,122 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n:
+// A = Q*R with Q orthogonal (m×m, stored implicitly as reflectors) and R
+// upper trapezoidal.
+type QR struct {
+	qr   *Dense    // packed reflectors below the diagonal, R on and above
+	rdia []float64 // diagonal of R
+}
+
+// FactorizeQR computes the QR factorization of a (rows >= cols required).
+func FactorizeQR(a *Dense) (*QR, error) {
+	if a.rows < a.cols {
+		return nil, ErrUnderdetermined
+	}
+	m, n := a.rows, a.cols
+	f := &QR{qr: a.Clone(), rdia: make([]float64, n)}
+	qr := f.qr
+	// Rank-deficiency threshold relative to the largest column norm.
+	var scale float64
+	for j := 0; j < n; j++ {
+		var cn float64
+		for i := 0; i < m; i++ {
+			cn = math.Hypot(cn, qr.data[i*n+j])
+		}
+		if cn > scale {
+			scale = cn
+		}
+	}
+	tol := 1e-13 * scale
+	for k := 0; k < n; k++ {
+		// Householder reflector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.data[i*n+k])
+		}
+		if norm <= tol {
+			return nil, ErrSingular
+		}
+		if qr.data[k*n+k] < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.data[i*n+k] /= norm
+		}
+		qr.data[k*n+k] += 1
+		// Apply reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.data[i*n+k] * qr.data[i*n+j]
+			}
+			s = -s / qr.data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.data[i*n+j] += s * qr.data[i*n+k]
+			}
+		}
+		f.rdia[k] = -norm
+	}
+	return f, nil
+}
+
+// SolveLS returns the least-squares solution x minimizing ‖A*x − b‖₂.
+func (f *QR) SolveLS(b []float64) []float64 {
+	m, n := f.qr.rows, f.qr.cols
+	if len(b) != m {
+		panic(fmt.Sprintf("mat: QR.SolveLS with vec(%d) for %dx%d system", len(b), m, n))
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	qr := f.qr
+	// Compute Qᵀ*b by applying reflectors.
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := k; i < m; i++ {
+			s += qr.data[i*n+k] * y[i]
+		}
+		s = -s / qr.data[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * qr.data[i*n+k]
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += qr.data[i*n+j] * x[j]
+		}
+		x[i] = (y[i] - s) / f.rdia[i]
+	}
+	return x
+}
+
+// R returns a copy of the n×n upper-triangular factor R.
+func (f *QR) R() *Dense {
+	n := f.qr.cols
+	r := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		r.data[i*n+i] = f.rdia[i]
+		for j := i + 1; j < n; j++ {
+			r.data[i*n+j] = f.qr.data[i*f.qr.cols+j]
+		}
+	}
+	return r
+}
+
+// SolveLSQR solves the full-rank least-squares problem min ‖A*x − b‖₂ via
+// Householder QR. It is numerically more robust than the normal equations
+// at the cost of more work.
+func SolveLSQR(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorizeQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveLS(b), nil
+}

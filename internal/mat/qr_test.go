@@ -1,0 +1,140 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSolveSquareSystem(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{
+		2, 1, -1,
+		-3, -1, 2,
+		-2, 1, 2,
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveLSQR(a, b)
+	if err != nil {
+		t.Fatalf("SolveLSQR: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRUnderdetermined(t *testing.T) {
+	if _, err := FactorizeQR(NewDense(2, 3)); !errors.Is(err, ErrUnderdetermined) {
+		t.Errorf("error = %v, want ErrUnderdetermined", err)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Second column is zero after elimination of the first.
+	a := NewDenseData(3, 2, []float64{1, 2, 2, 4, 3, 6})
+	if _, err := FactorizeQR(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("error = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRLeastSquaresKnownFit(t *testing.T) {
+	// Fit y = 1 + 2x through points with exact linear relationship.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewDense(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 1 + 2*x
+	}
+	coef, err := SolveLSQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-1) > 1e-10 || math.Abs(coef[1]-2) > 1e-10 {
+		t.Errorf("coef = %v, want [1 2]", coef)
+	}
+}
+
+// Property: QR least-squares matches the normal-equation solution for
+// well-conditioned random systems.
+func TestPropQRMatchesNormalEquations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		m := n + r.Intn(6)
+		a := randomDense(r, m, n)
+		b := randomVec(r, m)
+		qrX, err := SolveLSQR(a, b)
+		if err != nil {
+			return true // rank-deficient random draw; skip
+		}
+		neX, err := SolveSPD(MulATA(a), MulTVec(a, b))
+		if err != nil {
+			return true
+		}
+		return VecNorm2(VecSub(qrX, neX)) < 1e-6*(1+VecNorm2(neX))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space:
+// Aᵀ(A*x − b) ≈ 0.
+func TestPropQRResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		m := n + 1 + r.Intn(5)
+		a := randomDense(r, m, n)
+		b := randomVec(r, m)
+		x, err := SolveLSQR(a, b)
+		if err != nil {
+			return true
+		}
+		resid := VecSub(MulVec(a, x), b)
+		return VecNormInf(MulTVec(a, resid)) < 1e-8*(1+VecNorm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRRFactorIsUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randomDense(rng, 6, 4)
+	f, err := FactorizeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.R()
+	rows, cols := r.Dims()
+	if rows != 4 || cols != 4 {
+		t.Fatalf("R dims = %dx%d, want 4x4", rows, cols)
+	}
+	for i := 1; i < rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Errorf("R(%d,%d) = %v, want 0", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRSolveLSDimensionPanics(t *testing.T) {
+	f, err := FactorizeQR(randomDense(rand.New(rand.NewSource(5)), 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QR.SolveLS with wrong-length b did not panic")
+		}
+	}()
+	f.SolveLS([]float64{1, 2})
+}

@@ -1,0 +1,247 @@
+// Package orbit implements GPS satellite orbital mechanics: Keplerian
+// elements, a Kepler-equation solver, IS-GPS-200-style propagation to ECEF
+// coordinates, and a default 31-satellite constellation matching the one
+// in operation when the paper's data was collected (footnote 2: "In March
+// 2008, there were 31 active satellites").
+package orbit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gpsdl/internal/geo"
+)
+
+// ErrKeplerDiverged is returned when the Kepler-equation iteration fails to
+// converge (only possible for invalid eccentricities).
+var ErrKeplerDiverged = errors.New("orbit: Kepler equation iteration did not converge")
+
+// Nominal GPS constellation parameters.
+const (
+	// NominalSemiMajorAxis is the GPS orbit semi-major axis in meters
+	// (≈26 560 km, a 11 h 58 m period).
+	NominalSemiMajorAxis = 2.656175e7
+	// NominalInclination is the GPS orbital inclination (55°) in radians.
+	NominalInclination = 55 * math.Pi / 180
+	// OrbitalPlanes is the number of GPS orbital planes (Section 3.1 of
+	// the paper: "6 circular orbital planes").
+	OrbitalPlanes = 6
+	// DefaultSatCount matches the active constellation of the paper's
+	// data-collection era.
+	DefaultSatCount = 31
+)
+
+// Elements is a set of Keplerian orbital elements relative to a reference
+// epoch Toe (seconds). Angles are radians; SemiMajorAxis is meters.
+type Elements struct {
+	SemiMajorAxis float64 // a
+	Eccentricity  float64 // e, in [0, 1)
+	Inclination   float64 // i
+	RAAN          float64 // Ω₀, right ascension of ascending node at Toe
+	RAANRate      float64 // Ω̇, rad/s (nodal precession)
+	ArgPerigee    float64 // ω
+	MeanAnomaly   float64 // M₀ at Toe
+	Toe           float64 // reference epoch, seconds
+}
+
+// MeanMotion returns n = sqrt(GM/a³) in rad/s.
+func (e Elements) MeanMotion() float64 {
+	return math.Sqrt(geo.GM / (e.SemiMajorAxis * e.SemiMajorAxis * e.SemiMajorAxis))
+}
+
+// Period returns the orbital period in seconds.
+func (e Elements) Period() float64 { return 2 * math.Pi / e.MeanMotion() }
+
+// SolveKepler solves Kepler's equation E − e·sin(E) = M for the eccentric
+// anomaly E using Newton's method. M may be any real; e must be in [0, 1).
+func SolveKepler(m, ecc float64) (float64, error) {
+	if ecc < 0 || ecc >= 1 {
+		return 0, fmt.Errorf("orbit: eccentricity %v out of range [0,1): %w", ecc, ErrKeplerDiverged)
+	}
+	// Normalize M to [-π, π] for a good starting point.
+	m = math.Mod(m, 2*math.Pi)
+	if m > math.Pi {
+		m -= 2 * math.Pi
+	} else if m < -math.Pi {
+		m += 2 * math.Pi
+	}
+	e := m
+	if ecc > 0.8 {
+		e = math.Pi * math.Copysign(1, m)
+	}
+	const maxIter = 30
+	for i := 0; i < maxIter; i++ {
+		f := e - ecc*math.Sin(e) - m
+		fp := 1 - ecc*math.Cos(e)
+		de := f / fp
+		e -= de
+		if math.Abs(de) < 1e-14 {
+			return e, nil
+		}
+	}
+	return 0, ErrKeplerDiverged
+}
+
+// PositionECI returns the satellite position at time t (seconds) in an
+// Earth-centered inertial frame aligned with ECEF at t = 0.
+func (e Elements) PositionECI(t float64) (geo.ECEF, error) {
+	dt := t - e.Toe
+	m := e.MeanAnomaly + e.MeanMotion()*dt
+	ecc := e.Eccentricity
+	ea, err := SolveKepler(m, ecc)
+	if err != nil {
+		return geo.ECEF{}, err
+	}
+	sinE, cosE := math.Sincos(ea)
+	// True anomaly.
+	nu := math.Atan2(math.Sqrt(1-ecc*ecc)*sinE, cosE-ecc)
+	// Argument of latitude and orbital radius.
+	phi := nu + e.ArgPerigee
+	r := e.SemiMajorAxis * (1 - ecc*cosE)
+	sinPhi, cosPhi := math.Sincos(phi)
+	xo, yo := r*cosPhi, r*sinPhi
+	// Node at time t (inertial: no Earth-rotation term).
+	omega := e.RAAN + e.RAANRate*dt
+	sinO, cosO := math.Sincos(omega)
+	sinI, cosI := math.Sincos(e.Inclination)
+	return geo.ECEF{
+		X: xo*cosO - yo*cosI*sinO,
+		Y: xo*sinO + yo*cosI*cosO,
+		Z: yo * sinI,
+	}, nil
+}
+
+// PositionECEF returns the satellite position at time t in the rotating
+// ECEF frame (the frame broadcast ephemerides use), by rotating the
+// inertial position through the Earth rotation accumulated since t = 0.
+func (e Elements) PositionECEF(t float64) (geo.ECEF, error) {
+	p, err := e.PositionECI(t)
+	if err != nil {
+		return geo.ECEF{}, err
+	}
+	return geo.RotateEarth(p, t), nil
+}
+
+// VelocityECEF returns the ECEF velocity at time t via a central
+// difference; accuracy ≈1e-4 m/s, ample for Doppler-free positioning.
+func (e Elements) VelocityECEF(t float64) (geo.ECEF, error) {
+	const h = 0.5 // seconds
+	p1, err := e.PositionECEF(t - h)
+	if err != nil {
+		return geo.ECEF{}, err
+	}
+	p2, err := e.PositionECEF(t + h)
+	if err != nil {
+		return geo.ECEF{}, err
+	}
+	return p2.Sub(p1).Scale(1 / (2 * h)), nil
+}
+
+// Satellite is one space-segment vehicle: a PRN identifier, its orbit, and
+// its broadcast clock model (satellite clocks are high-grade atomic
+// standards; af0/af1 are the usual polynomial coefficients).
+type Satellite struct {
+	PRN      int
+	Orbit    Elements
+	ClockAF0 float64 // clock bias at Toe, seconds
+	ClockAF1 float64 // clock drift, s/s
+}
+
+// ClockError returns the satellite clock error at time t in seconds.
+func (s Satellite) ClockError(t float64) float64 {
+	return s.ClockAF0 + s.ClockAF1*(t-s.Orbit.Toe)
+}
+
+// Constellation is a set of satellites.
+type Constellation struct {
+	sats []Satellite
+}
+
+// NewConstellation builds a constellation from explicit satellites.
+func NewConstellation(sats []Satellite) *Constellation {
+	owned := make([]Satellite, len(sats))
+	copy(owned, sats)
+	return &Constellation{sats: owned}
+}
+
+// DefaultConstellation returns a 31-satellite GPS constellation in 6
+// planes: RAANs spaced 60° apart, slots phased evenly within each plane
+// with a small inter-plane stagger, near-circular orbits. Per-satellite
+// clock coefficients are small deterministic offsets so satellite clock
+// error is exercised without randomness.
+func DefaultConstellation() *Constellation {
+	// Plane occupancy: 6 satellites in plane 0, 5 in each of planes 1-5.
+	perPlane := [OrbitalPlanes]int{6, 5, 5, 5, 5, 5}
+	sats := make([]Satellite, 0, DefaultSatCount)
+	idx := 0
+	for plane := 0; plane < OrbitalPlanes; plane++ {
+		raan := float64(plane) * 2 * math.Pi / OrbitalPlanes
+		for slot := 0; slot < perPlane[plane]; slot++ {
+			// Even spacing within the plane; stagger planes so slots in
+			// adjacent planes do not align in argument of latitude.
+			meanAnom := float64(slot)*2*math.Pi/float64(perPlane[plane]) +
+				float64(plane)*(2*math.Pi/14.4)
+			sats = append(sats, Satellite{
+				PRN: idx + 1,
+				Orbit: Elements{
+					SemiMajorAxis: NominalSemiMajorAxis,
+					Eccentricity:  0.005 + 0.003*float64(idx%5)/5, // realistic 0.005-0.008
+					Inclination:   NominalInclination,
+					RAAN:          raan,
+					RAANRate:      -8.0e-9, // typical nodal precession rad/s
+					ArgPerigee:    float64(idx%7) * 2 * math.Pi / 7,
+					MeanAnomaly:   meanAnom,
+					Toe:           0,
+				},
+				// ±0.1 ms bias, tiny drift — typical broadcast-clock scale.
+				ClockAF0: (float64(idx%9) - 4) * 2.5e-5,
+				ClockAF1: (float64(idx%5) - 2) * 1e-12,
+			})
+			idx++
+		}
+	}
+	return &Constellation{sats: sats}
+}
+
+// Satellites returns a copy of the satellite list.
+func (c *Constellation) Satellites() []Satellite {
+	out := make([]Satellite, len(c.sats))
+	copy(out, c.sats)
+	return out
+}
+
+// Len returns the number of satellites.
+func (c *Constellation) Len() int { return len(c.sats) }
+
+// InView is one visible satellite together with its look angles.
+type InView struct {
+	Sat       Satellite
+	Pos       geo.ECEF // ECEF position at time t
+	Elevation float64  // radians
+	Azimuth   float64  // radians
+}
+
+// Visible returns the satellites above elevMask (radians) as seen from the
+// receiver at time t, ordered by descending elevation.
+func (c *Constellation) Visible(receiver geo.ECEF, t, elevMask float64) ([]InView, error) {
+	out := make([]InView, 0, len(c.sats))
+	for _, s := range c.sats {
+		pos, err := s.Orbit.PositionECEF(t)
+		if err != nil {
+			return nil, fmt.Errorf("orbit: PRN %d at t=%v: %w", s.PRN, t, err)
+		}
+		elev, azim := geo.ElevationAzimuth(receiver, pos)
+		if elev < elevMask {
+			continue
+		}
+		out = append(out, InView{Sat: s, Pos: pos, Elevation: elev, Azimuth: azim})
+	}
+	// Insertion sort by descending elevation (lists are ~10 long).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Elevation > out[j-1].Elevation; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

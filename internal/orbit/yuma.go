@@ -1,0 +1,156 @@
+package orbit
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// YUMA almanac support: the other standard distribution format for GPS
+// orbital elements (alongside the RINEX navigation message). Receivers
+// use almanacs for acquisition planning; this repository uses them as a
+// second on-disk representation of the simulated constellation.
+//
+// The format is the textual one published by the U.S. Coast Guard
+// Navigation Center: one "******** Week NNN almanac for PRN-NN ********"
+// block per satellite with labeled fields.
+
+// ErrBadAlmanac is returned when a YUMA block cannot be parsed.
+var ErrBadAlmanac = errors.New("orbit: malformed YUMA almanac")
+
+// WriteYuma writes the satellites as a YUMA almanac.
+func WriteYuma(w io.Writer, sats []Satellite) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range sats {
+		fmt.Fprintf(bw, "******** Week %4d almanac for PRN-%02d ********\n", 0, s.PRN)
+		fmt.Fprintf(bw, "ID:                         %02d\n", s.PRN)
+		fmt.Fprintf(bw, "Health:                     000\n")
+		fmt.Fprintf(bw, "Eccentricity:               %.10E\n", s.Orbit.Eccentricity)
+		fmt.Fprintf(bw, "Time of Applicability(s):   %.4f\n", s.Orbit.Toe)
+		fmt.Fprintf(bw, "Orbital Inclination(rad):   %.10E\n", s.Orbit.Inclination)
+		fmt.Fprintf(bw, "Rate of Right Ascen(r/s):   %.10E\n", s.Orbit.RAANRate)
+		fmt.Fprintf(bw, "SQRT(A)  (m 1/2):           %.6f\n", math.Sqrt(s.Orbit.SemiMajorAxis))
+		fmt.Fprintf(bw, "Right Ascen at Week(rad):   %.10E\n", s.Orbit.RAAN)
+		fmt.Fprintf(bw, "Argument of Perigee(rad):   %.9f\n", s.Orbit.ArgPerigee)
+		fmt.Fprintf(bw, "Mean Anom(rad):             %.10E\n", s.Orbit.MeanAnomaly)
+		fmt.Fprintf(bw, "Af0(s):                     %.10E\n", s.ClockAF0)
+		fmt.Fprintf(bw, "Af1(s/s):                   %.10E\n", s.ClockAF1)
+		fmt.Fprintf(bw, "week:                       0\n")
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("orbit: flush yuma: %w", err)
+	}
+	return nil
+}
+
+// ReadYuma parses a YUMA almanac written by WriteYuma (or downloaded from
+// the Navigation Center; unknown labels are ignored).
+func ReadYuma(r io.Reader) ([]Satellite, error) {
+	sc := bufio.NewScanner(r)
+	var sats []Satellite
+	var cur *Satellite
+	flush := func() {
+		if cur != nil {
+			sats = append(sats, *cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "****") {
+			flush()
+			cur = &Satellite{}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("orbit: field outside almanac block: %q: %w", line, ErrBadAlmanac)
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("orbit: unlabeled line %q: %w", line, ErrBadAlmanac)
+		}
+		label := strings.TrimSpace(line[:colon])
+		value := strings.TrimSpace(line[colon+1:])
+		if err := applyYumaField(cur, label, value); err != nil {
+			return nil, err
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("orbit: scan yuma: %w", err)
+	}
+	return sats, nil
+}
+
+// applyYumaField assigns one labeled value.
+func applyYumaField(s *Satellite, label, value string) error {
+	parse := func() (float64, error) {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return 0, fmt.Errorf("orbit: field %q value %q: %w", label, value, ErrBadAlmanac)
+		}
+		return v, nil
+	}
+	var err error
+	var v float64
+	switch label {
+	case "ID":
+		id, cerr := strconv.Atoi(value)
+		if cerr != nil {
+			return fmt.Errorf("orbit: ID %q: %w", value, ErrBadAlmanac)
+		}
+		s.PRN = id
+	case "Eccentricity":
+		if v, err = parse(); err == nil {
+			s.Orbit.Eccentricity = v
+		}
+	case "Time of Applicability(s)":
+		if v, err = parse(); err == nil {
+			s.Orbit.Toe = v
+		}
+	case "Orbital Inclination(rad)":
+		if v, err = parse(); err == nil {
+			s.Orbit.Inclination = v
+		}
+	case "Rate of Right Ascen(r/s)":
+		if v, err = parse(); err == nil {
+			s.Orbit.RAANRate = v
+		}
+	case "SQRT(A)  (m 1/2)":
+		if v, err = parse(); err == nil {
+			s.Orbit.SemiMajorAxis = v * v
+		}
+	case "Right Ascen at Week(rad)":
+		if v, err = parse(); err == nil {
+			s.Orbit.RAAN = v
+		}
+	case "Argument of Perigee(rad)":
+		if v, err = parse(); err == nil {
+			s.Orbit.ArgPerigee = v
+		}
+	case "Mean Anom(rad)":
+		if v, err = parse(); err == nil {
+			s.Orbit.MeanAnomaly = v
+		}
+	case "Af0(s)":
+		if v, err = parse(); err == nil {
+			s.ClockAF0 = v
+		}
+	case "Af1(s/s)":
+		if v, err = parse(); err == nil {
+			s.ClockAF1 = v
+		}
+	default:
+		// Health, week, unknown extensions: ignored.
+		return nil
+	}
+	return err
+}

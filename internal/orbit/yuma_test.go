@@ -1,0 +1,94 @@
+package orbit
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestYumaRoundTrip(t *testing.T) {
+	sats := DefaultConstellation().Satellites()
+	var buf bytes.Buffer
+	if err := WriteYuma(&buf, sats); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadYuma(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sats) {
+		t.Fatalf("read %d satellites, want %d", len(back), len(sats))
+	}
+	for i, s := range sats {
+		b := back[i]
+		if b.PRN != s.PRN {
+			t.Errorf("sat %d PRN %d, want %d", i, b.PRN, s.PRN)
+		}
+		if math.Abs(b.ClockAF0-s.ClockAF0) > 1e-14 {
+			t.Errorf("PRN %d af0 %v, want %v", s.PRN, b.ClockAF0, s.ClockAF0)
+		}
+		p1, err1 := s.Orbit.PositionECEF(12345)
+		p2, err2 := b.Orbit.PositionECEF(12345)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("propagation: %v %v", err1, err2)
+		}
+		// YUMA stores sqrt(A) with 6 decimals: sub-decimeter round trip.
+		if d := p1.DistanceTo(p2); d > 1 {
+			t.Errorf("PRN %d propagated position differs by %v m", s.PRN, d)
+		}
+	}
+}
+
+func TestYumaFormatHasStandardLabels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteYuma(&buf, DefaultConstellation().Satellites()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, label := range []string{
+		"almanac for PRN-01", "ID:", "Eccentricity:", "SQRT(A)", "Mean Anom(rad):", "Af0(s):",
+	} {
+		if !strings.Contains(out, label) {
+			t.Errorf("missing %q in:\n%s", label, out)
+		}
+	}
+}
+
+func TestReadYumaRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"field before block", "ID: 01\n"},
+		{"unlabeled line", "**** Week 0 almanac for PRN-01 ****\njust text\n"},
+		{"bad number", "**** Week 0 almanac for PRN-01 ****\nEccentricity: xyz\n"},
+		{"bad id", "**** Week 0 almanac for PRN-01 ****\nID: abc\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadYuma(strings.NewReader(tt.in)); !errors.Is(err, ErrBadAlmanac) {
+				t.Errorf("error = %v, want ErrBadAlmanac", err)
+			}
+		})
+	}
+}
+
+func TestReadYumaIgnoresUnknownLabels(t *testing.T) {
+	in := "**** Week 0 almanac for PRN-07 ****\nID: 07\nHealth: 000\nSomething New: 42\n"
+	sats, err := ReadYuma(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sats) != 1 || sats[0].PRN != 7 {
+		t.Errorf("sats = %+v", sats)
+	}
+}
+
+func TestReadYumaEmpty(t *testing.T) {
+	sats, err := ReadYuma(strings.NewReader(""))
+	if err != nil || len(sats) != 0 {
+		t.Errorf("empty input: %v, %d sats", err, len(sats))
+	}
+}

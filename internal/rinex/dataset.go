@@ -1,0 +1,68 @@
+package rinex
+
+import (
+	"fmt"
+
+	"gpsdl/internal/geo"
+	"gpsdl/internal/orbit"
+	"gpsdl/internal/scenario"
+)
+
+// ToDataset reconstructs a solvable dataset from an observation file and
+// the matching navigation message: for each observation, the satellite
+// position at signal emission is recomputed from the broadcast ephemeris
+// by iterating the light-time equation from the header's approximate
+// receiver position (the standard receiver processing chain).
+func ToDataset(obs *ObsFile, sats []orbit.Satellite) (*scenario.Dataset, error) {
+	byPRN := make(map[int]orbit.Satellite, len(sats))
+	for _, s := range sats {
+		byPRN[s.PRN] = s
+	}
+	ds := &scenario.Dataset{
+		Station: scenario.Station{
+			ID:  obs.Marker,
+			Pos: obs.ApproxPos,
+		},
+		Config: scenario.Config{Step: obs.Interval},
+		Epochs: make([]scenario.Epoch, 0, len(obs.Epochs)),
+	}
+	for _, oe := range obs.Epochs {
+		epoch := scenario.Epoch{T: oe.T, Obs: make([]scenario.SatObs, 0, len(oe.Sats))}
+		for _, rec := range oe.Sats {
+			sat, ok := byPRN[rec.PRN]
+			if !ok {
+				return nil, fmt.Errorf("rinex: PRN %d observed but absent from navigation data: %w",
+					rec.PRN, ErrBadNav)
+			}
+			pos, err := emissionPosition(sat, obs.ApproxPos, oe.T)
+			if err != nil {
+				return nil, fmt.Errorf("rinex: propagate PRN %d at t=%v: %w", rec.PRN, oe.T, err)
+			}
+			elev, _ := geo.ElevationAzimuth(obs.ApproxPos, pos)
+			epoch.Obs = append(epoch.Obs, scenario.SatObs{
+				PRN:         rec.PRN,
+				Pos:         pos,
+				Pseudorange: rec.C1,
+				Elevation:   elev,
+			})
+		}
+		ds.Epochs = append(ds.Epochs, epoch)
+	}
+	return ds, nil
+}
+
+// emissionPosition mirrors the scenario generator's light-time solution:
+// satellite position at t−τ expressed in the reception-time frame.
+func emissionPosition(sat orbit.Satellite, recv geo.ECEF, t float64) (geo.ECEF, error) {
+	tau := 0.075
+	var pos geo.ECEF
+	for i := 0; i < 3; i++ {
+		p, err := sat.Orbit.PositionECEF(t - tau)
+		if err != nil {
+			return geo.ECEF{}, err
+		}
+		pos = geo.RotateEarth(p, tau)
+		tau = recv.DistanceTo(pos) / geo.SpeedOfLight
+	}
+	return pos, nil
+}

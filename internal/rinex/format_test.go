@@ -1,0 +1,83 @@
+package rinex
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeaderLineWidths(t *testing.T) {
+	line := headerLine("content", "LABEL")
+	if len(line) != 81 { // 80 chars + newline
+		t.Errorf("header line length = %d, want 81", len(line))
+	}
+	if !strings.HasPrefix(line, "content") {
+		t.Errorf("content not at start: %q", line)
+	}
+	if line[60:65] != "LABEL" {
+		t.Errorf("label not at column 61: %q", line[60:])
+	}
+}
+
+func TestSplitHeader(t *testing.T) {
+	content, label := splitHeader(headerLine("abc", "MY LABEL")[:80])
+	if strings.TrimSpace(content) != "abc" {
+		t.Errorf("content = %q", content)
+	}
+	if label != "MY LABEL" {
+		t.Errorf("label = %q", label)
+	}
+	// Short lines have no label region.
+	content, label = splitHeader("short")
+	if content != "short" || label != "" {
+		t.Errorf("short line split = %q, %q", content, label)
+	}
+}
+
+func TestSecondsToHMS(t *testing.T) {
+	tests := []struct {
+		t    float64
+		h, m int
+		s    float64
+	}{
+		{0, 0, 0, 0},
+		{59.5, 0, 0, 59.5},
+		{60, 0, 1, 0},
+		{3661.25, 1, 1, 1.25},
+		{86399, 23, 59, 59},
+	}
+	for _, tt := range tests {
+		h, m, s := secondsToHMS(tt.t)
+		if h != tt.h || m != tt.m || math.Abs(s-tt.s) > 1e-9 {
+			t.Errorf("secondsToHMS(%v) = %d:%d:%v, want %d:%d:%v", tt.t, h, m, s, tt.h, tt.m, tt.s)
+		}
+	}
+}
+
+func TestFormatDWidthAlwaysNineteen(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 1e300, -1e-300, 1e89, -1e-89, 3.14159e-7, 2.65e7} {
+		if got := formatD(v); len(got) != 19 {
+			t.Errorf("formatD(%v) width %d: %q", v, len(got), got)
+		}
+	}
+}
+
+func TestParsePRNListEdgeCases(t *testing.T) {
+	prns, err := parsePRNList("G01G02G31", 3)
+	if err != nil || len(prns) != 3 || prns[2] != 31 {
+		t.Errorf("parsePRNList = %v, %v", prns, err)
+	}
+	// Limit respected.
+	prns, err = parsePRNList("G01G02G03", 2)
+	if err != nil || len(prns) != 2 {
+		t.Errorf("limited parsePRNList = %v, %v", prns, err)
+	}
+	// Trailing blanks terminate.
+	prns, err = parsePRNList("G07   ", 5)
+	if err != nil || len(prns) != 1 {
+		t.Errorf("blank-terminated parsePRNList = %v, %v", prns, err)
+	}
+	if _, err := parsePRNList("Gxx", 1); err == nil {
+		t.Error("bad PRN digits accepted")
+	}
+}

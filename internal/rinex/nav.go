@@ -1,0 +1,156 @@
+package rinex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"gpsdl/internal/orbit"
+)
+
+// WriteNav writes the constellation's ephemerides as a RINEX 2.11 GPS
+// navigation message file: one 8-line record per satellite carrying the
+// Keplerian elements the orbit package propagates (unused broadcast fields
+// are zero).
+func WriteNav(w io.Writer, sats []orbit.Satellite) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(headerLine("     2.11           N: GPS NAV DATA", "RINEX VERSION / TYPE"))   //nolint:errcheck
+	bw.WriteString(headerLine("gpsdl               gpsdl reproduction", "PGM / RUN BY / DATE")) //nolint:errcheck
+	bw.WriteString(headerLine("", "END OF HEADER"))                                             //nolint:errcheck
+	for _, s := range sats {
+		e := s.Orbit
+		// Line 0: PRN, epoch (zeros: our Toe is seconds-relative), clock.
+		fmt.Fprintf(bw, "%2d 00  1  1  0  0  0.0%s%s%s\n",
+			s.PRN, formatD(s.ClockAF0), formatD(s.ClockAF1), formatD(0))
+		// Broadcast orbit lines, 3X + 4 D19.12 fields each.
+		writeNavLine(bw, 0, 0, 0, e.MeanAnomaly)                           // IODE, Crs, Δn, M0
+		writeNavLine(bw, 0, e.Eccentricity, 0, math.Sqrt(e.SemiMajorAxis)) // Cuc, e, Cus, sqrtA
+		writeNavLine(bw, e.Toe, 0, e.RAAN, 0)                              // Toe, Cic, Ω0, Cis
+		writeNavLine(bw, e.Inclination, 0, e.ArgPerigee, e.RAANRate)       // i0, Crc, ω, Ω̇
+		writeNavLine(bw, 0, 0, 0, 0)                                       // IDOT, codes, week, L2P
+		writeNavLine(bw, 0, 0, 0, 0)                                       // accuracy, health, TGD, IODC
+		writeNavLine(bw, 0, 0, 0, 0)                                       // TTM, fit
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("rinex: flush nav: %w", err)
+	}
+	return nil
+}
+
+func writeNavLine(w io.Writer, a, b, c, d float64) {
+	fmt.Fprintf(w, "   %s%s%s%s\n", formatD(a), formatD(b), formatD(c), formatD(d))
+}
+
+// ReadNav parses a navigation file written by WriteNav and returns the
+// reconstructed satellites.
+func ReadNav(r io.Reader) ([]orbit.Satellite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	// Skip header.
+	headerDone := false
+	for sc.Scan() {
+		_, label := splitHeader(sc.Text())
+		if label == "END OF HEADER" {
+			headerDone = true
+			break
+		}
+	}
+	if !headerDone {
+		return nil, fmt.Errorf("rinex: nav missing END OF HEADER: %w", ErrBadHeader)
+	}
+	var sats []orbit.Satellite
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		// Record line 0: PRN in cols 1-2, clock terms in the last 3 fields.
+		if len(line) < 22 {
+			return nil, fmt.Errorf("rinex: short nav record %q: %w", line, ErrBadNav)
+		}
+		prn, err := strconv.Atoi(strings.TrimSpace(line[:2]))
+		if err != nil {
+			return nil, fmt.Errorf("rinex: nav PRN in %q: %w", line, ErrBadNav)
+		}
+		af0, af1, err := parseClockTerms(line)
+		if err != nil {
+			return nil, err
+		}
+		var fields [7][4]float64
+		for li := 0; li < 7; li++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("rinex: truncated nav record for PRN %d: %w", prn, ErrBadNav)
+			}
+			vals, err := parseNavLine(sc.Text())
+			if err != nil {
+				return nil, fmt.Errorf("rinex: PRN %d orbit line %d: %w", prn, li+1, err)
+			}
+			fields[li] = vals
+		}
+		sqrtA := fields[1][3]
+		sats = append(sats, orbit.Satellite{
+			PRN:      prn,
+			ClockAF0: af0,
+			ClockAF1: af1,
+			Orbit: orbit.Elements{
+				MeanAnomaly:   fields[0][3],
+				Eccentricity:  fields[1][1],
+				SemiMajorAxis: sqrtA * sqrtA,
+				Toe:           fields[2][0],
+				RAAN:          fields[2][2],
+				Inclination:   fields[3][0],
+				ArgPerigee:    fields[3][2],
+				RAANRate:      fields[3][3],
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rinex: scan nav: %w", err)
+	}
+	return sats, nil
+}
+
+// parseClockTerms extracts af0 and af1 from a nav record's first line (the
+// last three 19-char fields are af0, af1, af2).
+func parseClockTerms(line string) (af0, af1 float64, err error) {
+	if len(line) < 22+19*2 {
+		return 0, 0, fmt.Errorf("rinex: nav clock line %q: %w", line, ErrBadNav)
+	}
+	af0, err = parseD(line[22 : 22+19])
+	if err != nil {
+		return 0, 0, fmt.Errorf("rinex: af0: %w", ErrBadNav)
+	}
+	af1, err = parseD(line[22+19 : 22+38])
+	if err != nil {
+		return 0, 0, fmt.Errorf("rinex: af1: %w", ErrBadNav)
+	}
+	return af0, af1, nil
+}
+
+// parseNavLine parses a 3X + 4 D19.12 broadcast orbit line.
+func parseNavLine(line string) ([4]float64, error) {
+	var out [4]float64
+	if len(line) < 3 {
+		return out, fmt.Errorf("rinex: short orbit line %q: %w", line, ErrBadNav)
+	}
+	body := line[3:]
+	for i := 0; i < 4; i++ {
+		lo := i * 19
+		if lo >= len(body) {
+			break
+		}
+		hi := lo + 19
+		if hi > len(body) {
+			hi = len(body)
+		}
+		v, err := parseD(body[lo:hi])
+		if err != nil {
+			return out, fmt.Errorf("rinex: orbit field %d: %w", i, ErrBadNav)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package rinex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+// ObsRecord is one satellite's measurement in an epoch.
+type ObsRecord struct {
+	PRN int
+	C1  float64 // pseudo-range on L1 C/A, meters
+}
+
+// ObsEpoch is one observation epoch.
+type ObsEpoch struct {
+	// T is seconds from the file's first-observation time.
+	T    float64
+	Sats []ObsRecord
+}
+
+// ObsFile is a parsed RINEX observation file.
+type ObsFile struct {
+	Marker    string
+	ApproxPos geo.ECEF
+	Interval  float64
+	// Year, Month, Day of the first observation.
+	Year, Month, Day int
+	Epochs           []ObsEpoch
+}
+
+// WriteObs writes the dataset's pseudo-ranges as a RINEX 2.11 observation
+// file (observation type C1, epoch flag 0).
+func WriteObs(w io.Writer, ds *scenario.Dataset) error {
+	year, month, day, err := parseDate(ds.Station.Date)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	writeHeader := func(content, label string) {
+		bw.WriteString(headerLine(content, label)) //nolint:errcheck // flushed below
+	}
+	writeHeader("     2.11           OBSERVATION DATA    G (GPS)", "RINEX VERSION / TYPE")
+	writeHeader("gpsdl               gpsdl reproduction", "PGM / RUN BY / DATE")
+	writeHeader(ds.Station.ID, "MARKER NAME")
+	writeHeader(fmt.Sprintf("%14.4f%14.4f%14.4f",
+		ds.Station.Pos.X, ds.Station.Pos.Y, ds.Station.Pos.Z), "APPROX POSITION XYZ")
+	writeHeader("     1    C1", "# / TYPES OF OBSERV")
+	writeHeader(fmt.Sprintf("%10.3f", ds.Config.Step), "INTERVAL")
+	writeHeader(fmt.Sprintf("%6d%6d%6d%6d%6d%13.7f     GPS", year, month, day, 0, 0, 0.0),
+		"TIME OF FIRST OBS")
+	writeHeader("", "END OF HEADER")
+
+	for i := range ds.Epochs {
+		e := &ds.Epochs[i]
+		h, m, s := secondsToHMS(e.T)
+		// Epoch line: yy mm dd hh mm ss.sssssss flag numsats PRN list.
+		fmt.Fprintf(bw, " %02d %2d %2d %2d %2d%11.7f  0%3d", year%100, month, day, h, m, s, len(e.Obs))
+		for j, o := range e.Obs {
+			if j > 0 && j%12 == 0 {
+				// Continuation line: PRNs continue in column 33.
+				bw.WriteString("\n                                ") //nolint:errcheck
+			}
+			fmt.Fprintf(bw, "G%02d", o.PRN)
+		}
+		bw.WriteByte('\n') //nolint:errcheck
+		for _, o := range e.Obs {
+			fmt.Fprintf(bw, "%14.3f\n", o.Pseudorange)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("rinex: flush obs: %w", err)
+	}
+	return nil
+}
+
+// ReadObs parses a RINEX 2.11 observation file written by WriteObs (or any
+// single-type C1 GPS file with flag-0 epochs).
+func ReadObs(r io.Reader) (*ObsFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	f := &ObsFile{}
+	// Header.
+	headerDone := false
+	for sc.Scan() {
+		content, label := splitHeader(sc.Text())
+		switch label {
+		case "MARKER NAME":
+			f.Marker = strings.TrimSpace(content)
+		case "APPROX POSITION XYZ":
+			fields := strings.Fields(content)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("rinex: approx position %q: %w", content, ErrBadHeader)
+			}
+			vals := make([]float64, 3)
+			for i, fs := range fields {
+				v, err := strconv.ParseFloat(fs, 64)
+				if err != nil {
+					return nil, fmt.Errorf("rinex: approx position %q: %w", content, ErrBadHeader)
+				}
+				vals[i] = v
+			}
+			f.ApproxPos = geo.ECEF{X: vals[0], Y: vals[1], Z: vals[2]}
+		case "INTERVAL":
+			v, err := strconv.ParseFloat(strings.TrimSpace(content), 64)
+			if err != nil {
+				return nil, fmt.Errorf("rinex: interval %q: %w", content, ErrBadHeader)
+			}
+			f.Interval = v
+		case "TIME OF FIRST OBS":
+			fields := strings.Fields(content)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("rinex: first obs %q: %w", content, ErrBadHeader)
+			}
+			var err error
+			if f.Year, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("rinex: first obs year: %w", ErrBadHeader)
+			}
+			if f.Month, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("rinex: first obs month: %w", ErrBadHeader)
+			}
+			if f.Day, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("rinex: first obs day: %w", ErrBadHeader)
+			}
+		case "END OF HEADER":
+			headerDone = true
+		}
+		if headerDone {
+			break
+		}
+	}
+	if !headerDone {
+		return nil, fmt.Errorf("rinex: missing END OF HEADER: %w", ErrBadHeader)
+	}
+	// Epochs.
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		epoch, prns, err := parseEpochLine(line)
+		if err != nil {
+			return nil, err
+		}
+		// PRN continuation lines.
+		for len(prns) < epoch.n {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("rinex: truncated PRN list: %w", ErrBadEpoch)
+			}
+			more, err := parsePRNList(sc.Text()[32:], epoch.n-len(prns))
+			if err != nil {
+				return nil, err
+			}
+			prns = append(prns, more...)
+		}
+		oe := ObsEpoch{T: epoch.t, Sats: make([]ObsRecord, 0, epoch.n)}
+		for _, prn := range prns {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("rinex: truncated observations: %w", ErrBadEpoch)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(sc.Text()), 64)
+			if err != nil {
+				return nil, fmt.Errorf("rinex: bad observation %q: %w", sc.Text(), ErrBadEpoch)
+			}
+			oe.Sats = append(oe.Sats, ObsRecord{PRN: prn, C1: v})
+		}
+		f.Epochs = append(f.Epochs, oe)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rinex: scan: %w", err)
+	}
+	return f, nil
+}
+
+// epochHeader is the parsed fixed part of an epoch line.
+type epochHeader struct {
+	t float64
+	n int
+}
+
+// parseEpochLine parses the fixed fields and the first PRN block of an
+// epoch line.
+func parseEpochLine(line string) (epochHeader, []int, error) {
+	if len(line) < 32 {
+		return epochHeader{}, nil, fmt.Errorf("rinex: short epoch line %q: %w", line, ErrBadEpoch)
+	}
+	fields := strings.Fields(line[:32])
+	// yy mm dd hh mm ss.sssssss flag numsats
+	if len(fields) < 8 {
+		return epochHeader{}, nil, fmt.Errorf("rinex: epoch line %q: %w", line, ErrBadEpoch)
+	}
+	hh, err1 := strconv.Atoi(fields[3])
+	mm, err2 := strconv.Atoi(fields[4])
+	ss, err3 := strconv.ParseFloat(fields[5], 64)
+	flag, err4 := strconv.Atoi(fields[6])
+	n, err5 := strconv.Atoi(fields[7])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+		return epochHeader{}, nil, fmt.Errorf("rinex: epoch fields in %q: %w", line, ErrBadEpoch)
+	}
+	if flag != 0 {
+		return epochHeader{}, nil, fmt.Errorf("rinex: unsupported epoch flag %d: %w", flag, ErrBadEpoch)
+	}
+	prns, err := parsePRNList(line[32:], n)
+	if err != nil {
+		return epochHeader{}, nil, err
+	}
+	return epochHeader{t: float64(hh*3600+mm*60) + ss, n: n}, prns, nil
+}
+
+// parsePRNList parses up to limit "Gnn" entries from s.
+func parsePRNList(s string, limit int) ([]int, error) {
+	out := make([]int, 0, limit)
+	for i := 0; i+3 <= len(s) && len(out) < limit; i += 3 {
+		entry := s[i : i+3]
+		if strings.TrimSpace(entry) == "" {
+			break
+		}
+		if entry[0] != 'G' {
+			return nil, fmt.Errorf("rinex: non-GPS satellite %q: %w", entry, ErrBadEpoch)
+		}
+		prn, err := strconv.Atoi(strings.TrimSpace(entry[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("rinex: bad PRN %q: %w", entry, ErrBadEpoch)
+		}
+		out = append(out, prn)
+	}
+	return out, nil
+}

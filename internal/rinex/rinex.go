@@ -1,0 +1,124 @@
+// Package rinex reads and writes RINEX 2.11 files — the format the paper's
+// CORS datasets were distributed in [8]. Observation files carry the
+// per-epoch C1 pseudo-ranges; navigation files carry the Keplerian
+// broadcast ephemerides from which satellite coordinates are recomputed.
+// Together they round-trip a scenario.Dataset through the same file formats
+// a real receiver pipeline would use.
+//
+// The implementation covers the GPS subset of RINEX 2.11 that the
+// reproduction needs: C1 observations, single-epoch flags, and the
+// ephemeris fields consumed by the orbit package (unused broadcast fields
+// are written as zeros and ignored on read).
+package rinex
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format errors.
+var (
+	// ErrBadHeader is returned when a required header line is missing or
+	// malformed.
+	ErrBadHeader = errors.New("rinex: malformed header")
+	// ErrBadEpoch is returned when an epoch record cannot be parsed.
+	ErrBadEpoch = errors.New("rinex: malformed epoch record")
+	// ErrBadNav is returned when a navigation record cannot be parsed.
+	ErrBadNav = errors.New("rinex: malformed navigation record")
+)
+
+// formatD renders a float in the RINEX D-exponent style: 0.123456789012D+01
+// in a 19-character field. The two-digit exponent of the format limits the
+// magnitude range to (1e-90, 1e90); values below flush to zero and values
+// above saturate — no physical RINEX quantity approaches either bound.
+func formatD(v float64) string {
+	if v > -1e-90 && v < 1e-90 {
+		v = 0
+	} else if v > 1e90 {
+		v = 1e90
+	} else if v < -1e90 {
+		v = -1e90
+	}
+	s := strconv.FormatFloat(v, 'E', 12, 64) // e.g. 1.234567890123E+01
+	// Convert to RINEX's leading-zero mantissa: shift the decimal point.
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	ePos := strings.IndexByte(s, 'E')
+	mant := s[:ePos]
+	exp, err := strconv.Atoi(s[ePos+1:])
+	if err != nil {
+		// Unreachable for FormatFloat output; keep a safe fallback.
+		exp = 0
+	}
+	digits := strings.Replace(mant, ".", "", 1)
+	if v != 0 {
+		exp++
+	}
+	out := "0." + digits[:12] + "D" + fmt.Sprintf("%+03d", exp)
+	if neg {
+		out = "-" + out
+	}
+	return fmt.Sprintf("%19s", out)
+}
+
+// parseD parses a RINEX D-exponent float (accepts D, d, E, e exponents).
+func parseD(s string) (float64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	t = strings.NewReplacer("D", "E", "d", "e").Replace(t)
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rinex: bad float %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// headerLine renders a RINEX header line: 60 columns of content plus the
+// right-aligned label region.
+func headerLine(content, label string) string {
+	return fmt.Sprintf("%-60s%-20s\n", content, label)
+}
+
+// splitHeader splits a header line into content and label.
+func splitHeader(line string) (content, label string) {
+	if len(line) <= 60 {
+		return line, ""
+	}
+	return line[:60], strings.TrimSpace(line[60:])
+}
+
+// parseDate converts the station date format "2009/08/12" to RINEX
+// year/month/day components.
+func parseDate(date string) (year, month, day int, err error) {
+	parts := strings.Split(date, "/")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("rinex: bad date %q: %w", date, ErrBadHeader)
+	}
+	year, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("rinex: bad year in %q: %w", date, ErrBadHeader)
+	}
+	month, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("rinex: bad month in %q: %w", date, ErrBadHeader)
+	}
+	day, err = strconv.Atoi(parts[2])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("rinex: bad day in %q: %w", date, ErrBadHeader)
+	}
+	return year, month, day, nil
+}
+
+// secondsToHMS splits seconds-of-day into h, m and fractional seconds.
+func secondsToHMS(t float64) (h, m int, s float64) {
+	h = int(t) / 3600
+	m = (int(t) % 3600) / 60
+	s = t - float64(h*3600+m*60)
+	return h, m, s
+}

@@ -1,0 +1,301 @@
+package rinex
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpsdl/internal/orbit"
+	"gpsdl/internal/scenario"
+)
+
+func TestFormatDKnownValues(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, " 0.000000000000D+00"},
+		{1, " 0.100000000000D+01"},
+		{-2.5, "-0.250000000000D+01"},
+		{1e-7, " 0.100000000000D-06"},
+	}
+	for _, tt := range tests {
+		got := formatD(tt.v)
+		if len(got) != 19 {
+			t.Errorf("formatD(%v) has width %d: %q", tt.v, len(got), got)
+		}
+		if strings.TrimSpace(got) != strings.TrimSpace(tt.want) {
+			t.Errorf("formatD(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+// Property: formatD/parseD round-trips to 12 significant digits.
+func TestPropFormatDRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := r.NormFloat64() * math.Pow(10, float64(r.Intn(16)-8))
+		// Stay inside the two-digit-exponent range formatD supports.
+		s := formatD(v)
+		back, err := parseD(s)
+		if err != nil {
+			return false
+		}
+		if v == 0 {
+			return back == 0
+		}
+		return math.Abs(back-v) < 1e-11*math.Abs(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDVariants(t *testing.T) {
+	for _, s := range []string{" 0.123D+01", "0.123E+01", "0.123d+01", "0.123e+01"} {
+		v, err := parseD(s)
+		if err != nil {
+			t.Errorf("parseD(%q): %v", s, err)
+			continue
+		}
+		if math.Abs(v-1.23) > 1e-12 {
+			t.Errorf("parseD(%q) = %v", s, v)
+		}
+	}
+	if v, err := parseD("   "); err != nil || v != 0 {
+		t.Errorf("parseD(blank) = %v, %v", v, err)
+	}
+	if _, err := parseD("not-a-number"); err == nil {
+		t.Error("parseD(garbage) succeeded")
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	y, m, d, err := parseDate("2009/08/12")
+	if err != nil || y != 2009 || m != 8 || d != 12 {
+		t.Errorf("parseDate = %d/%d/%d, %v", y, m, d, err)
+	}
+	for _, bad := range []string{"2009-08-12", "2009/08", "y/8/12", "2009/m/12", "2009/08/d"} {
+		if _, _, _, err := parseDate(bad); err == nil {
+			t.Errorf("parseDate(%q) succeeded", bad)
+		}
+	}
+}
+
+func genDataset(t *testing.T, id string, secs float64) *scenario.Dataset {
+	t.Helper()
+	st, err := scenario.StationByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(17))
+	ds, err := g.GenerateRange(0, secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestObsRoundTrip(t *testing.T) {
+	ds := genDataset(t, "SRZN", 30)
+	var buf bytes.Buffer
+	if err := WriteObs(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadObs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Marker != "SRZN" {
+		t.Errorf("marker = %q", f.Marker)
+	}
+	if f.ApproxPos.DistanceTo(ds.Station.Pos) > 1e-3 {
+		t.Errorf("approx position off by %v m", f.ApproxPos.DistanceTo(ds.Station.Pos))
+	}
+	if f.Interval != 1 {
+		t.Errorf("interval = %v", f.Interval)
+	}
+	if f.Year != 2009 || f.Month != 8 || f.Day != 12 {
+		t.Errorf("first obs date = %d/%d/%d", f.Year, f.Month, f.Day)
+	}
+	if len(f.Epochs) != ds.Len() {
+		t.Fatalf("epochs = %d, want %d", len(f.Epochs), ds.Len())
+	}
+	for i, oe := range f.Epochs {
+		want := ds.Epochs[i]
+		if oe.T != want.T {
+			t.Errorf("epoch %d time %v, want %v", i, oe.T, want.T)
+		}
+		if len(oe.Sats) != len(want.Obs) {
+			t.Fatalf("epoch %d sats = %d, want %d", i, len(oe.Sats), len(want.Obs))
+		}
+		for j, rec := range oe.Sats {
+			if rec.PRN != want.Obs[j].PRN {
+				t.Errorf("epoch %d sat %d PRN %d, want %d", i, j, rec.PRN, want.Obs[j].PRN)
+			}
+			// F14.3 format: mm precision.
+			if math.Abs(rec.C1-want.Obs[j].Pseudorange) > 0.0011 {
+				t.Errorf("epoch %d sat %d C1 %v, want %v", i, j, rec.C1, want.Obs[j].Pseudorange)
+			}
+		}
+	}
+}
+
+func TestObsEpochWithManySatellitesUsesContinuation(t *testing.T) {
+	// Build an artificial epoch with 14 satellites to force a PRN
+	// continuation line.
+	ds := genDataset(t, "YYR1", 1)
+	e := &ds.Epochs[0]
+	for prn := 40; len(e.Obs) < 14; prn++ {
+		o := e.Obs[0]
+		o.PRN = prn % 100
+		e.Obs = append(e.Obs, o)
+	}
+	var buf bytes.Buffer
+	if err := WriteObs(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadObs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Epochs[0].Sats); got != 14 {
+		t.Errorf("read %d sats, want 14", got)
+	}
+}
+
+func TestReadObsRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"no header", "garbage\nmore garbage\n"},
+		{"bad epoch flag", obsHeader() + " 09  8 12  0  0  0.0000000  4  1G01\n 20000000.000\n"},
+		{"non-GPS sat", obsHeader() + " 09  8 12  0  0  0.0000000  0  1R01\n 20000000.000\n"},
+		{"truncated observations", obsHeader() + " 09  8 12  0  0  0.0000000  0  2G01G02\n 20000000.000\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadObs(strings.NewReader(tt.input)); err == nil {
+				t.Error("ReadObs succeeded on malformed input")
+			}
+		})
+	}
+}
+
+func obsHeader() string {
+	var sb strings.Builder
+	sb.WriteString(headerLine("     2.11           OBSERVATION DATA    G (GPS)", "RINEX VERSION / TYPE"))
+	sb.WriteString(headerLine("SRZN", "MARKER NAME"))
+	sb.WriteString(headerLine("  3623420.0320 -5214015.4340   602359.0960", "APPROX POSITION XYZ"))
+	sb.WriteString(headerLine("     1.000", "INTERVAL"))
+	sb.WriteString(headerLine("  2009     8    12     0     0    0.0000000     GPS", "TIME OF FIRST OBS"))
+	sb.WriteString(headerLine("", "END OF HEADER"))
+	return sb.String()
+}
+
+func TestNavRoundTrip(t *testing.T) {
+	sats := orbit.DefaultConstellation().Satellites()
+	var buf bytes.Buffer
+	if err := WriteNav(&buf, sats); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNav(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sats) {
+		t.Fatalf("read %d satellites, want %d", len(back), len(sats))
+	}
+	for i, s := range sats {
+		b := back[i]
+		if b.PRN != s.PRN {
+			t.Errorf("sat %d PRN %d, want %d", i, b.PRN, s.PRN)
+		}
+		if math.Abs(b.ClockAF0-s.ClockAF0) > 1e-16 {
+			t.Errorf("PRN %d af0 %v, want %v", s.PRN, b.ClockAF0, s.ClockAF0)
+		}
+		// Orbits must propagate to nearly identical positions.
+		p1, err1 := s.Orbit.PositionECEF(43210)
+		p2, err2 := b.Orbit.PositionECEF(43210)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("propagation: %v, %v", err1, err2)
+		}
+		if d := p1.DistanceTo(p2); d > 0.01 {
+			t.Errorf("PRN %d propagated position differs by %v m after round trip", s.PRN, d)
+		}
+	}
+}
+
+func TestReadNavRejectsGarbage(t *testing.T) {
+	if _, err := ReadNav(strings.NewReader("no header here\n")); err == nil {
+		t.Error("ReadNav succeeded without header")
+	}
+	header := headerLine("     2.11           N: GPS NAV DATA", "RINEX VERSION / TYPE") +
+		headerLine("", "END OF HEADER")
+	if _, err := ReadNav(strings.NewReader(header + "xx bad record\n")); err == nil {
+		t.Error("ReadNav succeeded on malformed record")
+	}
+}
+
+// Full pipeline: dataset -> RINEX obs+nav -> reconstructed dataset must be
+// solvable with the same accuracy as the original.
+func TestToDatasetReconstruction(t *testing.T) {
+	ds := genDataset(t, "FAI1", 10)
+	var obsBuf, navBuf bytes.Buffer
+	if err := WriteObs(&obsBuf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNav(&navBuf, orbit.DefaultConstellation().Satellites()); err != nil {
+		t.Fatal(err)
+	}
+	obsFile, err := ReadObs(&obsBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sats, err := ReadNav(&navBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ToDataset(obsFile, sats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("reconstructed %d epochs, want %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Epochs {
+		for j := range ds.Epochs[i].Obs {
+			orig := ds.Epochs[i].Obs[j]
+			rec := back.Epochs[i].Obs[j]
+			if rec.PRN != orig.PRN {
+				t.Fatalf("epoch %d obs %d PRN mismatch", i, j)
+			}
+			// Reconstructed satellite positions must match the
+			// generator's to sub-meter (same ephemeris, same light-time
+			// solution; the only differences are F14.3 quantization of
+			// the pseudorange feeding the light-time iteration).
+			if d := rec.Pos.DistanceTo(orig.Pos); d > 1 {
+				t.Errorf("epoch %d PRN %d position differs by %v m", i, orig.PRN, d)
+			}
+		}
+	}
+}
+
+func TestToDatasetMissingEphemeris(t *testing.T) {
+	ds := genDataset(t, "FAI1", 2)
+	var obsBuf bytes.Buffer
+	if err := WriteObs(&obsBuf, ds); err != nil {
+		t.Fatal(err)
+	}
+	obsFile, err := ReadObs(&obsBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ToDataset(obsFile, nil); err == nil {
+		t.Error("ToDataset with empty nav succeeded")
+	}
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	st, err := StationByID("KYCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(st, DefaultConfig(44))
+	ds, err := g.GenerateRange(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Station != ds.Station {
+		t.Errorf("station: %+v vs %+v", back.Station, ds.Station)
+	}
+	if back.Config != ds.Config {
+		t.Errorf("config: %+v vs %+v", back.Config, ds.Config)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("epochs: %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Epochs {
+		if back.Epochs[i].T != ds.Epochs[i].T {
+			t.Fatalf("epoch %d time mismatch", i)
+		}
+		if len(back.Epochs[i].Obs) != len(ds.Epochs[i].Obs) {
+			t.Fatalf("epoch %d size mismatch", i)
+		}
+		for j := range ds.Epochs[i].Obs {
+			if back.Epochs[i].Obs[j] != ds.Epochs[i].Obs[j] {
+				t.Errorf("epoch %d obs %d mismatch:\n  %+v\n  %+v",
+					i, j, back.Epochs[i].Obs[j], ds.Epochs[i].Obs[j])
+			}
+		}
+	}
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	st, _ := StationByID("SRZN")
+	g := NewGenerator(st, DefaultConfig(44))
+	ds, err := g.GenerateRange(0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf, binBuf bytes.Buffer
+	if err := ds.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteBinary(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(jsonBuf.Len()) / float64(binBuf.Len())
+	t.Logf("JSON %d B, binary %d B (%.1fx smaller)", jsonBuf.Len(), binBuf.Len(), ratio)
+	if ratio < 2 {
+		t.Errorf("binary only %.1fx smaller than JSON", ratio)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad magic", "NOTMAGIC rest"},
+		{"truncated header", "GPSDLBIN"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadBinary(strings.NewReader(tt.in)); err == nil {
+				t.Error("ReadBinary succeeded on garbage")
+			}
+		})
+	}
+	// Corrupt version.
+	var buf bytes.Buffer
+	st, _ := StationByID("SRZN")
+	g := NewGenerator(st, DefaultConfig(1))
+	ds, _ := g.GenerateRange(0, 1)
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 99 // version low byte
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("ReadBinary accepted wrong version")
+	}
+	// Truncated body.
+	data[8] = 1
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("ReadBinary accepted truncated body")
+	}
+}
+
+func TestBinaryFileHelpers(t *testing.T) {
+	st, _ := StationByID("FAI1")
+	g := NewGenerator(st, DefaultConfig(2))
+	ds, err := g.GenerateRange(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.bin"
+	if err := ds.SaveBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Errorf("loaded %d epochs", back.Len())
+	}
+	if _, err := LoadBinaryFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

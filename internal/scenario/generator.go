@@ -1,0 +1,459 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpsdl/internal/atmosphere"
+	"gpsdl/internal/clock"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/orbit"
+)
+
+// Config controls dataset generation. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// Seed drives every random draw; identical (Seed, Station, t) always
+	// produce identical observations.
+	Seed int64
+	// ElevMaskDeg is the elevation cutoff in degrees. The default of 7°
+	// yields the paper's 8-12 visible satellites per epoch (with 10+
+	// in view often enough to populate the m = 10 sweep point).
+	ElevMaskDeg float64
+	// NoiseSigma is the thermal-noise standard deviation in meters.
+	NoiseSigma float64
+	// IonoRemainder is the fraction of the modeled ionospheric delay left
+	// after broadcast correction (≈0.3: Klobuchar removes ~50-70%).
+	IonoRemainder float64
+	// TropoRemainder is the residual fraction of the tropospheric delay.
+	TropoRemainder float64
+	// Multipath enables elevation-dependent multipath noise.
+	Multipath bool
+	// Step is the epoch spacing in seconds (the paper uses 1 s).
+	Step float64
+	// CodeOnly skips the carrier, L2 and Doppler observables (they stay
+	// zero), roughly halving generation cost. Pseudoranges are identical
+	// either way: the code noise stream is drawn before the auxiliary
+	// observables'. Use for code-only experiments like the paper's.
+	CodeOnly bool
+}
+
+// DefaultConfig returns the configuration used for the paper-reproduction
+// experiments.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		ElevMaskDeg:    7,
+		NoiseSigma:     2.0,
+		IonoRemainder:  0.3,
+		TropoRemainder: 0.1,
+		Multipath:      true,
+		Step:           1,
+	}
+}
+
+// SatObs is one satellite's contribution to an epoch: its ECEF coordinates
+// at signal emission (expressed in the reception-time frame) and the
+// measured pseudo-range — exactly the per-satellite payload of the
+// paper's "data items" (Section 5.2.1) — plus the carrier-phase and
+// Doppler observables a full receiver also tracks.
+type SatObs struct {
+	PRN         int      `json:"prn"`
+	Pos         geo.ECEF `json:"pos"`
+	Pseudorange float64  `json:"pr"`
+	// Pseudorange2 is the L2 code measurement: same geometry and clock,
+	// ionospheric delay scaled by (f1/f2)² ≈ 1.6469 (dispersion), and
+	// somewhat noisier tracking. Dual-frequency receivers combine L1/L2
+	// into the ionosphere-free observable (see IonoFreeEpoch).
+	Pseudorange2 float64 `json:"pr2"`
+	// Carrier is the L1 carrier-phase measurement expressed in meters
+	// (λ·φ): the same geometry and clock terms as the pseudo-range, an
+	// unknown integer-ambiguity offset per satellite pass, mm-level
+	// noise, and the ionospheric term with *opposite sign* (phase
+	// advance vs group delay).
+	Carrier float64 `json:"cp"`
+	// Doppler is the measured range rate in m/s (satellite motion plus
+	// receiver motion plus receiver clock drift).
+	Doppler float64 `json:"dop"`
+	// Vel is the satellite ECEF velocity from the ephemeris, needed by
+	// velocity solvers.
+	Vel geo.ECEF `json:"vel"`
+	// Elevation (radians) is carried for satellite-selection strategies
+	// and diagnostics; real receivers compute it from the fix anyway.
+	Elevation float64 `json:"elev"`
+}
+
+// Epoch is one second of observations.
+type Epoch struct {
+	// T is the receiver timestamp in seconds from the dataset start.
+	T float64 `json:"t"`
+	// Obs holds all visible satellites, sorted by descending elevation.
+	Obs []SatObs `json:"obs"`
+}
+
+// Generator produces epochs for one station.
+type Generator struct {
+	station Station
+	cfg     Config
+	cons    *orbit.Constellation
+	clk     clock.Model
+	posAt   func(t float64) geo.ECEF
+	visible func(elev, azim float64) bool
+	faults  []Fault
+}
+
+// Option customizes a Generator.
+type Option func(*Generator)
+
+// WithTrajectory makes the receiver mobile: pos gives the true receiver
+// position at each time. Used by the vehicle-tracking example; the
+// station's Pos is then only the trajectory reference point.
+func WithTrajectory(pos func(t float64) geo.ECEF) Option {
+	return func(g *Generator) { g.posAt = pos }
+}
+
+// WithConstellation substitutes a custom constellation.
+func WithConstellation(c *orbit.Constellation) Option {
+	return func(g *Generator) { g.cons = c }
+}
+
+// WithClockModel substitutes a custom receiver clock truth model.
+func WithClockModel(m clock.Model) Option {
+	return func(g *Generator) { g.clk = m }
+}
+
+// Fault describes an injected gross pseudo-range error: PRN gets Bias
+// meters added to its code measurement for t in [From, Until). Used to
+// exercise integrity monitoring (RAIM) end to end.
+type Fault struct {
+	PRN         int
+	From, Until float64
+	Bias        float64
+}
+
+// WithFaults injects gross errors into the matching observations.
+func WithFaults(faults []Fault) Option {
+	owned := make([]Fault, len(faults))
+	copy(owned, faults)
+	return func(g *Generator) { g.faults = owned }
+}
+
+// WithVisibility installs an extra sky mask: a satellite above the global
+// elevation cutoff is still dropped when visible(elev, azim) is false.
+// Use for urban-canyon scenarios where buildings occlude whole azimuth
+// sectors and the receiver may fall below 4 usable satellites (the regime
+// the 3-satellite TriSat solver exists for).
+func WithVisibility(visible func(elev, azim float64) bool) Option {
+	return func(g *Generator) { g.visible = visible }
+}
+
+// CanyonMask returns a visibility function modeling a street canyon
+// running along the given axis (radians clockwise from north): satellites
+// are visible only within halfWidth of the street axis (either direction)
+// or above the roofline elevation.
+func CanyonMask(axis, halfWidth, roofline float64) func(elev, azim float64) bool {
+	return func(elev, azim float64) bool {
+		if elev >= roofline {
+			return true
+		}
+		for _, dir := range [2]float64{axis, axis + math.Pi} {
+			d := math.Mod(azim-dir, 2*math.Pi)
+			if d > math.Pi {
+				d -= 2 * math.Pi
+			}
+			if d < -math.Pi {
+				d += 2 * math.Pi
+			}
+			if d >= -halfWidth && d <= halfWidth {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// NewGenerator builds a generator for the station. The receiver clock
+// truth model is derived from the station's clock-correction type with
+// parameters varied deterministically by Seed.
+func NewGenerator(station Station, cfg Config, opts ...Option) *Generator {
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	g := &Generator{
+		station: station,
+		cfg:     cfg,
+		cons:    orbit.DefaultConstellation(),
+		clk:     defaultClockModel(station, cfg.Seed),
+		posAt:   func(float64) geo.ECEF { return station.Pos },
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// defaultClockModel builds the truth clock for a station.
+func defaultClockModel(station Station, seed int64) clock.Model {
+	rng := rand.New(rand.NewSource(seed ^ int64(hashString(station.ID))))
+	switch station.Clock {
+	case ClockThreshold:
+		// Quartz receiver: drift 0.5-2 × 1e-7 s/s, 1 ms reset threshold
+		// (several resets over 24 h).
+		return &clock.ThresholdModel{
+			Offset:    rng.Float64() * 1e-4,
+			Drift:     (0.5 + 1.5*rng.Float64()) * 1e-7,
+			Threshold: 1e-3,
+		}
+	default:
+		// Steered clock: small constant residual, bounded slow
+		// oscillation from the steering loop, ns-level jitter.
+		return &clock.SteeringModel{
+			Offset:     (rng.Float64() - 0.5) * 1e-7, // ±50 ns
+			Amplitude:  (2 + 3*rng.Float64()) * 1e-9, // 2-5 ns
+			Period:     7200 + rng.Float64()*14400,   // 2-6 h
+			Jitter:     1e-9,
+			JitterSeed: seed,
+		}
+	}
+}
+
+// Station returns the generated station.
+func (g *Generator) Station() Station { return g.station }
+
+// Config returns the generator configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// ClockModel exposes the receiver-clock truth model (for predictor
+// evaluation and the clockcal example).
+func (g *Generator) ClockModel() clock.Model { return g.clk }
+
+// TruthPosition returns the true receiver position at time t.
+func (g *Generator) TruthPosition(t float64) geo.ECEF { return g.posAt(t) }
+
+// EpochAt generates the observations for receiver time t. Generation is a
+// pure function of (Seed, station, t): re-generating any epoch gives
+// byte-identical results regardless of order.
+func (g *Generator) EpochAt(t float64) (Epoch, error) {
+	recv := g.posAt(t)
+	mask := g.cfg.ElevMaskDeg * math.Pi / 180
+	vis, err := g.cons.Visible(recv, t, mask)
+	if err != nil {
+		return Epoch{}, fmt.Errorf("scenario: visibility at t=%v: %w", t, err)
+	}
+	biasSec := g.clk.BiasAt(t)
+	var driftMPS float64
+	var recvVel geo.ECEF
+	if !g.cfg.CodeOnly {
+		driftMPS = g.clockDrift(t) * geo.SpeedOfLight
+		recvVel = g.receiverVelocity(t)
+	}
+	epoch := Epoch{T: t, Obs: make([]SatObs, 0, len(vis))}
+	for _, v := range vis {
+		if g.visible != nil && !g.visible(v.Elevation, v.Azimuth) {
+			continue
+		}
+		// Signal emission position: iterate the light-time equation,
+		// expressing the satellite position in the reception-time frame
+		// (Sagnac correction).
+		emitPos, rng := g.emissionPosition(v.Sat, recv, t)
+		eps, iono, tropo, obsRng := g.satelliteErrorParts(v.Sat.PRN, t, v.Elevation)
+		pr := rng + geo.SpeedOfLight*biasSec + eps
+		for _, f := range g.faults {
+			if f.PRN == v.Sat.PRN && t >= f.From && t < f.Until {
+				pr += f.Bias
+			}
+		}
+		obsOut := SatObs{
+			PRN:         v.Sat.PRN,
+			Pos:         emitPos,
+			Pseudorange: pr,
+			Elevation:   v.Elevation,
+		}
+		if !g.cfg.CodeOnly {
+			// Carrier phase: same geometry/clock/troposphere, opposite-
+			// sign ionosphere, a per-pass ambiguity, and millimeter noise
+			// — the code's thermal noise and multipath do NOT appear on
+			// the carrier (that asymmetry is what makes Hatch smoothing
+			// work).
+			obsOut.Carrier = rng + geo.SpeedOfLight*biasSec + tropo - iono +
+				g.carrierAmbiguity(v.Sat.PRN) + 0.003*obsRng.NormFloat64()
+			// Doppler: projected relative velocity plus clock drift.
+			satVel, verr := v.Sat.Orbit.VelocityECEF(t)
+			if verr == nil {
+				// Range rate: positive when the range is growing. u
+				// points from receiver to satellite.
+				los := emitPos.Sub(recv)
+				u := los.Scale(1 / los.Norm())
+				obsOut.Doppler = satVel.Sub(recvVel).Dot(u) + driftMPS + 0.05*obsRng.NormFloat64()
+				obsOut.Vel = satVel
+			}
+			// L2 code: dispersion scales the iono term by γ; tracking
+			// noise is ~1.5× L1 (semi-codeless tracking).
+			obsOut.Pseudorange2 = pr + (GammaL1L2-1)*iono + 0.5*g.cfg.NoiseSigma*obsRng.NormFloat64()
+		}
+		epoch.Obs = append(epoch.Obs, obsOut)
+	}
+	return epoch, nil
+}
+
+// clockDrift numerically differentiates the receiver clock bias (s/s).
+func (g *Generator) clockDrift(t float64) float64 {
+	const h = 0.5
+	return (g.clk.BiasAt(t+h) - g.clk.BiasAt(t-h)) / (2 * h)
+}
+
+// receiverVelocity numerically differentiates the trajectory (m/s).
+func (g *Generator) receiverVelocity(t float64) geo.ECEF {
+	const h = 0.5
+	return g.posAt(t + h).Sub(g.posAt(t - h)).Scale(1 / (2 * h))
+}
+
+// carrierAmbiguity returns the per-pass carrier ambiguity in meters
+// (λ·N with N an integer, λ = 19.03 cm for L1), fixed for the day.
+func (g *Generator) carrierAmbiguity(prn int) float64 {
+	const lambdaL1 = 0.1903
+	rng := rand.New(rand.NewSource(obsSeed(g.cfg.Seed^int64(hashString(g.station.ID)), prn, -2)))
+	n := rng.Intn(2_000_000) - 1_000_000
+	return lambdaL1 * float64(n)
+}
+
+// emissionPosition solves the light-time equation: the satellite position
+// at t−τ rotated into the reception-time ECEF frame, where τ is the signal
+// travel time. Two fixed-point iterations converge to sub-millimeter.
+func (g *Generator) emissionPosition(sat orbit.Satellite, recv geo.ECEF, t float64) (geo.ECEF, float64) {
+	tau := 0.075 // initial guess ≈ orbital radius / c
+	var pos geo.ECEF
+	var dist float64
+	for i := 0; i < 3; i++ {
+		p, err := sat.Orbit.PositionECEF(t - tau)
+		if err != nil {
+			// Orbit propagation of valid elements cannot fail; keep the
+			// last iterate if it somehow does.
+			break
+		}
+		pos = geo.RotateEarth(p, tau)
+		dist = recv.DistanceTo(pos)
+		tau = dist / geo.SpeedOfLight
+	}
+	return pos, dist
+}
+
+// satelliteError draws the satellite-dependent error εᵢˢ for one
+// observation: thermal noise, multipath, and atmospheric residuals. All
+// draws are deterministic functions of (Seed, station, PRN, t). The
+// station identity enters the receiver-local noise stream (thermal,
+// multipath) but not the per-pass atmospheric factors, so two receivers
+// observing the same satellite share its atmospheric residual — the
+// property differential GPS exploits.
+func (g *Generator) satelliteError(prn int, t, elev float64) float64 {
+	eps, _, _, _ := g.satelliteErrorParts(prn, t, elev)
+	return eps
+}
+
+// satelliteErrorParts draws εᵢˢ and separately reports its ionospheric
+// component (which enters the carrier phase with opposite sign) and
+// tropospheric component (non-dispersive: same sign on the carrier). The
+// returned RNG continues the observation's deterministic stream so
+// callers can draw further per-observation noise.
+func (g *Generator) satelliteErrorParts(prn int, t, elev float64) (eps, iono, tropo float64, rng *rand.Rand) {
+	rng = rand.New(rand.NewSource(obsSeed(g.cfg.Seed^int64(hashString(g.station.ID)), prn, t)))
+	eps = g.cfg.NoiseSigma * rng.NormFloat64()
+	if g.cfg.Multipath {
+		eps += atmosphere.MultipathSigma(elev) * rng.NormFloat64()
+	}
+	if g.cfg.IonoRemainder > 0 || g.cfg.TropoRemainder > 0 {
+		// Per-satellite model-mismatch factors in [-1, 1], fixed for the
+		// whole day (the broadcast model misfits a satellite pass
+		// coherently, not white-noise-like).
+		passRng := rand.New(rand.NewSource(obsSeed(g.cfg.Seed, prn, -1)))
+		uIono := passRng.Float64()*2 - 1
+		uTropo := passRng.Float64()*2 - 1
+		localTime := localSolarTime(g.station.Pos, t)
+		alt := g.station.Pos.ToLLA().Alt
+		iono = atmosphere.ResidualIono(elev, localTime, g.cfg.IonoRemainder, uIono)
+		tropo = atmosphere.ResidualTropo(elev, alt, g.cfg.TropoRemainder, uTropo)
+		eps += iono + tropo
+	}
+	return eps, iono, tropo, rng
+}
+
+// GenerateRange produces epochs for t in [t0, t1) at the configured step.
+func (g *Generator) GenerateRange(t0, t1 float64) (*Dataset, error) {
+	n := int((t1 - t0) / g.cfg.Step)
+	if n < 0 {
+		n = 0
+	}
+	ds := &Dataset{
+		Station: g.station,
+		Config:  g.cfg,
+		Epochs:  make([]Epoch, 0, n),
+	}
+	for t := t0; t < t1; t += g.cfg.Step {
+		e, err := g.EpochAt(t)
+		if err != nil {
+			return nil, err
+		}
+		ds.Epochs = append(ds.Epochs, e)
+	}
+	return ds, nil
+}
+
+// GammaL1L2 is (f_L1/f_L2)² = (1575.42/1227.60)², the dispersion ratio
+// between the two GPS frequencies.
+const GammaL1L2 = 1.6469444840261036
+
+// IonoFreeEpoch returns a copy of the epoch with each pseudo-range
+// replaced by the dual-frequency ionosphere-free combination
+//
+//	PR_IF = (γ·PR1 − PR2) / (γ − 1)
+//
+// which cancels the first-order ionospheric delay exactly (the L2 term
+// carries γ× the L1 delay) at the cost of amplifying the uncorrelated
+// tracking noise by roughly 3×. Worth it when the ionosphere dominates
+// (uncorrected single-frequency receivers, solar maximum); a loss when
+// thermal noise dominates. Observations without an L2 measurement pass
+// through unchanged.
+func IonoFreeEpoch(e Epoch) Epoch {
+	out := Epoch{T: e.T, Obs: make([]SatObs, len(e.Obs))}
+	copy(out.Obs, e.Obs)
+	for i := range out.Obs {
+		o := &out.Obs[i]
+		if o.Pseudorange2 == 0 {
+			continue
+		}
+		o.Pseudorange = (GammaL1L2*o.Pseudorange - o.Pseudorange2) / (GammaL1L2 - 1)
+	}
+	return out
+}
+
+// localSolarTime approximates the local solar time (seconds of day) at the
+// station from its longitude, for the ionosphere's diurnal cycle.
+func localSolarTime(pos geo.ECEF, t float64) float64 {
+	lla := pos.ToLLA()
+	lt := math.Mod(t+lla.Lon/(2*math.Pi)*86400, 86400)
+	if lt < 0 {
+		lt += 86400
+	}
+	return lt
+}
+
+// obsSeed mixes the generator seed, PRN and epoch time into a 64-bit seed
+// (splitmix64 finalizer) so each observation has an independent stream.
+func obsSeed(seed int64, prn int, t float64) int64 {
+	z := uint64(seed) ^ (uint64(prn) * 0x9E3779B97F4A7C15) ^ math.Float64bits(t)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// hashString is a tiny FNV-1a for station IDs.
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

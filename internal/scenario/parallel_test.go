@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func TestGenerateRangeParallelMatchesSerial(t *testing.T) {
+	st, err := StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(st, DefaultConfig(8))
+	serial, err := g.GenerateRange(0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		par, err := g.GenerateRangeParallel(0, 120, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("workers=%d: %d epochs, want %d", workers, par.Len(), serial.Len())
+		}
+		for i := range serial.Epochs {
+			se, pe := serial.Epochs[i], par.Epochs[i]
+			if se.T != pe.T || len(se.Obs) != len(pe.Obs) {
+				t.Fatalf("workers=%d epoch %d header mismatch", workers, i)
+			}
+			for j := range se.Obs {
+				if se.Obs[j] != pe.Obs[j] {
+					t.Fatalf("workers=%d epoch %d obs %d mismatch: %+v vs %+v",
+						workers, i, j, se.Obs[j], pe.Obs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRangeParallelEmpty(t *testing.T) {
+	st, _ := StationByID("YYR1")
+	g := NewGenerator(st, DefaultConfig(8))
+	ds, err := g.GenerateRangeParallel(100, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 0 {
+		t.Errorf("empty range produced %d epochs", ds.Len())
+	}
+}
+
+func TestGenerateRangeParallelManyWorkersFewEpochs(t *testing.T) {
+	st, _ := StationByID("KYCP")
+	g := NewGenerator(st, DefaultConfig(8))
+	ds, err := g.GenerateRangeParallel(0, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 {
+		t.Errorf("got %d epochs, want 3", ds.Len())
+	}
+	for i, e := range ds.Epochs {
+		if len(e.Obs) == 0 {
+			t.Errorf("epoch %d empty (slot never written?)", i)
+		}
+	}
+}

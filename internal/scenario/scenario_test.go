@@ -1,0 +1,803 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/geo"
+)
+
+func TestTable51Stations(t *testing.T) {
+	stations := Table51Stations()
+	if len(stations) != 4 {
+		t.Fatalf("got %d stations, want 4", len(stations))
+	}
+	wantIDs := map[string]ClockType{
+		"SRZN": ClockSteering,
+		"YYR1": ClockSteering,
+		"FAI1": ClockSteering,
+		"KYCP": ClockThreshold,
+	}
+	for _, s := range stations {
+		want, ok := wantIDs[s.ID]
+		if !ok {
+			t.Errorf("unexpected station %q", s.ID)
+			continue
+		}
+		if s.Clock != want {
+			t.Errorf("%s clock = %v, want %v", s.ID, s.Clock, want)
+		}
+		if s.Pos.Norm() < 6.3e6 || s.Pos.Norm() > 6.4e6 {
+			t.Errorf("%s position norm %v not on Earth's surface", s.ID, s.Pos.Norm())
+		}
+	}
+}
+
+func TestStationByID(t *testing.T) {
+	s, err := StationByID("KYCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock != ClockThreshold {
+		t.Errorf("KYCP clock = %v", s.Clock)
+	}
+	if _, err := StationByID("NOPE"); err == nil {
+		t.Error("StationByID(NOPE) succeeded")
+	}
+}
+
+func TestClockTypeString(t *testing.T) {
+	if ClockSteering.String() != "Steering" || ClockThreshold.String() != "Threshold" {
+		t.Error("ClockType strings wrong")
+	}
+	if ClockType(99).String() != "ClockType(99)" {
+		t.Errorf("unknown ClockType string = %q", ClockType(99).String())
+	}
+}
+
+func testGenerator(t *testing.T, stationID string) *Generator {
+	t.Helper()
+	st, err := StationByID(stationID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGenerator(st, DefaultConfig(1))
+}
+
+func TestEpochSatelliteCountMatchesPaper(t *testing.T) {
+	// Section 5.2.1: "Generally each item contains data for 8 to 12
+	// satellites." Allow a slightly wider band for the simulated
+	// constellation.
+	for _, id := range []string{"SRZN", "YYR1", "FAI1", "KYCP"} {
+		t.Run(id, func(t *testing.T) {
+			g := testGenerator(t, id)
+			minN, maxN := 99, 0
+			for h := 0; h < 24; h++ {
+				e, err := g.EpochAt(float64(h) * 3600)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n := len(e.Obs); n < minN {
+					minN = n
+				}
+				if n := len(e.Obs); n > maxN {
+					maxN = n
+				}
+			}
+			if minN < 5 || maxN > 16 {
+				t.Errorf("satellite count range %d-%d, want ≈8-12 (some spread allowed)", minN, maxN)
+			}
+			t.Logf("%s: %d-%d satellites per epoch", id, minN, maxN)
+		})
+	}
+}
+
+func TestEpochDeterminism(t *testing.T) {
+	g1 := testGenerator(t, "SRZN")
+	g2 := testGenerator(t, "SRZN")
+	e1, err := g1.EpochAt(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a different epoch first to prove order-independence.
+	if _, err := g2.EpochAt(999); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g2.EpochAt(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.Obs) != len(e2.Obs) {
+		t.Fatalf("epoch lengths differ: %d vs %d", len(e1.Obs), len(e2.Obs))
+	}
+	for i := range e1.Obs {
+		if e1.Obs[i] != e2.Obs[i] {
+			t.Errorf("obs %d differs: %+v vs %+v", i, e1.Obs[i], e2.Obs[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	st, _ := StationByID("SRZN")
+	g1 := NewGenerator(st, DefaultConfig(1))
+	g2 := NewGenerator(st, DefaultConfig(2))
+	e1, err := g1.EpochAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g2.EpochAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range e1.Obs {
+		if i < len(e2.Obs) && e1.Obs[i].Pseudorange != e2.Obs[i].Pseudorange {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical pseudoranges")
+	}
+}
+
+func TestPseudorangeAnatomy(t *testing.T) {
+	// With all error sources disabled and an ideal clock, the pseudorange
+	// must equal the geometric range to the reported satellite position.
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(1)
+	cfg.NoiseSigma = 0
+	cfg.IonoRemainder = 0
+	cfg.TropoRemainder = 0
+	cfg.Multipath = false
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{Offset: 0}))
+	e, err := g.EpochAt(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range e.Obs {
+		geom := st.Pos.DistanceTo(o.Pos)
+		if math.Abs(o.Pseudorange-geom) > 1e-6 {
+			t.Errorf("PRN %d: pseudorange %v != geometric range %v", o.PRN, o.Pseudorange, geom)
+		}
+	}
+}
+
+func TestPseudorangeIncludesClockBias(t *testing.T) {
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(1)
+	cfg.NoiseSigma = 0
+	cfg.IonoRemainder = 0
+	cfg.TropoRemainder = 0
+	cfg.Multipath = false
+	bias := 1e-4 // 100 µs → ≈30 km of range
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{Offset: bias}))
+	e, err := g.EpochAt(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range e.Obs {
+		geom := st.Pos.DistanceTo(o.Pos)
+		want := geom + geo.SpeedOfLight*bias
+		if math.Abs(o.Pseudorange-want) > 1e-6 {
+			t.Errorf("PRN %d: pseudorange %v, want %v", o.PRN, o.Pseudorange, want)
+		}
+	}
+}
+
+func TestPseudorangePlausibleMagnitude(t *testing.T) {
+	g := testGenerator(t, "YYR1")
+	e, err := g.EpochAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range e.Obs {
+		// GPS ranges are 20 000-26 000 km (zenith to horizon).
+		if o.Pseudorange < 1.9e7 || o.Pseudorange > 3e7 {
+			t.Errorf("PRN %d pseudorange %v m out of plausible range", o.PRN, o.Pseudorange)
+		}
+	}
+}
+
+func TestSatelliteErrorStatistics(t *testing.T) {
+	// The injected satellite-dependent error should be near-zero-mean
+	// with std within a factor of the configured scale (assumptions
+	// 4-14/4-15 of the paper).
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(7)
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{Offset: 0}))
+	var sum, sumSq float64
+	var n int
+	for i := 0; i < 300; i++ {
+		tt := float64(i) * 60
+		e, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range e.Obs {
+			resid := o.Pseudorange - st.Pos.DistanceTo(o.Pos)
+			sum += resid
+			sumSq += resid * resid
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 1.0 {
+		t.Errorf("satellite error mean = %v m, want ≈0", mean)
+	}
+	if std < 1 || std > 8 {
+		t.Errorf("satellite error std = %v m, want a few meters", std)
+	}
+	t.Logf("satellite error: mean %.3f m, std %.3f m over %d obs", mean, std, n)
+}
+
+func TestGenerateRange(t *testing.T) {
+	g := testGenerator(t, "FAI1")
+	ds, err := g.GenerateRange(0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", ds.Len())
+	}
+	if ds.Epochs[0].T != 0 || ds.Epochs[59].T != 59 {
+		t.Errorf("epoch times wrong: %v ... %v", ds.Epochs[0].T, ds.Epochs[59].T)
+	}
+	if ds.MinSatCount() < 4 {
+		t.Errorf("MinSatCount = %d", ds.MinSatCount())
+	}
+	if ds.MaxSatCount() > 14 {
+		t.Errorf("MaxSatCount = %d", ds.MaxSatCount())
+	}
+}
+
+func TestGenerateRangeCustomStep(t *testing.T) {
+	st, _ := StationByID("FAI1")
+	cfg := DefaultConfig(1)
+	cfg.Step = 30
+	g := NewGenerator(st, cfg)
+	ds, err := g.GenerateRange(0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 10 {
+		t.Errorf("Len = %d, want 10", ds.Len())
+	}
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	g := testGenerator(t, "KYCP")
+	ds, err := g.GenerateRange(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Station != ds.Station {
+		t.Errorf("station mismatch: %+v vs %+v", back.Station, ds.Station)
+	}
+	if back.Config != ds.Config {
+		t.Errorf("config mismatch")
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("epoch count %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Epochs {
+		if len(back.Epochs[i].Obs) != len(ds.Epochs[i].Obs) {
+			t.Fatalf("epoch %d size mismatch", i)
+		}
+		for j := range ds.Epochs[i].Obs {
+			if back.Epochs[i].Obs[j] != ds.Epochs[i].Obs[j] {
+				t.Errorf("epoch %d obs %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDatasetSaveLoadFile(t *testing.T) {
+	g := testGenerator(t, "SRZN")
+	ds, err := g.GenerateRange(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.jsonl"
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 5 {
+		t.Errorf("loaded %d epochs, want 5", back.Len())
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("LoadFile of missing path succeeded")
+	}
+}
+
+func TestThresholdStationClockResets(t *testing.T) {
+	// KYCP uses a threshold clock: over a day the bias must wrap at
+	// least once and never exceed the 1 ms threshold.
+	g := testGenerator(t, "KYCP")
+	model := g.ClockModel()
+	prev := model.BiasAt(0)
+	var wrapped bool
+	for i := 1; i < 1440; i++ {
+		b := model.BiasAt(float64(i) * 60)
+		if math.Abs(b) >= 1e-3 {
+			t.Fatalf("threshold clock bias %v exceeds 1 ms", b)
+		}
+		if math.Abs(b-prev) > 5e-4 {
+			wrapped = true
+		}
+		prev = b
+	}
+	if !wrapped {
+		t.Error("threshold clock never reset over 24 h")
+	}
+}
+
+func TestMovingReceiverTrajectory(t *testing.T) {
+	st, _ := StationByID("SRZN")
+	traj := CircularTrajectory(st.Pos, 1000, 100) // 100 m/s on 1 km circle
+	g := NewGenerator(st, DefaultConfig(3), WithTrajectory(traj))
+	p0 := g.TruthPosition(0)
+	p10 := g.TruthPosition(10)
+	d := p0.DistanceTo(p10)
+	// Chord of a 1 km-radius circle after 1000 m of arc... the receiver
+	// moved; distance must be positive and bounded by arc length.
+	if d <= 0 || d > 1001 {
+		t.Errorf("trajectory moved %v m in 10 s at 100 m/s", d)
+	}
+	// Observations still track the moving truth: noise-free pseudorange
+	// equals range from the *current* position.
+	cfg := DefaultConfig(3)
+	cfg.NoiseSigma = 0
+	cfg.IonoRemainder = 0
+	cfg.TropoRemainder = 0
+	cfg.Multipath = false
+	g2 := NewGenerator(st, cfg, WithTrajectory(traj), WithClockModel(&clock.SteeringModel{}))
+	e, err := g2.EpochAt(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range e.Obs {
+		if math.Abs(o.Pseudorange-p10.DistanceTo(o.Pos)) > 1e-6 {
+			t.Errorf("moving receiver pseudorange inconsistent for PRN %d", o.PRN)
+		}
+	}
+}
+
+func TestLinearTrajectory(t *testing.T) {
+	st, _ := StationByID("YYR1")
+	traj := LinearTrajectory(st.Pos, geo.ENU{E: 10, N: 0, U: 0})
+	p := traj(5)
+	enu := geo.ToENU(st.Pos, p)
+	if math.Abs(enu.E-50) > 1e-6 || math.Abs(enu.N) > 1e-6 {
+		t.Errorf("linear trajectory at t=5: %+v, want E=50", enu)
+	}
+}
+
+func TestCircularTrajectoryZeroRadius(t *testing.T) {
+	st, _ := StationByID("YYR1")
+	traj := CircularTrajectory(st.Pos, 0, 100)
+	if traj(123) != st.Pos {
+		t.Error("zero-radius trajectory moved")
+	}
+}
+
+func TestObsSortedByElevation(t *testing.T) {
+	g := testGenerator(t, "YYR1")
+	e, err := g.EpochAt(7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Obs); i++ {
+		if e.Obs[i].Elevation > e.Obs[i-1].Elevation {
+			t.Errorf("observations not sorted by elevation at %d", i)
+		}
+	}
+}
+
+func TestCarrierPhaseAnatomy(t *testing.T) {
+	// Carrier = pseudorange − 2·iono − thermal/multipath + ambiguity + mm
+	// noise. With all noise and atmosphere off, carrier − pseudorange is
+	// exactly the per-satellite ambiguity, constant over time.
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(13)
+	cfg.NoiseSigma = 0
+	cfg.Multipath = false
+	cfg.IonoRemainder = 0
+	cfg.TropoRemainder = 0
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{Offset: 1e-8}))
+	e1, err := g.EpochAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.EpochAt(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb1 := map[int]float64{}
+	for _, o := range e1.Obs {
+		amb1[o.PRN] = o.Carrier - o.Pseudorange
+	}
+	const lambdaL1 = 0.1903
+	for _, o := range e2.Obs {
+		a1, ok := amb1[o.PRN]
+		if !ok {
+			continue
+		}
+		a2 := o.Carrier - o.Pseudorange
+		// Constant per pass to within the mm carrier noise.
+		if math.Abs(a2-a1) > 0.02 {
+			t.Errorf("PRN %d ambiguity drifted: %v vs %v", o.PRN, a1, a2)
+		}
+		// Integer number of wavelengths.
+		n := a1 / lambdaL1
+		if math.Abs(n-math.Round(n)) > 0.1 {
+			t.Errorf("PRN %d ambiguity %v not an integer multiple of lambda", o.PRN, a1)
+		}
+	}
+}
+
+func TestCarrierIonoSignFlip(t *testing.T) {
+	// With only iono enabled, (pseudorange − carrier − ambiguity) = 2·iono,
+	// so pseudorange minus its geometric part has opposite iono sign from
+	// carrier minus its geometric part.
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(13)
+	cfg.NoiseSigma = 0
+	cfg.Multipath = false
+	cfg.TropoRemainder = 0
+	cfg.IonoRemainder = 0.5
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{}))
+	e, err := g.EpochAt(43200) // midday: nonzero iono
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range e.Obs {
+		geom := st.Pos.DistanceTo(o.Pos)
+		codeErr := o.Pseudorange - geom
+		if math.Abs(codeErr) < 0.05 {
+			continue // this pass drew u ≈ 0
+		}
+		found = true
+		// carrier - geom - ambiguity should be ≈ −codeErr; the ambiguity
+		// is unknown here, but the difference pr − cp = 2·iono + amb...
+		// use two epochs to cancel the ambiguity instead: iono varies
+		// slowly, so compare directly via the known relationship
+		// pr − cp − amb = 2·iono, with amb from a zero-iono counterpart.
+		break
+	}
+	if !found {
+		t.Skip("all iono mismatch factors drew near zero")
+	}
+	// Direct check with a paired zero-iono generator (same seeds).
+	cfg0 := cfg
+	cfg0.IonoRemainder = 0
+	g0 := NewGenerator(st, cfg0, WithClockModel(&clock.SteeringModel{}))
+	e0, err := g0.EpochAt(43200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range e.Obs {
+		o0 := e0.Obs[i]
+		ionoCode := o.Pseudorange - o0.Pseudorange // +iono
+		ionoCarrier := o.Carrier - o0.Carrier      // −iono
+		if math.Abs(ionoCode+ionoCarrier) > 0.02*(1+math.Abs(ionoCode)) {
+			t.Errorf("PRN %d: code iono %v, carrier iono %v (want opposite)", o.PRN, ionoCode, ionoCarrier)
+		}
+	}
+}
+
+func TestDopplerMatchesNumericRangeRate(t *testing.T) {
+	// With noise off and a static receiver, the Doppler observable must
+	// match the numerically-differentiated geometric range plus clock
+	// drift.
+	st, _ := StationByID("KYCP")
+	cfg := DefaultConfig(13)
+	cfg.NoiseSigma = 0
+	cfg.Multipath = false
+	cfg.IonoRemainder = 0
+	cfg.TropoRemainder = 0
+	drift := 1e-7
+	g := NewGenerator(st, cfg, WithClockModel(&clock.ThresholdModel{Drift: drift, Threshold: 1}))
+	e1, err := g.EpochAt(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.EpochAt(1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := map[int]float64{}
+	for _, o := range e1.Obs {
+		r1[o.PRN] = st.Pos.DistanceTo(o.Pos)
+	}
+	driftMPS := drift * geo.SpeedOfLight
+	for _, o := range e2.Obs {
+		prev, ok := r1[o.PRN]
+		if !ok {
+			continue
+		}
+		numeric := st.Pos.DistanceTo(o.Pos) - prev // per 1 s
+		want := numeric + driftMPS
+		if math.Abs(o.Doppler-want) > 0.5 {
+			t.Errorf("PRN %d Doppler %v, numeric %v", o.PRN, o.Doppler, want)
+		}
+	}
+}
+
+func TestSatelliteVelocityPlausible(t *testing.T) {
+	g := testGenerator(t, "YYR1")
+	e, err := g.EpochAt(777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range e.Obs {
+		speed := o.Vel.Norm()
+		if speed < 1500 || speed > 6000 {
+			t.Errorf("PRN %d ECEF speed %v m/s implausible", o.PRN, speed)
+		}
+	}
+}
+
+func TestCanyonMaskGeometry(t *testing.T) {
+	// North-south street, ±30° openings, 60° roofline.
+	mask := CanyonMask(0, 30*math.Pi/180, 60*math.Pi/180)
+	tests := []struct {
+		name        string
+		elev, azim  float64
+		wantVisible bool
+	}{
+		{"zenith always visible", 80 * math.Pi / 180, 1.0, true},
+		{"north along street", 20 * math.Pi / 180, 0, true},
+		{"south along street", 20 * math.Pi / 180, math.Pi, true},
+		{"east blocked", 20 * math.Pi / 180, math.Pi / 2, false},
+		{"west blocked", 20 * math.Pi / 180, 3 * math.Pi / 2, false},
+		{"edge of opening", 20 * math.Pi / 180, 29 * math.Pi / 180, true},
+		{"just outside opening", 20 * math.Pi / 180, 31 * math.Pi / 180, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := mask(tt.elev, tt.azim); got != tt.wantVisible {
+				t.Errorf("mask(%v, %v) = %v, want %v", tt.elev, tt.azim, got, tt.wantVisible)
+			}
+		})
+	}
+}
+
+func TestCanyonReducesVisibleSatellites(t *testing.T) {
+	st, _ := StationByID("YYR1")
+	open := NewGenerator(st, DefaultConfig(4))
+	canyon := NewGenerator(st, DefaultConfig(4),
+		WithVisibility(CanyonMask(0.5, 25*math.Pi/180, 55*math.Pi/180)))
+	var openSum, canyonSum, minCanyon int
+	minCanyon = 99
+	for h := 0; h < 24; h++ {
+		tt := float64(h) * 3600
+		eo, err := open.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ec, err := canyon.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		openSum += len(eo.Obs)
+		canyonSum += len(ec.Obs)
+		if len(ec.Obs) < minCanyon {
+			minCanyon = len(ec.Obs)
+		}
+		// Canyon epochs are a subset of open-sky epochs.
+		openPRNs := map[int]bool{}
+		for _, o := range eo.Obs {
+			openPRNs[o.PRN] = true
+		}
+		for _, o := range ec.Obs {
+			if !openPRNs[o.PRN] {
+				t.Errorf("hour %d: PRN %d visible in canyon but not open sky", h, o.PRN)
+			}
+		}
+	}
+	if canyonSum >= openSum {
+		t.Errorf("canyon did not reduce visibility: %d vs %d", canyonSum, openSum)
+	}
+	t.Logf("mean satellites: open %.1f, canyon %.1f (min %d)",
+		float64(openSum)/24, float64(canyonSum)/24, minCanyon)
+}
+
+func TestFaultInjection(t *testing.T) {
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(1)
+	cfg.NoiseSigma = 0
+	cfg.Multipath = false
+	cfg.IonoRemainder = 0
+	cfg.TropoRemainder = 0
+	clean := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{}))
+	e, err := clean.EpochAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := e.Obs[0].PRN
+	faulty := NewGenerator(st, cfg,
+		WithClockModel(&clock.SteeringModel{}),
+		WithFaults([]Fault{{PRN: victim, From: 50, Until: 150, Bias: 500}}))
+	inWindow, err := faulty.EpochAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outWindow, err := faulty.EpochAt(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range inWindow.Obs {
+		want := e.Obs[i].Pseudorange
+		if o.PRN == victim {
+			want += 500
+		}
+		if math.Abs(o.Pseudorange-want) > 1e-9 {
+			t.Errorf("PRN %d in window: %v, want %v", o.PRN, o.Pseudorange, want)
+		}
+	}
+	cleanLater, err := clean.EpochAt(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outWindow.Obs {
+		if math.Abs(o.Pseudorange-cleanLater.Obs[i].Pseudorange) > 1e-9 {
+			t.Errorf("PRN %d outside window was modified", o.PRN)
+		}
+	}
+}
+
+func TestL2CarriesScaledIono(t *testing.T) {
+	// With only ionosphere enabled, PR2 − PR1 = (γ−1)·iono exactly
+	// (modulo the L2 noise, disabled via NoiseSigma = 0).
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(13)
+	cfg.NoiseSigma = 0
+	cfg.Multipath = false
+	cfg.TropoRemainder = 0
+	cfg.IonoRemainder = 0.5
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{}))
+	g0cfg := cfg
+	g0cfg.IonoRemainder = 0
+	g0 := NewGenerator(st, g0cfg, WithClockModel(&clock.SteeringModel{}))
+	e, err := g.EpochAt(43200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := g0.EpochAt(43200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range e.Obs {
+		iono := o.Pseudorange - e0.Obs[i].Pseudorange
+		gotRatio := (o.Pseudorange2 - e0.Obs[i].Pseudorange2) // γ·iono
+		if math.Abs(iono) < 0.01 {
+			continue
+		}
+		if r := gotRatio / iono; math.Abs(r-GammaL1L2) > 0.01 {
+			t.Errorf("PRN %d L2/L1 iono ratio = %v, want %v", o.PRN, r, GammaL1L2)
+		}
+	}
+}
+
+func TestIonoFreeEpochCancelsIono(t *testing.T) {
+	// Heavy uncorrected ionosphere, no other noise: the IF combination
+	// must recover the geometric range + clock exactly.
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(13)
+	cfg.NoiseSigma = 0
+	cfg.Multipath = false
+	cfg.TropoRemainder = 0
+	cfg.IonoRemainder = 1.0
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{}))
+	e, err := g.EpochAt(43200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifEpoch := IonoFreeEpoch(e)
+	for _, o := range ifEpoch.Obs {
+		geom := st.Pos.DistanceTo(o.Pos)
+		if d := math.Abs(o.Pseudorange - geom); d > 1e-6 {
+			t.Errorf("PRN %d iono-free residual %v m", o.PRN, d)
+		}
+	}
+	// Input untouched.
+	for i := range e.Obs {
+		geom := st.Pos.DistanceTo(e.Obs[i].Pos)
+		if math.Abs(e.Obs[i].Pseudorange-geom) < 1e-6 {
+			t.Fatal("IonoFreeEpoch mutated its input")
+		}
+		break
+	}
+}
+
+func TestIonoFreeTradeoffUnderIonoDominance(t *testing.T) {
+	// Uncorrected iono (σ >> noise): IF positioning beats L1-only.
+	st, _ := StationByID("SRZN")
+	cfg := DefaultConfig(19)
+	cfg.IonoRemainder = 1.0
+	cfg.NoiseSigma = 0.5
+	g := NewGenerator(st, cfg, WithClockModel(&clock.SteeringModel{Offset: 1e-8}))
+	var nr core.NRSolver
+	solve := func(tt float64, ep Epoch) (float64, bool) {
+		obs := make([]core.Observation, 0, len(ep.Obs))
+		for _, o := range ep.Obs {
+			obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+		}
+		sol, err := nr.Solve(tt, obs)
+		if err != nil {
+			return 0, false
+		}
+		return sol.Pos.DistanceTo(st.Pos), true
+	}
+	var sumL1, sumIF float64
+	var n int
+	for i := 0; i < 200; i++ {
+		tt := 40000 + float64(i)*30 // daytime iono
+		e, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dL1, ok1 := solve(tt, e)
+		dIF, ok2 := solve(tt, IonoFreeEpoch(e))
+		if !ok1 || !ok2 {
+			continue
+		}
+		sumL1 += dL1
+		sumIF += dIF
+		n++
+	}
+	if n < 150 {
+		t.Fatalf("only %d epochs", n)
+	}
+	meanL1, meanIF := sumL1/float64(n), sumIF/float64(n)
+	t.Logf("uncorrected iono: L1-only %.2f m, iono-free %.2f m", meanL1, meanIF)
+	if meanIF > meanL1*0.7 {
+		t.Errorf("iono-free %.2f m did not clearly beat L1 %.2f m under heavy iono", meanIF, meanL1)
+	}
+}
+
+func TestCodeOnlyPseudorangesIdentical(t *testing.T) {
+	st, _ := StationByID("YYR1")
+	full := NewGenerator(st, DefaultConfig(31))
+	cfgLite := DefaultConfig(31)
+	cfgLite.CodeOnly = true
+	lite := NewGenerator(st, cfgLite)
+	for _, tt := range []float64{0, 1234.0, 55555.0} {
+		ef, err := full.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := lite.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ef.Obs) != len(el.Obs) {
+			t.Fatalf("t=%v: obs counts differ", tt)
+		}
+		for i := range ef.Obs {
+			if ef.Obs[i].Pseudorange != el.Obs[i].Pseudorange {
+				t.Errorf("t=%v PRN %d: pseudoranges differ", tt, ef.Obs[i].PRN)
+			}
+			if el.Obs[i].Carrier != 0 || el.Obs[i].Doppler != 0 || el.Obs[i].Pseudorange2 != 0 {
+				t.Errorf("t=%v PRN %d: CodeOnly epoch carries auxiliary observables", tt, el.Obs[i].PRN)
+			}
+		}
+	}
+}

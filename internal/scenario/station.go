@@ -1,0 +1,94 @@
+// Package scenario generates the observation datasets the paper's
+// evaluation consumes: for each epoch, the coordinates and pseudo-ranges
+// of every visible satellite, exactly the "data items" of Section 5.2.1.
+//
+// It substitutes for the CORS downloads the authors used (Table 5.1): the
+// same four stations at the same published ECEF coordinates, the same
+// 24-hour × 1 Hz structure, the same 8-12 satellites per epoch, and the
+// same error anatomy — a receiver clock bias following the station's
+// clock-correction discipline (steering or threshold) plus zero-mean
+// satellite-dependent errors that are independent across satellites
+// (assumptions 4-14/4-15 the paper's optimality analysis rests on).
+package scenario
+
+import (
+	"fmt"
+
+	"gpsdl/internal/geo"
+)
+
+// ClockType identifies the station clock-correction discipline of
+// Table 5.1.
+type ClockType int
+
+// Clock correction types (Table 5.1 "Clock Correction Type" column).
+const (
+	ClockSteering ClockType = iota + 1
+	ClockThreshold
+)
+
+// String implements fmt.Stringer.
+func (c ClockType) String() string {
+	switch c {
+	case ClockSteering:
+		return "Steering"
+	case ClockThreshold:
+		return "Threshold"
+	default:
+		return fmt.Sprintf("ClockType(%d)", int(c))
+	}
+}
+
+// Station is one observation site, mirroring a Table 5.1 row.
+type Station struct {
+	// ID is the four-character site identifier.
+	ID string `json:"id"`
+	// Pos is the true ECEF position in meters (the ground truth the
+	// accuracy metric d_O of eq. 5-1 is computed against).
+	Pos geo.ECEF `json:"pos"`
+	// Date is the paper's collection date, kept for dataset headers.
+	Date string `json:"date"`
+	// Clock is the station's clock-correction discipline.
+	Clock ClockType `json:"clock"`
+}
+
+// Table51Stations returns the four stations of Table 5.1 with the paper's
+// exact ECEF coordinates, dates and clock-correction types.
+func Table51Stations() []Station {
+	return []Station{
+		{
+			ID:    "SRZN",
+			Pos:   geo.ECEF{X: 3623420.032, Y: -5214015.434, Z: 602359.096},
+			Date:  "2009/08/12",
+			Clock: ClockSteering,
+		},
+		{
+			ID:    "YYR1",
+			Pos:   geo.ECEF{X: 1885341.558, Y: -3321428.098, Z: 5091171.168},
+			Date:  "2009/10/23",
+			Clock: ClockSteering,
+		},
+		{
+			ID:    "FAI1",
+			Pos:   geo.ECEF{X: -2304740.630, Y: -1448716.218, Z: 5748842.956},
+			Date:  "2009/10/29",
+			Clock: ClockSteering,
+		},
+		{
+			ID:    "KYCP",
+			Pos:   geo.ECEF{X: 411598.861, Y: -5060514.896, Z: 3847795.506},
+			Date:  "2009/10/10",
+			Clock: ClockThreshold,
+		},
+	}
+}
+
+// StationByID returns the Table 5.1 station with the given ID.
+func StationByID(id string) (Station, error) {
+	for _, s := range Table51Stations() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Station{}, fmt.Errorf("scenario: unknown station %q", id)
+}

@@ -1,0 +1,97 @@
+// Package smoothing implements the Hatch filter: carrier-smoothed
+// pseudo-ranges. The carrier phase tracks range changes with millimeter
+// noise but an unknown constant offset; the Hatch filter uses it to
+// time-average the meter-level code noise away:
+//
+//	sm_k = (1/n)·code_k + ((n−1)/n)·(sm_{k−1} + (carrier_k − carrier_{k−1}))
+//
+// with n capped at the window length. Capping matters: the ionospheric
+// term enters code and carrier with opposite signs, so an unbounded
+// window diverges at twice the ionospheric rate. Every positioning
+// algorithm in this repository can run on smoothed epochs unchanged —
+// smoothing is a measurement-layer upgrade, exactly the kind of
+// "reasonable accuracy" improvement the paper's direct methods leave on
+// the table.
+package smoothing
+
+import (
+	"gpsdl/internal/scenario"
+)
+
+// Hatch carrier-smooths epochs satellite by satellite. Feed epochs in
+// time order; a satellite that disappears restarts its filter on return.
+// Not safe for concurrent use.
+type Hatch struct {
+	// Window caps the averaging depth n (epochs). Typical code-minus-
+	// carrier divergence allows 100 s windows at 1 Hz; 0 means 100.
+	Window int
+
+	state map[int]*hatchState
+}
+
+// hatchState is the per-satellite filter memory.
+type hatchState struct {
+	smoothed    float64
+	prevCarrier float64
+	prevT       float64
+	n           int
+}
+
+// NewHatch returns a filter with the given window (0 = 100 epochs).
+func NewHatch(window int) *Hatch {
+	if window <= 0 {
+		window = 100
+	}
+	return &Hatch{Window: window, state: make(map[int]*hatchState)}
+}
+
+// Smooth returns a copy of the epoch with carrier-smoothed pseudo-ranges.
+// Satellites without carrier data (Carrier == 0) pass through unsmoothed.
+func (h *Hatch) Smooth(epoch scenario.Epoch) scenario.Epoch {
+	out := scenario.Epoch{T: epoch.T, Obs: make([]scenario.SatObs, len(epoch.Obs))}
+	copy(out.Obs, epoch.Obs)
+	for i := range out.Obs {
+		o := &out.Obs[i]
+		if o.Carrier == 0 {
+			h.reset(o.PRN)
+			continue
+		}
+		st, ok := h.state[o.PRN]
+		if !ok || epoch.T <= st.prevT || epoch.T-st.prevT > 30 {
+			// New pass (or a gap long enough to risk a cycle slip):
+			// restart from the raw code measurement.
+			h.state[o.PRN] = &hatchState{
+				smoothed:    o.Pseudorange,
+				prevCarrier: o.Carrier,
+				prevT:       epoch.T,
+				n:           1,
+			}
+			continue
+		}
+		st.n++
+		if st.n > h.Window {
+			st.n = h.Window
+		}
+		fn := float64(st.n)
+		predicted := st.smoothed + (o.Carrier - st.prevCarrier)
+		st.smoothed = o.Pseudorange/fn + predicted*(fn-1)/fn
+		st.prevCarrier = o.Carrier
+		st.prevT = epoch.T
+		o.Pseudorange = st.smoothed
+	}
+	return out
+}
+
+// reset drops a satellite's filter state.
+func (h *Hatch) reset(prn int) {
+	delete(h.state, prn)
+}
+
+// Depth returns the current averaging depth for a satellite (0 when the
+// filter holds no state for it) — diagnostics for tests and examples.
+func (h *Hatch) Depth(prn int) int {
+	if st, ok := h.state[prn]; ok {
+		return st.n
+	}
+	return 0
+}

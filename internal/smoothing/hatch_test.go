@@ -1,0 +1,193 @@
+package smoothing
+
+import (
+	"math"
+	"testing"
+
+	"gpsdl/internal/core"
+	"gpsdl/internal/scenario"
+)
+
+func smoothingGenerator(t *testing.T) *scenario.Generator {
+	t.Helper()
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scenario.NewGenerator(st, scenario.DefaultConfig(77))
+}
+
+// residualStd measures the std of (pseudorange − geometric range − mean)
+// per epoch sequence, a direct read on measurement noise.
+func residualStd(t *testing.T, g *scenario.Generator, h *Hatch, n int) float64 {
+	t.Helper()
+	st := g.Station()
+	type key struct{ prn int }
+	sums := map[key][]float64{}
+	for i := 0; i < n; i++ {
+		epoch, err := g.EpochAt(float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != nil {
+			epoch = h.Smooth(epoch)
+		}
+		for _, o := range epoch.Obs {
+			resid := o.Pseudorange - st.Pos.DistanceTo(o.Pos)
+			sums[key{o.PRN}] = append(sums[key{o.PRN}], resid)
+		}
+	}
+	// Remove each satellite's mean (clock bias + pass biases), pool the
+	// centered residuals.
+	var pooled []float64
+	for _, vals := range sums {
+		if len(vals) < 30 {
+			continue
+		}
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		// Skip the filter's convergence transient.
+		for _, v := range vals[20:] {
+			pooled = append(pooled, v-mean)
+		}
+	}
+	var ss float64
+	for _, v := range pooled {
+		ss += v * v
+	}
+	return math.Sqrt(ss / float64(len(pooled)))
+}
+
+func TestHatchReducesCodeNoise(t *testing.T) {
+	raw := residualStd(t, smoothingGenerator(t), nil, 200)
+	smoothed := residualStd(t, smoothingGenerator(t), NewHatch(100), 200)
+	t.Logf("residual std: raw %.3f m, smoothed %.3f m", raw, smoothed)
+	if smoothed > raw/2 {
+		t.Errorf("Hatch filter reduced noise only from %.3f to %.3f m", raw, smoothed)
+	}
+}
+
+func TestHatchImprovesPositioning(t *testing.T) {
+	g := smoothingGenerator(t)
+	st := g.Station()
+	h := NewHatch(100)
+	var nrRaw, nrSmooth core.NRSolver
+	var sumRaw, sumSmooth float64
+	var n int
+	for i := 0; i < 400; i++ {
+		tt := float64(i)
+		epoch, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smoothed := h.Smooth(epoch)
+		if i < 120 {
+			continue // filter convergence
+		}
+		rawSol, err1 := nrRaw.Solve(tt, adapt(epoch))
+		smSol, err2 := nrSmooth.Solve(tt, adapt(smoothed))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		sumRaw += rawSol.Pos.DistanceTo(st.Pos)
+		sumSmooth += smSol.Pos.DistanceTo(st.Pos)
+		n++
+	}
+	meanRaw, meanSmooth := sumRaw/float64(n), sumSmooth/float64(n)
+	t.Logf("NR mean error over %d epochs: raw %.3f m, smoothed %.3f m", n, meanRaw, meanSmooth)
+	if meanSmooth > meanRaw*0.75 {
+		t.Errorf("smoothing improved NR only from %.3f to %.3f m", meanRaw, meanSmooth)
+	}
+}
+
+func TestHatchRestartsAfterGap(t *testing.T) {
+	g := smoothingGenerator(t)
+	h := NewHatch(100)
+	e0, err := g.EpochAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Smooth(e0)
+	prn := e0.Obs[0].PRN
+	if h.Depth(prn) != 1 {
+		t.Fatalf("depth after first epoch = %d", h.Depth(prn))
+	}
+	e1, err := g.EpochAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Smooth(e1)
+	if h.Depth(prn) != 2 {
+		t.Fatalf("depth after second epoch = %d", h.Depth(prn))
+	}
+	// A 60 s gap exceeds the cycle-slip guard: depth restarts.
+	e2, err := g.EpochAt(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Smooth(e2)
+	if h.Depth(prn) != 1 {
+		t.Errorf("depth after gap = %d, want 1", h.Depth(prn))
+	}
+}
+
+func TestHatchWindowCapsDepth(t *testing.T) {
+	g := smoothingGenerator(t)
+	h := NewHatch(10)
+	var prn int
+	for i := 0; i < 50; i++ {
+		e, err := g.EpochAt(float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Smooth(e)
+		prn = e.Obs[0].PRN
+	}
+	if got := h.Depth(prn); got != 10 {
+		t.Errorf("depth = %d, want capped at 10", got)
+	}
+}
+
+func TestHatchPassesThroughMissingCarrier(t *testing.T) {
+	g := smoothingGenerator(t)
+	e, err := g.EpochAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Obs[0].Carrier = 0
+	h := NewHatch(100)
+	out := h.Smooth(e)
+	if out.Obs[0].Pseudorange != e.Obs[0].Pseudorange {
+		t.Error("carrier-less observation was modified")
+	}
+	if h.Depth(e.Obs[0].PRN) != 0 {
+		t.Error("carrier-less observation left filter state")
+	}
+}
+
+func TestHatchDoesNotMutateInput(t *testing.T) {
+	g := smoothingGenerator(t)
+	h := NewHatch(100)
+	e0, _ := g.EpochAt(0)
+	h.Smooth(e0)
+	e1, err := g.EpochAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e1.Obs[0].Pseudorange
+	h.Smooth(e1)
+	if e1.Obs[0].Pseudorange != before {
+		t.Error("Smooth mutated its input epoch")
+	}
+}
+
+func adapt(e scenario.Epoch) []core.Observation {
+	obs := make([]core.Observation, 0, len(e.Obs))
+	for _, o := range e.Obs {
+		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+	}
+	return obs
+}

@@ -1,0 +1,313 @@
+// Package tracking implements an extended Kalman filter over raw
+// pseudo-ranges for moving receivers — the high-rate tracking loop the
+// paper's introduction motivates ("the object to be positioned may move
+// at a high speed"). Snapshot solvers (NR/DLO/DLG) hand the filter its
+// initial state; afterwards the filter fuses each epoch's measurements
+// with a constant-velocity motion model, smoothing noise and carrying the
+// track through short outages.
+//
+// State (8): position (m), velocity (m/s), clock bias (m), clock drift
+// (m/s), all in ECEF.
+//
+// Measurements are processed as sequential scalar updates (valid because
+// the measurement noise is diagonal): no matrix factorization appears on
+// the hot path and a Step performs zero heap allocations.
+package tracking
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gpsdl/internal/core"
+	"gpsdl/internal/geo"
+)
+
+// Filter errors.
+var (
+	// ErrNotInitialized is returned by Step before Init.
+	ErrNotInitialized = errors.New("tracking: filter not initialized")
+	// ErrTimeReversal is returned when Step is called with a timestamp
+	// earlier than the filter's current time.
+	ErrTimeReversal = errors.New("tracking: time went backwards")
+)
+
+// Config sets the filter's noise model. Zero fields take defaults suited
+// to a ground/air vehicle with a quartz clock.
+type Config struct {
+	// AccelSigma is the white-acceleration density (m/s²) driving the
+	// constant-velocity model. Default 2 (maneuvering ground vehicle).
+	AccelSigma float64
+	// ClockDriftSigma is the clock-drift process noise (m/s per √s).
+	// Default 0.1.
+	ClockDriftSigma float64
+	// RangeSigma is the pseudo-range measurement noise (m). Default 3.
+	RangeSigma float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.AccelSigma <= 0 {
+		c.AccelSigma = 2
+	}
+	if c.ClockDriftSigma <= 0 {
+		c.ClockDriftSigma = 0.1
+	}
+	if c.RangeSigma <= 0 {
+		c.RangeSigma = 3
+	}
+	return c
+}
+
+// State is the filter's estimate at a point in time.
+type State struct {
+	Pos        geo.ECEF
+	Vel        geo.ECEF
+	ClockBias  float64 // meters
+	ClockDrift float64 // m/s
+	T          float64
+}
+
+// Filter is an 8-state pseudo-range EKF. Not safe for concurrent use.
+type Filter struct {
+	cfg  Config
+	x    [8]float64    // x y z vx vy vz b bdot
+	p    [8][8]float64 // covariance
+	t    float64
+	init bool
+}
+
+// NewFilter returns a filter with the given configuration.
+func NewFilter(cfg Config) *Filter {
+	return &Filter{cfg: cfg.withDefaults()}
+}
+
+// Init seeds the filter from a snapshot fix at time t. Velocity starts at
+// zero with loose covariance; the first few updates resolve it.
+func (f *Filter) Init(sol core.Solution, t float64) {
+	f.x = [8]float64{sol.Pos.X, sol.Pos.Y, sol.Pos.Z, 0, 0, 0, sol.ClockBias, 0}
+	f.p = [8][8]float64{}
+	for i := 0; i < 3; i++ {
+		f.p[i][i] = 100 // 10 m position sigma
+	}
+	for i := 3; i < 6; i++ {
+		f.p[i][i] = 400 // 20 m/s velocity sigma
+	}
+	f.p[6][6] = 100
+	f.p[7][7] = 25
+	f.t = t
+	f.init = true
+}
+
+// State returns the current estimate.
+func (f *Filter) State() (State, error) {
+	if !f.init {
+		return State{}, ErrNotInitialized
+	}
+	return State{
+		Pos:        geo.ECEF{X: f.x[0], Y: f.x[1], Z: f.x[2]},
+		Vel:        geo.ECEF{X: f.x[3], Y: f.x[4], Z: f.x[5]},
+		ClockBias:  f.x[6],
+		ClockDrift: f.x[7],
+		T:          f.t,
+	}, nil
+}
+
+// Predict propagates the state to time t without a measurement (coasting
+// through an outage).
+func (f *Filter) Predict(t float64) error {
+	if !f.init {
+		return ErrNotInitialized
+	}
+	if t < f.t {
+		return fmt.Errorf("tracking: predict to %v from %v: %w", t, f.t, ErrTimeReversal)
+	}
+	f.propagate(t - f.t)
+	f.t = t
+	return nil
+}
+
+// Step predicts to time t and updates with the epoch's pseudo-ranges.
+// At least one observation is required; more satellites tighten the fix.
+func (f *Filter) Step(t float64, obs []core.Observation) (State, error) {
+	if err := f.Predict(t); err != nil {
+		return State{}, err
+	}
+	if len(obs) == 0 {
+		return f.State()
+	}
+	if err := f.update(obs); err != nil {
+		return State{}, err
+	}
+	return f.State()
+}
+
+// propagate applies the constant-velocity transition and process noise.
+// With F = I + dt·E (E mapping velocity→position and drift→bias), the
+// covariance update F·P·Fᵀ = P + dt(EP + PEᵀ) + dt²·EPEᵀ is applied in
+// closed form — E has exactly four nonzero entries.
+func (f *Filter) propagate(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	// State transition.
+	f.x[0] += f.x[3] * dt
+	f.x[1] += f.x[4] * dt
+	f.x[2] += f.x[5] * dt
+	f.x[6] += f.x[7] * dt
+	// pairs maps each integrated state to its rate state.
+	pairs := [4][2]int{{0, 3}, {1, 4}, {2, 5}, {6, 7}}
+	// P += dt·(E·P): row i gains dt·row rate(i).
+	var ep [8][8]float64
+	for _, pr := range pairs {
+		for j := 0; j < 8; j++ {
+			ep[pr[0]][j] = f.p[pr[1]][j]
+		}
+	}
+	// EPEᵀ: entry (i,j) = P[rate(i)][rate(j)] for integrated i, j.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			f.p[i][j] += dt * (ep[i][j] + ep[j][i])
+		}
+	}
+	for _, pi := range pairs {
+		for _, pj := range pairs {
+			f.p[pi[0]][pj[0]] += dt * dt * f.p[pi[1]][pj[1]]
+		}
+	}
+	// Process noise.
+	qa := f.cfg.AccelSigma * f.cfg.AccelSigma
+	q4 := qa * dt * dt * dt * dt / 4
+	q3 := qa * dt * dt * dt / 2
+	q2 := qa * dt * dt
+	for i := 0; i < 3; i++ {
+		f.p[i][i] += q4
+		f.p[i][i+3] += q3
+		f.p[i+3][i] += q3
+		f.p[i+3][i+3] += q2
+	}
+	qc := f.cfg.ClockDriftSigma * f.cfg.ClockDriftSigma
+	f.p[6][6] += qc * dt * dt * dt / 3
+	f.p[6][7] += qc * dt * dt / 2
+	f.p[7][6] += qc * dt * dt / 2
+	f.p[7][7] += qc * dt
+}
+
+// update fuses one epoch of pseudo-ranges via sequential scalar updates.
+// Each measurement is linearized at the *current* state (an iterated
+// flavor that slightly improves on the batch EKF for this mildly
+// nonlinear problem).
+func (f *Filter) update(obs []core.Observation) error {
+	r2 := f.cfg.RangeSigma * f.cfg.RangeSigma
+	for i, o := range obs {
+		pos := geo.ECEF{X: f.x[0], Y: f.x[1], Z: f.x[2]}
+		d := pos.Sub(o.Pos)
+		r := d.Norm()
+		if r == 0 {
+			return fmt.Errorf("tracking: satellite %d coincides with state: %w", i, core.ErrDegenerateGeometry)
+		}
+		var h [8]float64
+		h[0], h[1], h[2] = d.X/r, d.Y/r, d.Z/r
+		h[6] = 1
+		innov := o.Pseudorange - (r + f.x[6])
+		if math.IsNaN(innov) || math.IsInf(innov, 0) {
+			return fmt.Errorf("tracking: non-finite innovation for satellite %d: %w", i, core.ErrBadObservation)
+		}
+		f.scalarUpdate(&h, innov, r2)
+	}
+	return nil
+}
+
+// UpdateDoppler fuses range-rate measurements: per satellite with unit
+// line-of-sight u (receiver→satellite),
+//
+//	rate = u·(vˢ − v) + ḃ
+//
+// so the measurement rows touch the velocity and clock-drift states. Call
+// after Step (or Predict) for the same epoch; Doppler pins velocity far
+// faster than differenced positions can.
+func (f *Filter) UpdateDoppler(obs []core.VelObservation) error {
+	if !f.init {
+		return ErrNotInitialized
+	}
+	for i, o := range obs {
+		pos := geo.ECEF{X: f.x[0], Y: f.x[1], Z: f.x[2]}
+		vel := geo.ECEF{X: f.x[3], Y: f.x[4], Z: f.x[5]}
+		los := o.Pos.Sub(pos)
+		r := los.Norm()
+		if r == 0 {
+			return fmt.Errorf("tracking: Doppler satellite %d at state: %w", i, core.ErrDegenerateGeometry)
+		}
+		u := los.Scale(1 / r)
+		var h [8]float64
+		h[3], h[4], h[5] = -u.X, -u.Y, -u.Z
+		h[7] = 1
+		innov := o.RangeRate - (u.Dot(o.Vel.Sub(vel)) + f.x[7])
+		if math.IsNaN(innov) || math.IsInf(innov, 0) {
+			return fmt.Errorf("tracking: non-finite Doppler innovation %d: %w", i, core.ErrBadObservation)
+		}
+		f.scalarUpdate(&h, innov, dopplerSigma*dopplerSigma)
+	}
+	return nil
+}
+
+// dopplerSigma is the range-rate measurement noise (m/s).
+const dopplerSigma = 0.1
+
+// scalarUpdate applies one scalar Kalman update with measurement row h,
+// innovation innov and measurement variance r2, using the Joseph form
+// plus symmetrization for numerical robustness. Allocation-free.
+func (f *Filter) scalarUpdate(h *[8]float64, innov, r2 float64) {
+	// ph = P·hᵀ; s = h·P·hᵀ + r².
+	var ph [8]float64
+	for i := 0; i < 8; i++ {
+		var sum float64
+		for j := 0; j < 8; j++ {
+			sum += f.p[i][j] * h[j]
+		}
+		ph[i] = sum
+	}
+	s := r2
+	for j := 0; j < 8; j++ {
+		s += h[j] * ph[j]
+	}
+	if s <= 0 {
+		return // numerically collapsed; skip rather than divide by zero
+	}
+	var k [8]float64
+	for i := 0; i < 8; i++ {
+		k[i] = ph[i] / s
+	}
+	for i := 0; i < 8; i++ {
+		f.x[i] += k[i] * innov
+	}
+	// Joseph form: P ← (I−khᵀ)P(I−khᵀ)ᵀ + r²·kkᵀ.
+	// A = (I−khᵀ)P computed as P − k·(hᵀP); hᵀP = phᵀ (P symmetric).
+	var a [8][8]float64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			a[i][j] = f.p[i][j] - k[i]*ph[j]
+		}
+	}
+	// P = A(I−khᵀ)ᵀ + r²kkᵀ = A − (A·h)·kᵀ + r²kkᵀ.
+	var ah [8]float64
+	for i := 0; i < 8; i++ {
+		var sum float64
+		for j := 0; j < 8; j++ {
+			sum += a[i][j] * h[j]
+		}
+		ah[i] = sum
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			f.p[i][j] = a[i][j] - ah[i]*k[j] + r2*k[i]*k[j]
+		}
+	}
+	// Symmetrize against drift.
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			v := 0.5 * (f.p[i][j] + f.p[j][i])
+			f.p[i][j] = v
+			f.p[j][i] = v
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package tracking
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+// vehicleScenario builds a generator for a receiver moving east at the
+// given speed, plus noise-controlled config.
+func vehicleScenario(t *testing.T, speed float64) *scenario.Generator {
+	t.Helper()
+	st, err := scenario.StationByID("SRZN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(21)
+	traj := scenario.LinearTrajectory(st.Pos, geo.ENU{E: speed})
+	return scenario.NewGenerator(st, cfg,
+		scenario.WithTrajectory(traj),
+		scenario.WithClockModel(&clock.ThresholdModel{Offset: 1e-5, Drift: 1e-7, Threshold: 1e-3}))
+}
+
+func adapt(e scenario.Epoch) []core.Observation {
+	obs := make([]core.Observation, 0, len(e.Obs))
+	for _, o := range e.Obs {
+		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+	}
+	return obs
+}
+
+func initFilter(t *testing.T, g *scenario.Generator, f *Filter) {
+	t.Helper()
+	epoch, err := g.EpochAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nr core.NRSolver
+	sol, err := nr.Solve(0, adapt(epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Init(sol, 0)
+}
+
+func TestFilterLifecycle(t *testing.T) {
+	f := NewFilter(Config{})
+	if _, err := f.State(); !errors.Is(err, ErrNotInitialized) {
+		t.Errorf("State before Init: %v", err)
+	}
+	if err := f.Predict(1); !errors.Is(err, ErrNotInitialized) {
+		t.Errorf("Predict before Init: %v", err)
+	}
+	g := vehicleScenario(t, 0)
+	initFilter(t, g, f)
+	if err := f.Predict(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Predict(5); !errors.Is(err, ErrTimeReversal) {
+		t.Errorf("time reversal: %v", err)
+	}
+}
+
+func TestFilterTracksMovingVehicle(t *testing.T) {
+	const speed = 30.0 // m/s, highway vehicle
+	g := vehicleScenario(t, speed)
+	f := NewFilter(Config{})
+	initFilter(t, g, f)
+	var nr core.NRSolver
+	var sumEKF, sumNR float64
+	var n int
+	for i := 1; i <= 300; i++ {
+		tt := float64(i)
+		epoch, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := adapt(epoch)
+		st, err := f.Step(tt, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := g.TruthPosition(tt)
+		if i <= 60 {
+			continue // convergence
+		}
+		sumEKF += st.Pos.DistanceTo(truth)
+		if sol, err := nr.Solve(tt, obs); err == nil {
+			sumNR += sol.Pos.DistanceTo(truth)
+			n++
+		}
+	}
+	meanEKF, meanNR := sumEKF/float64(n), sumNR/float64(n)
+	t.Logf("mean error over %d epochs: EKF %.2f m, snapshot NR %.2f m", n, meanEKF, meanNR)
+	// The filter must beat per-epoch snapshots by a clear margin.
+	if meanEKF > meanNR*0.8 {
+		t.Errorf("EKF %.2f m did not improve on NR %.2f m", meanEKF, meanNR)
+	}
+}
+
+func TestFilterEstimatesVelocity(t *testing.T) {
+	const speed = 50.0
+	g := vehicleScenario(t, speed)
+	f := NewFilter(Config{})
+	initFilter(t, g, f)
+	for i := 1; i <= 120; i++ {
+		tt := float64(i)
+		epoch, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Step(tt, adapt(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := f.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Vel.Norm(); math.Abs(got-speed) > 2 {
+		t.Errorf("speed estimate %.2f m/s, want %.0f ± 2", got, speed)
+	}
+	// Velocity direction: east in the local frame.
+	origin := g.TruthPosition(0)
+	endENU := geo.ToENU(origin, g.TruthPosition(120))
+	votedENU := geo.ToENU(origin, origin.Add(st.Vel))
+	if endENU.E <= 0 || votedENU.E <= 0 {
+		t.Errorf("velocity not eastward: truth %v, est %v", endENU, votedENU)
+	}
+}
+
+func TestFilterEstimatesClock(t *testing.T) {
+	g := vehicleScenario(t, 0)
+	f := NewFilter(Config{})
+	initFilter(t, g, f)
+	for i := 1; i <= 120; i++ {
+		tt := float64(i)
+		epoch, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Step(tt, adapt(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := f.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBias := g.ClockModel().BiasAt(120) * geo.SpeedOfLight
+	if math.Abs(st.ClockBias-wantBias) > 5 {
+		t.Errorf("clock bias %.2f m, want %.2f ± 5", st.ClockBias, wantBias)
+	}
+	wantDrift := 1e-7 * geo.SpeedOfLight // ≈30 m/s
+	if math.Abs(st.ClockDrift-wantDrift) > 3 {
+		t.Errorf("clock drift %.2f m/s, want %.2f ± 3", st.ClockDrift, wantDrift)
+	}
+}
+
+func TestFilterCoastsThroughOutage(t *testing.T) {
+	const speed = 20.0
+	g := vehicleScenario(t, speed)
+	f := NewFilter(Config{})
+	initFilter(t, g, f)
+	for i := 1; i <= 120; i++ {
+		tt := float64(i)
+		epoch, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Step(tt, adapt(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10-second total outage: predict only.
+	if err := f.Predict(130); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.TruthPosition(130)
+	if d := st.Pos.DistanceTo(truth); d > 25 {
+		t.Errorf("coasted error after 10 s outage: %.1f m", d)
+	}
+	// Recovery: resume updates, error returns to normal.
+	for i := 131; i <= 160; i++ {
+		tt := float64(i)
+		epoch, err := g.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Step(tt, adapt(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ = f.State()
+	if d := st.Pos.DistanceTo(g.TruthPosition(160)); d > 6 {
+		t.Errorf("post-outage recovery error %.1f m", d)
+	}
+}
+
+func TestFilterStepWithNoObservationsCoasts(t *testing.T) {
+	g := vehicleScenario(t, 0)
+	f := NewFilter(Config{})
+	initFilter(t, g, f)
+	st, err := f.Step(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.T != 5 {
+		t.Errorf("state time %v", st.T)
+	}
+}
+
+func TestFilterRejectsCorruptMeasurements(t *testing.T) {
+	g := vehicleScenario(t, 0)
+	f := NewFilter(Config{})
+	initFilter(t, g, f)
+	epoch, err := g.EpochAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := adapt(epoch)
+	obs[0].Pseudorange = math.NaN()
+	if _, err := f.Step(1, obs); err == nil {
+		t.Error("NaN measurement accepted")
+	}
+}
+
+func TestUpdateDopplerAcceleratesVelocityConvergence(t *testing.T) {
+	const speed = 50.0
+	runFilter := func(useDoppler bool) float64 {
+		g := vehicleScenario(t, speed)
+		f := NewFilter(Config{})
+		initFilter(t, g, f)
+		for i := 1; i <= 15; i++ {
+			tt := float64(i)
+			epoch, err := g.EpochAt(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Step(tt, adapt(epoch)); err != nil {
+				t.Fatal(err)
+			}
+			if useDoppler {
+				vel := make([]core.VelObservation, 0, len(epoch.Obs))
+				for _, o := range epoch.Obs {
+					vel = append(vel, core.VelObservation{Pos: o.Pos, Vel: o.Vel, RangeRate: o.Doppler})
+				}
+				if err := f.UpdateDoppler(vel); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		st, err := f.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(st.Vel.Norm() - speed)
+	}
+	noDop := runFilter(false)
+	withDop := runFilter(true)
+	t.Logf("speed error after 15 s: without Doppler %.2f m/s, with %.2f m/s", noDop, withDop)
+	if withDop > 0.5 {
+		t.Errorf("Doppler-aided speed error %.2f m/s after 15 s", withDop)
+	}
+	if withDop >= noDop {
+		t.Errorf("Doppler did not accelerate convergence: %.2f vs %.2f m/s", withDop, noDop)
+	}
+}
+
+func TestUpdateDopplerRequiresInit(t *testing.T) {
+	f := NewFilter(Config{})
+	if err := f.UpdateDoppler([]core.VelObservation{{}}); !errors.Is(err, ErrNotInitialized) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUpdateDopplerEmptyIsNoop(t *testing.T) {
+	g := vehicleScenario(t, 0)
+	f := NewFilter(Config{})
+	initFilter(t, g, f)
+	if err := f.UpdateDoppler(nil); err != nil {
+		t.Errorf("empty Doppler update: %v", err)
+	}
+}
