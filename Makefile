@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures ablations cover clean
+.PHONY: all build vet test race bench figures ablations cover metrics-smoke clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ ablations:
 
 cover:
 	$(GO) test ./... -cover
+
+# End-to-end check of the gpsserve admin endpoint: boots the server with
+# -admin, scrapes /metrics and /healthz, and asserts the key metric
+# families are exposed.
+metrics-smoke:
+	GO="$(GO)" ./scripts/metrics_smoke.sh
 
 clean:
 	$(GO) clean ./...

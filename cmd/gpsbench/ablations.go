@@ -445,7 +445,7 @@ func runAblationNoise(cfg benchConfig) error {
 		if err != nil {
 			return err
 		}
-		sweep := &eval.Sweep{Dataset: ds, SatCounts: []int{8}, Seed: cfg.seed, MaxEpochs: cfg.epochs}
+		sweep := &eval.Sweep{Dataset: ds, SatCounts: []int{8}, Seed: cfg.seed, MaxEpochs: cfg.epochs, Registry: cfg.registry}
 		res, err := sweep.Run()
 		if err != nil {
 			return err

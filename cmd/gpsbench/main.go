@@ -32,6 +32,7 @@ import (
 
 	"gpsdl/internal/eval"
 	"gpsdl/internal/scenario"
+	"gpsdl/internal/telemetry"
 )
 
 func main() {
@@ -48,19 +49,23 @@ type benchConfig struct {
 	epochs   int
 	plot     bool
 	csvDir   string
+	// registry, when non-nil, collects solver/clock metrics across every
+	// sweep the run performs (-metrics-out).
+	registry *telemetry.Registry
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("gpsbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "", "figure to reproduce: table, 5.1, 5.2 or all")
-		ablation = fs.String("ablation", "", "ablation to run: base, clock, gls, direct, dgps, smoothing, noise, selection or all")
-		duration = fs.Float64("duration", 7200, "seconds of data per station")
-		step     = fs.Float64("step", 5, "epoch spacing in seconds")
-		seed     = fs.Int64("seed", 2009, "generation seed")
-		epochs   = fs.Int("epochs", 0, "max epochs per satellite count (0 = all)")
-		plot     = fs.Bool("plot", false, "render ASCII charts of the figure curves")
-		csvDir   = fs.String("csv", "", "also write the figure series as CSV files into this directory")
+		fig        = fs.String("fig", "", "figure to reproduce: table, 5.1, 5.2 or all")
+		ablation   = fs.String("ablation", "", "ablation to run: base, clock, gls, direct, dgps, smoothing, noise, selection or all")
+		duration   = fs.Float64("duration", 7200, "seconds of data per station")
+		step       = fs.Float64("step", 5, "epoch spacing in seconds")
+		seed       = fs.Int64("seed", 2009, "generation seed")
+		epochs     = fs.Int("epochs", 0, "max epochs per satellite count (0 = all)")
+		plot       = fs.Bool("plot", false, "render ASCII charts of the figure curves")
+		csvDir     = fs.String("csv", "", "also write the figure series as CSV files into this directory")
+		metricsOut = fs.String("metrics-out", "", "write a final Prometheus-format metrics snapshot to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +74,9 @@ func run(args []string) error {
 		*fig = "all"
 	}
 	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}
+	if *metricsOut != "" {
+		cfg.registry = telemetry.NewRegistry()
+	}
 	switch *fig {
 	case "":
 	case "table":
@@ -82,25 +90,14 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
-	switch *ablation {
-	case "":
-	case "base":
-		return runAblationBase(cfg)
-	case "clock":
-		return runAblationClock(cfg)
-	case "gls":
-		return runAblationGLS(cfg)
-	case "direct":
-		return runAblationDirect(cfg)
-	case "dgps":
-		return runAblationDGPS(cfg)
-	case "smoothing":
-		return runAblationSmoothing(cfg)
-	case "noise":
-		return runAblationNoise(cfg)
-	case "selection":
-		return runAblationSelection(cfg)
-	case "all":
+	single := map[string]func(benchConfig) error{
+		"base": runAblationBase, "clock": runAblationClock, "gls": runAblationGLS,
+		"direct": runAblationDirect, "dgps": runAblationDGPS, "smoothing": runAblationSmoothing,
+		"noise": runAblationNoise, "selection": runAblationSelection,
+	}
+	switch {
+	case *ablation == "":
+	case *ablation == "all":
 		for _, f := range []func(benchConfig) error{
 			runAblationBase, runAblationClock, runAblationGLS, runAblationDirect,
 			runAblationDGPS, runAblationSmoothing, runAblationNoise, runAblationSelection,
@@ -109,9 +106,35 @@ func run(args []string) error {
 				return err
 			}
 		}
+	case single[*ablation] != nil:
+		if err := single[*ablation](cfg); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown -ablation %q", *ablation)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, cfg.registry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMetrics dumps the registry's final Prometheus-format snapshot.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 
@@ -190,6 +213,7 @@ func runFigures(cfg benchConfig, which string) error {
 			Dataset:   ds,
 			MaxEpochs: cfg.epochs,
 			Seed:      cfg.seed,
+			Registry:  cfg.registry,
 		}
 		res, err := sweep.Run()
 		if err != nil {

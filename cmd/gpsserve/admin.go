@@ -1,0 +1,181 @@
+// Admin HTTP endpoint: /metrics (Prometheus text format), /healthz
+// (epoch-loop liveness with last-fix age), and /debug/pprof/* for live
+// profiling. Enabled with -admin addr; everything is stdlib-only.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/telemetry"
+)
+
+// health tracks epoch-loop liveness for /healthz: how many epochs have
+// been processed, how many produced broadcast fixes, and how stale the
+// latest fix is.
+type health struct {
+	// maxAge is the last-fix staleness above which the server reports
+	// unhealthy; 0 means 10 s.
+	maxAge time.Duration
+
+	started      time.Time
+	lastFixNanos atomic.Int64 // wall-clock ns of the last fix; 0 = none yet
+
+	// epochs/fixes also back gpsserve_epochs_total / gpsserve_fixes_total.
+	epochs *telemetry.Counter
+	fixes  *telemetry.Counter
+	hdop   *telemetry.Gauge
+}
+
+// newHealth returns a tracker whose instruments are registered in reg
+// (nil reg leaves them disabled; liveness still works).
+func newHealth(reg *telemetry.Registry, maxAge time.Duration) *health {
+	return &health{
+		maxAge:  maxAge,
+		started: time.Now(),
+		epochs:  reg.Counter(metricEpochs, "Epochs pulled from the observation source."),
+		fixes:   reg.Counter(metricFixes, "Epochs that produced a broadcast fix."),
+		hdop:    reg.Gauge(metricHDOP, "HDOP of the most recent fix."),
+	}
+}
+
+// recordEpoch notes one epoch-loop tick.
+func (h *health) recordEpoch() {
+	if h != nil {
+		h.epochs.Inc()
+	}
+}
+
+// recordFix notes one successful broadcast fix and its HDOP.
+func (h *health) recordFix(hdop float64) {
+	if h == nil {
+		return
+	}
+	h.fixes.Inc()
+	h.hdop.Set(hdop)
+	h.lastFixNanos.Store(time.Now().UnixNano())
+}
+
+// healthStatus is the /healthz response body.
+type healthStatus struct {
+	Status            string  `json:"status"` // ok | starting | stalled
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	Epochs            uint64  `json:"epochs"`
+	Fixes             uint64  `json:"fixes"`
+	LastFixAgeSeconds float64 `json:"last_fix_age_seconds"` // -1 before the first fix
+}
+
+// status snapshots the current liveness verdict.
+func (h *health) status() (healthStatus, int) {
+	maxAge := h.maxAge
+	if maxAge <= 0 {
+		maxAge = 10 * time.Second
+	}
+	s := healthStatus{
+		UptimeSeconds:     time.Since(h.started).Seconds(),
+		Epochs:            h.epochs.Value(),
+		Fixes:             h.fixes.Value(),
+		LastFixAgeSeconds: -1,
+	}
+	last := h.lastFixNanos.Load()
+	if last == 0 {
+		s.Status = "starting"
+		return s, http.StatusServiceUnavailable
+	}
+	age := time.Since(time.Unix(0, last))
+	s.LastFixAgeSeconds = age.Seconds()
+	if age > maxAge {
+		s.Status = "stalled"
+		return s, http.StatusServiceUnavailable
+	}
+	s.Status = "ok"
+	return s, http.StatusOK
+}
+
+// handler serves /healthz.
+func (h *health) handler(w http.ResponseWriter, _ *http.Request) {
+	body, code := h.status()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// newAdminMux wires the admin routes.
+func newAdminMux(reg *telemetry.Registry, h *health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	mux.HandleFunc("/healthz", h.handler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveAdmin runs the admin HTTP server on ln until ctx ends.
+func serveAdmin(ctx context.Context, ln net.Listener, handler http.Handler, log *slog.Logger) {
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	stop := context.AfterFunc(ctx, func() { srv.Close() })
+	defer stop()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && ctx.Err() == nil && log != nil {
+		log.Error("admin server failed", "err", err)
+	}
+}
+
+// serverTelemetry is the full gpsserve instrument set: the primary and
+// warm-up solvers wrapped with per-solver metrics, clock-predictor
+// counters, broadcaster connection metrics, and the health tracker. One
+// constructor so run() and the admin tests register identical families
+// — every required /metrics name exists from startup, before traffic.
+type serverTelemetry struct {
+	reg    *telemetry.Registry
+	solver core.Solver // instrumented primary solver
+	warm   core.Solver // instrumented NR warm-up / clock-feed solver
+	health *health
+}
+
+// wireTelemetry instruments the server around registry reg. logs may be
+// nil (silent).
+func wireTelemetry(reg *telemetry.Registry, solver core.Solver, pred clock.Predictor,
+	b *Broadcaster, logs *telemetry.Logging, fixMaxAge time.Duration) *serverTelemetry {
+	if lp, ok := pred.(*clock.LinearPredictor); ok {
+		lp.Metrics = clock.NewMetrics(reg)
+	} else if reg != nil {
+		// Keep gps_clock_* families present even with oracle/Kalman
+		// predictors, so dashboards never miss series.
+		clock.NewMetrics(reg)
+	}
+	if dlg, ok := solver.(*core.DLGSolver); ok {
+		dlg.Metrics = core.NewGLSMetrics(reg)
+	}
+	b.Metrics = NewBroadcasterMetrics(reg)
+	b.Logger = logs.Component("broadcaster")
+	return &serverTelemetry{
+		reg:    reg,
+		solver: core.Instrument(solver, reg),
+		warm:   core.Instrument(&core.NRSolver{}, reg),
+		health: newHealth(reg, fixMaxAge),
+	}
+}
+
+// listenAdmin binds the admin address and starts the admin server,
+// returning the bound address (useful with ":0").
+func listenAdmin(ctx context.Context, addr string, st *serverTelemetry, log *slog.Logger) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listen %s: %w", addr, err)
+	}
+	mux := newAdminMux(st.reg, st.health)
+	go serveAdmin(ctx, ln, mux, log)
+	return ln.Addr(), nil
+}

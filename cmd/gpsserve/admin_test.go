@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/telemetry"
+)
+
+// newTestTelemetry wires the full server instrument set the way run()
+// does, around a DLG solver and a linear clock predictor.
+func newTestTelemetry(maxAge time.Duration) (*telemetry.Registry, *serverTelemetry) {
+	reg := telemetry.NewRegistry()
+	pred := clock.NewLinearPredictor(5, 1e-4)
+	tel := wireTelemetry(reg, core.NewDLGSolver(pred), pred, NewBroadcaster(), nil, maxAge)
+	return reg, tel
+}
+
+// The acceptance criterion: /metrics must serve Prometheus text format
+// containing every key metric family from startup, before any traffic.
+func TestAdminMetricsEndpoint(t *testing.T) {
+	reg, tel := newTestTelemetry(0)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		// Required families.
+		core.MetricSolveSeconds,
+		core.MetricSolveFailures,
+		core.MetricNRIterations,
+		clock.MetricResets,
+		metricClients,
+		// Per-solver histogram series in Prometheus text shape.
+		`gps_solve_seconds_bucket{solver="DLG",le="`,
+		`gps_solve_seconds_bucket{solver="NR",le="+Inf"} 0`,
+		`gps_solve_seconds_count{solver="DLG"}`,
+		`gps_solve_seconds_count{solver="NR"}`,
+		`gps_solve_failures_total{solver="DLG"} 0`,
+		"# TYPE gps_solve_seconds histogram",
+		"# TYPE gpsserve_clients gauge",
+		// Connection and epoch-loop families.
+		metricConnects,
+		`gpsserve_drops_total{reason="slow"}`,
+		metricEpochs,
+		metricFixes,
+		// DLG covariance-path counters.
+		`gps_dlg_solves_total{path="fast"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// /metrics must reflect recorded activity.
+func TestAdminMetricsReflectActivity(t *testing.T) {
+	reg, tel := newTestTelemetry(0)
+	// Fail one solve (too few satellites) and record a fix.
+	if _, err := tel.solver.Solve(0, nil); err == nil {
+		t.Fatal("empty solve succeeded")
+	}
+	tel.health.recordEpoch()
+	tel.health.recordFix(1.25)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		`gps_solve_failures_total{solver="DLG"} 1`,
+		"gpsserve_epochs_total 1",
+		"gpsserve_fixes_total 1",
+		"gpsserve_hdop 1.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthzLifecycle(t *testing.T) {
+	reg, tel := newTestTelemetry(time.Hour)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	defer srv.Close()
+
+	get := func() (healthStatus, int) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hs healthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+			t.Fatal(err)
+		}
+		return hs, resp.StatusCode
+	}
+
+	// Before any fix: starting, unavailable.
+	hs, code := get()
+	if code != http.StatusServiceUnavailable || hs.Status != "starting" {
+		t.Errorf("pre-fix healthz = %d %q, want 503 starting", code, hs.Status)
+	}
+	if hs.LastFixAgeSeconds != -1 {
+		t.Errorf("pre-fix age = %v, want -1", hs.LastFixAgeSeconds)
+	}
+
+	// After a fix: ok.
+	tel.health.recordEpoch()
+	tel.health.recordFix(0.9)
+	hs, code = get()
+	if code != http.StatusOK || hs.Status != "ok" {
+		t.Errorf("post-fix healthz = %d %q, want 200 ok", code, hs.Status)
+	}
+	if hs.Epochs != 1 || hs.Fixes != 1 {
+		t.Errorf("healthz counters = %d epochs %d fixes", hs.Epochs, hs.Fixes)
+	}
+	if hs.LastFixAgeSeconds < 0 {
+		t.Errorf("age = %v after a fix", hs.LastFixAgeSeconds)
+	}
+}
+
+func TestHealthzStalled(t *testing.T) {
+	reg, tel := newTestTelemetry(time.Nanosecond)
+	tel.health.recordFix(1)
+	time.Sleep(2 * time.Millisecond)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hs healthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || hs.Status != "stalled" {
+		t.Errorf("stale healthz = %d %q, want 503 stalled", resp.StatusCode, hs.Status)
+	}
+}
+
+func TestAdminPprofRoutes(t *testing.T) {
+	reg, tel := newTestTelemetry(0)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}

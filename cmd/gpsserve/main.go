@@ -6,6 +6,14 @@
 //	gpsserve -station YYR1 -solver dlg -addr 127.0.0.1:2947 -rate 10
 //	nc 127.0.0.1 2947          # watch the sentences
 //
+// With -admin, an HTTP endpoint exposes Prometheus metrics, liveness,
+// and pprof:
+//
+//	gpsserve -station YYR1 -admin 127.0.0.1:8080
+//	curl 127.0.0.1:8080/metrics
+//	curl 127.0.0.1:8080/healthz
+//	go tool pprof 127.0.0.1:8080/debug/pprof/profile
+//
 // Stop with Ctrl-C; clients are disconnected cleanly.
 package main
 
@@ -13,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -26,6 +35,7 @@ import (
 	"gpsdl/internal/geo"
 	"gpsdl/internal/nmea"
 	"gpsdl/internal/scenario"
+	"gpsdl/internal/telemetry"
 )
 
 func main() {
@@ -44,14 +54,28 @@ func run(ctx context.Context, args []string) error {
 		dataset   = fs.String("dataset", "", "replay a gpsgen dataset file instead of live generation")
 		solver    = fs.String("solver", "dlg", "positioning algorithm: nr, dlo, dlg or bancroft")
 		addr      = fs.String("addr", "127.0.0.1:2947", "TCP listen address")
+		adminAddr = fs.String("admin", "", "admin HTTP listen address serving /metrics, /healthz and /debug/pprof (disabled when empty)")
 		rate      = fs.Float64("rate", 1, "epochs per second to stream")
 		seed      = fs.Int64("seed", 2009, "generation seed")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rate <= 0 {
-		return fmt.Errorf("-rate must be positive")
+		return fmt.Errorf("-rate must be positive, have %g", *rate)
+	}
+	if *dataset == "" && strings.TrimSpace(*stationID) == "" {
+		return fmt.Errorf("-station must not be empty (or use -dataset to replay a file)")
+	}
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logs, err := telemetry.NewLogging(os.Stderr, *logFormat, level)
+	if err != nil {
+		return err
 	}
 	var (
 		source epochSource
@@ -105,10 +129,28 @@ func run(ctx context.Context, args []string) error {
 		s.Name(), st.ID, ln.Addr(), *rate)
 
 	b := NewBroadcaster()
+	// A fix is stale once ~10 epoch periods have passed without one
+	// (floored at 10 s so slow streaming rates are not declared dead).
+	maxAge := time.Duration(10 * float64(time.Second) / *rate)
+	if maxAge < 10*time.Second {
+		maxAge = 10 * time.Second
+	}
+	reg := telemetry.NewRegistry()
+	tel := wireTelemetry(reg, s, pred, b, logs, maxAge)
+	if *adminAddr != "" {
+		bound, err := listenAdmin(ctx, *adminAddr, tel, logs.Component("admin"))
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/pprof)\n", bound)
+		logs.Component("admin").Info("admin endpoint up", "addr", bound.String())
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- b.Serve(ctx, ln) }()
 
-	err = streamFixes(ctx, source, s, pred, b, *rate)
+	err = streamFixes(ctx, source, tel, pred, b, *rate, logs.Component("solver"))
 	cancelErr := <-serveErr
 	if err != nil {
 		return err
@@ -129,10 +171,10 @@ func replaySource(ds *scenario.Dataset) epochSource {
 	}
 }
 
-// streamFixes runs the epoch loop until the context ends.
-func streamFixes(ctx context.Context, source epochSource, s core.Solver,
-	pred clock.Predictor, b *Broadcaster, rate float64) error {
-	var nr core.NRSolver
+// streamFixes runs the epoch loop until the context ends, reporting
+// liveness and per-solver metrics through tel.
+func streamFixes(ctx context.Context, source epochSource, tel *serverTelemetry,
+	pred clock.Predictor, b *Broadcaster, rate float64, log *slog.Logger) error {
 	ticker := time.NewTicker(time.Duration(float64(time.Second) / rate))
 	defer ticker.Stop()
 	i := 0
@@ -147,23 +189,28 @@ func streamFixes(ctx context.Context, source epochSource, s core.Solver,
 			return err
 		}
 		i++
+		tel.health.recordEpoch()
 		obs := make([]core.Observation, 0, len(epoch.Obs))
 		sats := make([]geo.ECEF, 0, len(epoch.Obs))
 		for _, o := range epoch.Obs {
 			obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
 			sats = append(sats, o.Pos)
 		}
-		if nrSol, err := nr.Solve(epoch.T, obs); err == nil {
+		if nrSol, err := tel.warm.Solve(epoch.T, obs); err == nil {
 			pred.Observe(clock.Fix{T: epoch.T, Bias: nrSol.ClockBias / geo.SpeedOfLight})
 		}
-		sol, err := s.Solve(epoch.T, obs)
+		sol, err := tel.solver.Solve(epoch.T, obs)
 		if err != nil {
-			continue // predictor warming up or degenerate epoch
+			// Predictor warming up or degenerate epoch; the wrapper
+			// already counted the failure.
+			log.Debug("solve failed", "epoch", i, "err", err)
+			continue
 		}
 		hdop := 0.0
 		if dop, err := core.ComputeDOP(sol.Pos, sats); err == nil {
 			hdop = dop.HDOP
 		}
+		tel.health.recordFix(hdop)
 		fix := nmea.Fix{
 			TimeOfDay: epoch.T,
 			Pos:       sol.Pos.ToLLA(),

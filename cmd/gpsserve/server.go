@@ -4,9 +4,106 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
+
+	"gpsdl/internal/telemetry"
+)
+
+// Metric names exported by the gpsserve broadcaster and epoch loop.
+const (
+	metricClients   = "gpsserve_clients"
+	metricConnects  = "gpsserve_connects_total"
+	metricDrops     = "gpsserve_drops_total"
+	metricSentences = "gpsserve_sentences_total"
+	metricEpochs    = "gpsserve_epochs_total"
+	metricFixes     = "gpsserve_fixes_total"
+	metricHDOP      = "gpsserve_hdop"
+)
+
+// BroadcasterMetrics instruments the connection lifecycle. The
+// conservation law the gauge-consistency test pins down:
+//
+//	Connects − (SlowDrops + WriteDrops + ShutdownDrops) == Clients
+//
+// holds at every quiescent moment. A nil *BroadcasterMetrics records
+// nothing.
+type BroadcasterMetrics struct {
+	// Clients is the currently connected client count (gpsserve_clients).
+	Clients *telemetry.Gauge
+	// Connects counts accepted connections (gpsserve_connects_total).
+	Connects *telemetry.Counter
+	// SlowDrops, WriteDrops, and ShutdownDrops split
+	// gpsserve_drops_total by reason: queue overflow, socket write
+	// failure, and server shutdown.
+	SlowDrops     *telemetry.Counter
+	WriteDrops    *telemetry.Counter
+	ShutdownDrops *telemetry.Counter
+	// Sentences counts broadcast NMEA sentences (gpsserve_sentences_total).
+	Sentences *telemetry.Counter
+}
+
+// NewBroadcasterMetrics registers the broadcaster instruments under
+// reg. Nil registry yields nil (recording disabled).
+func NewBroadcasterMetrics(reg *telemetry.Registry) *BroadcasterMetrics {
+	if reg == nil {
+		return nil
+	}
+	reason := func(v string) telemetry.Label { return telemetry.Label{Key: "reason", Value: v} }
+	const dropHelp = "Client disconnections by reason."
+	return &BroadcasterMetrics{
+		Clients:       reg.Gauge(metricClients, "Currently connected NMEA clients."),
+		Connects:      reg.Counter(metricConnects, "Accepted client connections."),
+		SlowDrops:     reg.Counter(metricDrops, dropHelp, reason("slow")),
+		WriteDrops:    reg.Counter(metricDrops, dropHelp, reason("write")),
+		ShutdownDrops: reg.Counter(metricDrops, dropHelp, reason("shutdown")),
+		Sentences:     reg.Counter(metricSentences, "NMEA sentences fanned out to clients."),
+	}
+}
+
+// Drops returns the total disconnections across every reason.
+func (m *BroadcasterMetrics) Drops() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.SlowDrops.Value() + m.WriteDrops.Value() + m.ShutdownDrops.Value()
+}
+
+func (m *BroadcasterMetrics) connect() {
+	if m != nil {
+		m.Connects.Inc()
+		m.Clients.Inc()
+	}
+}
+
+func (m *BroadcasterMetrics) drop(reason string) {
+	if m == nil {
+		return
+	}
+	m.Clients.Dec()
+	switch reason {
+	case dropSlow:
+		m.SlowDrops.Inc()
+	case dropShutdown:
+		m.ShutdownDrops.Inc()
+	default:
+		m.WriteDrops.Inc()
+	}
+}
+
+func (m *BroadcasterMetrics) sentence() {
+	if m != nil {
+		m.Sentences.Inc()
+	}
+}
+
+// Drop reasons (the reason label values of gpsserve_drops_total).
+const (
+	dropSlow     = "slow"
+	dropWrite    = "write"
+	dropShutdown = "shutdown"
 )
 
 // Broadcaster fans NMEA sentences out to every connected TCP client —
@@ -19,6 +116,11 @@ type Broadcaster struct {
 	QueueLen int
 	// WriteTimeout bounds each TCP write. 0 means 5 s.
 	WriteTimeout time.Duration
+	// Metrics, when non-nil, tracks connects, drops, and the live
+	// client gauge (see NewBroadcasterMetrics).
+	Metrics *BroadcasterMetrics
+	// Logger records connection lifecycle events; nil stays silent.
+	Logger *slog.Logger
 
 	mu      sync.Mutex
 	clients map[net.Conn]chan string
@@ -80,17 +182,27 @@ func (b *Broadcaster) register(conn net.Conn) chan string {
 	}
 	ch := make(chan string, qlen)
 	b.clients[conn] = ch
+	b.Metrics.connect()
+	if b.Logger != nil {
+		b.Logger.Info("client connected", "remote", conn.RemoteAddr().String(), "clients", len(b.clients))
+	}
 	return ch
 }
 
-// remove drops a client; idempotent.
-func (b *Broadcaster) remove(conn net.Conn) {
+// remove drops a client, attributing the disconnect to reason;
+// idempotent (only the first removal counts).
+func (b *Broadcaster) remove(conn net.Conn, reason string) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if ch, ok := b.clients[conn]; ok {
 		delete(b.clients, conn)
 		close(ch)
+		b.Metrics.drop(reason)
+		if b.Logger != nil {
+			b.Logger.Info("client dropped", "remote", conn.RemoteAddr().String(),
+				"reason", reason, "clients", len(b.clients))
+		}
 	}
+	b.mu.Unlock()
 	conn.Close()
 }
 
@@ -102,10 +214,14 @@ func (b *Broadcaster) shutdown() {
 		return
 	}
 	b.closed = true
+	if b.Logger != nil && len(b.clients) > 0 {
+		b.Logger.Info("shutting down", "clients", len(b.clients))
+	}
 	for conn, ch := range b.clients {
 		delete(b.clients, conn)
 		close(ch)
 		conn.Close()
+		b.Metrics.drop(dropShutdown)
 	}
 }
 
@@ -115,7 +231,10 @@ func (b *Broadcaster) writeLoop(conn net.Conn, ch chan string) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	defer b.remove(conn)
+	// Reached on write failure; when the queue was closed by an evict
+	// or shutdown, the client is already gone from the map and this
+	// removal is an uncounted no-op.
+	defer b.remove(conn, dropWrite)
 	for line := range ch {
 		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 			return
@@ -138,9 +257,10 @@ func (b *Broadcaster) Broadcast(line string) {
 			evict = append(evict, conn)
 		}
 	}
+	b.Metrics.sentence()
 	b.mu.Unlock()
 	for _, conn := range evict {
-		b.remove(conn)
+		b.remove(conn, dropSlow)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"gpsdl/internal/nmea"
 	"gpsdl/internal/scenario"
+	"gpsdl/internal/telemetry"
 )
 
 // startBroadcaster spins up a broadcaster on an ephemeral port.
@@ -150,7 +151,7 @@ func TestServeEndToEnd(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, []string{"-addr", addr, "-rate", "50", "-solver", "nr"})
+		done <- run(ctx, []string{"-addr", addr, "-rate", "50", "-solver", "nr", "-admin", "127.0.0.1:0"})
 	}()
 	// Wait for the listener, then read two sentences.
 	var conn net.Conn
@@ -258,8 +259,14 @@ func TestRunFlagErrors(t *testing.T) {
 	}{
 		{"bad flag", []string{"-zap"}},
 		{"bad rate", []string{"-rate", "0"}},
+		{"negative rate", []string{"-rate", "-3"}},
+		{"empty station", []string{"-station", ""}},
+		{"blank station", []string{"-station", "   "}},
 		{"unknown station", []string{"-station", "NOPE"}},
 		{"unknown solver", []string{"-solver", "magic"}},
+		{"bad log level", []string{"-log-level", "loud"}},
+		{"bad log format", []string{"-log-format", "xml"}},
+		{"bad admin address", []string{"-addr", "127.0.0.1:0", "-admin", "256.256.256.256:99999"}},
 		{"missing dataset", []string{"-dataset", "/does/not/exist.jsonl"}},
 		{"bad listen address", []string{"-addr", "256.256.256.256:99999"}},
 	}
@@ -269,6 +276,95 @@ func TestRunFlagErrors(t *testing.T) {
 				t.Error("run succeeded, want error")
 			}
 		})
+	}
+}
+
+// Gauge consistency: after N connects, M slow-client evictions, and
+// shutdown, ClientCount and the connection/drop counters must agree:
+// connects − drops == clients == 0, with the slow eviction attributed
+// to the "slow" reason and the rest to "shutdown".
+func TestBroadcasterGaugeConsistency(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroadcaster()
+	b.QueueLen = 1 // tiny queue so a non-reading client evicts quickly
+	b.Metrics = NewBroadcasterMetrics(telemetry.NewRegistry())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = b.Serve(ctx, ln)
+	}()
+	addr := ln.Addr().String()
+
+	// Two well-behaved readers that drain until their connection dies.
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	// One slow client that never reads.
+	slow, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	waitForClients(t, b, 3)
+	if got := b.Metrics.Connects.Value(); got != 3 {
+		t.Errorf("connects = %d, want 3", got)
+	}
+	if got := b.Metrics.Clients.Value(); got != 3 {
+		t.Errorf("clients gauge = %v, want 3", got)
+	}
+
+	// Flood until the slow client overflows its 1-line queue.
+	long := strings.Repeat("x", 1024)
+	deadline := time.Now().Add(10 * time.Second)
+	for b.ClientCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow client was never evicted")
+		}
+		b.Broadcast(long)
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.Metrics.SlowDrops.Value(); got != 1 {
+		t.Errorf("slow drops = %d, want 1", got)
+	}
+
+	// Shutdown: the remaining clients drop with reason=shutdown.
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcaster did not shut down")
+	}
+	m := b.Metrics
+	if got := m.ShutdownDrops.Value(); got != 2 {
+		t.Errorf("shutdown drops = %d, want 2", got)
+	}
+	if b.ClientCount() != 0 {
+		t.Errorf("ClientCount = %d after shutdown", b.ClientCount())
+	}
+	if got := m.Clients.Value(); got != 0 {
+		t.Errorf("clients gauge = %v after shutdown, want 0", got)
+	}
+	if connects, drops := m.Connects.Value(), m.Drops(); connects != drops {
+		t.Errorf("conservation violated: connects %d != drops %d at quiescence", connects, drops)
+	}
+	if got := m.Sentences.Value(); got == 0 {
+		t.Error("no sentences counted despite broadcasts")
 	}
 }
 

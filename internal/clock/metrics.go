@@ -1,0 +1,56 @@
+package clock
+
+import "gpsdl/internal/telemetry"
+
+// Canonical metric names exported by the predictor instrumentation.
+const (
+	MetricCalibrations = "gps_clock_calibrations_total"
+	MetricResets       = "gps_clock_resets_total"
+	MetricOutliers     = "gps_clock_outliers_total"
+)
+
+// Metrics counts clock-predictor lifecycle events. A nil *Metrics (the
+// telemetry-disabled state) records nothing.
+type Metrics struct {
+	// Calibrations counts completed initial (D, r) fits.
+	Calibrations *telemetry.Counter
+	// Resets counts detected threshold-clock resets (jumps beyond
+	// JumpTol that re-anchored the offset).
+	Resets *telemetry.Counter
+	// Outliers counts post-calibration fixes discarded by OutlierTol.
+	Outliers *telemetry.Counter
+}
+
+// NewMetrics registers the predictor counters under reg. Nil registry
+// yields nil.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Calibrations: reg.Counter(MetricCalibrations,
+			"Completed clock-predictor calibration fits."),
+		Resets: reg.Counter(MetricResets,
+			"Detected threshold-clock resets (predictor re-anchors)."),
+		Outliers: reg.Counter(MetricOutliers,
+			"Spurious clock fixes discarded by the outlier gate."),
+	}
+}
+
+func (m *Metrics) countCalibration() {
+	if m != nil {
+		m.Calibrations.Inc()
+	}
+}
+
+func (m *Metrics) countReset() {
+	if m != nil {
+		m.Resets.Inc()
+	}
+}
+
+func (m *Metrics) countOutlier() {
+	if m != nil {
+		m.Outliers.Inc()
+	}
+}

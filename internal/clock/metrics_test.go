@@ -1,0 +1,61 @@
+package clock
+
+import (
+	"testing"
+
+	"gpsdl/internal/telemetry"
+)
+
+func TestPredictorMetricsCalibrationAndResets(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewLinearPredictor(3, 1e-4)
+	p.Metrics = NewMetrics(reg)
+
+	// Feed the calibration window: one completed fit.
+	for i := 0; i < 3; i++ {
+		p.Observe(Fix{T: float64(i), Bias: 1e-6})
+	}
+	if got := p.Metrics.Calibrations.Value(); got != 1 {
+		t.Fatalf("calibrations = %d, want 1", got)
+	}
+
+	// Two jumps beyond JumpTol: resets counter must track Recalibrations.
+	p.Observe(Fix{T: 4, Bias: 1e-6 + 1e-3})
+	p.Observe(Fix{T: 5, Bias: 1e-6 + 2e-3})
+	if got := p.Metrics.Resets.Value(); got != uint64(p.Recalibrations) {
+		t.Errorf("resets = %d, Recalibrations = %d; must agree", got, p.Recalibrations)
+	}
+	if p.Recalibrations != 2 {
+		t.Errorf("Recalibrations = %d, want 2", p.Recalibrations)
+	}
+}
+
+func TestPredictorMetricsOutliers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewLinearPredictor(2, 1e-3)
+	p.OutlierTol = 1e-6
+	p.Metrics = NewMetrics(reg)
+	p.Observe(Fix{T: 0, Bias: 0})
+	p.Observe(Fix{T: 1, Bias: 0})
+	// Deviation between OutlierTol and JumpTol: dropped, not a reset.
+	p.Observe(Fix{T: 2, Bias: 1e-5})
+	if got := p.Metrics.Outliers.Value(); got != 1 {
+		t.Errorf("outliers = %d, want 1", got)
+	}
+	if got := p.Metrics.Resets.Value(); got != 0 {
+		t.Errorf("resets = %d, want 0", got)
+	}
+}
+
+func TestPredictorNilMetricsSafe(t *testing.T) {
+	p := NewLinearPredictor(2, 1e-4)
+	for i := 0; i < 4; i++ {
+		p.Observe(Fix{T: float64(i), Bias: 1e-6})
+	}
+	if _, err := p.PredictBias(5); err != nil {
+		t.Fatal(err)
+	}
+	if NewMetrics(nil) != nil {
+		t.Error("NewMetrics(nil) != nil")
+	}
+}

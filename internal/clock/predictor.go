@@ -123,6 +123,9 @@ type LinearPredictor struct {
 	// without it, the noise in a short calibration window extrapolates to
 	// tens of meters of range error within hours.
 	Refit bool
+	// Metrics, when non-nil, counts calibrations, resets, and discarded
+	// outliers (see NewMetrics). Nil records nothing.
+	Metrics *Metrics
 
 	window     []Fix
 	d, r       float64
@@ -166,6 +169,7 @@ func (p *LinearPredictor) Observe(fix Fix) {
 				}
 				p.d, p.r = d, r
 				p.calibrated = true
+				p.Metrics.countCalibration()
 				if p.Refit {
 					for _, f := range p.window {
 						p.accumulate(f.T, f.Bias)
@@ -183,6 +187,7 @@ func (p *LinearPredictor) Observe(fix Fix) {
 		// Clock reset: absorb the step so the adjusted series stays
 		// continuous (Refit mode) and re-anchor the offset.
 		p.Recalibrations++
+		p.Metrics.countReset()
 		step := diff
 		if p.RoundJumpTo > 0 {
 			step = math.Round(diff/p.RoundJumpTo) * p.RoundJumpTo
@@ -194,6 +199,7 @@ func (p *LinearPredictor) Observe(fix Fix) {
 		p.cumOffset += step
 	case p.OutlierTol > 0 && (diff > p.OutlierTol || diff < -p.OutlierTol):
 		// Spurious fix (not a reset): drop it.
+		p.Metrics.countOutlier()
 		return
 	}
 	if p.Refit {

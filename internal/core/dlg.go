@@ -66,6 +66,9 @@ type DLGSolver struct {
 	// Variant selects the covariance path; the zero value is the
 	// paper-faithful dense Cholesky.
 	Variant DLGVariant
+	// Metrics, when non-nil, counts solves per covariance path and
+	// fast-path fallbacks (see NewGLSMetrics). Nil records nothing.
+	Metrics *GLSMetrics
 
 	// Scratch storage reused across Solve calls.
 	psi  []float64 // k×k covariance / Cholesky factor
@@ -126,6 +129,14 @@ func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	switch s.Variant {
 	case VariantFast:
 		x, err = solveGLSFast(rows, d, diag, shared)
+		if err != nil {
+			// The Sherman-Morrison identity needs every diagonal term
+			// positive; when an epoch violates that, retry through the
+			// explicit eq. 4-21 reference before declaring the geometry
+			// degenerate.
+			s.Metrics.countFallback()
+			x, err = solveGLSExplicit(rows, d, diag, shared)
+		}
 	case VariantExplicit:
 		x, err = solveGLSExplicit(rows, d, diag, shared)
 	default:
@@ -134,6 +145,7 @@ func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	if err != nil {
 		return Solution{}, fmt.Errorf("DLG GLS solve (%s): %w", s.Variant, ErrDegenerateGeometry)
 	}
+	s.Metrics.countPath(s.Variant)
 	return Solution{
 		Pos:        geo.ECEF{X: x[0], Y: x[1], Z: x[2]},
 		ClockBias:  epsR,

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"time"
+
+	"gpsdl/internal/telemetry"
+)
+
+// Canonical metric names exported by the solver instrumentation. The
+// per-solver families carry a solver="NR"/"DLO"/"DLG"/... label.
+const (
+	MetricSolveSeconds    = "gps_solve_seconds"
+	MetricSolveFailures   = "gps_solve_failures_total"
+	MetricSolveIterations = "gps_solve_iterations_total"
+	MetricNRIterations    = "gps_nr_iterations_total"
+	MetricDLGSolves       = "gps_dlg_solves_total"
+	MetricDLGFallbacks    = "gps_dlg_fast_fallbacks_total"
+	MetricRAIMChecks      = "gps_raim_checks_total"
+	MetricRAIMFaults      = "gps_raim_faults_total"
+	MetricRAIMExclusions  = "gps_raim_exclusions_total"
+)
+
+// SolverMetrics bundles the instruments describing one solver's hot
+// path. A nil *SolverMetrics (or nil fields) records nothing.
+type SolverMetrics struct {
+	// SolveSeconds is the per-solve latency histogram
+	// (gps_solve_seconds{solver=...}).
+	SolveSeconds *telemetry.Histogram
+	// Failures counts solves that returned an error
+	// (gps_solve_failures_total{solver=...}).
+	Failures *telemetry.Counter
+	// Iterations accumulates Solution.Iterations across successful
+	// solves (gps_solve_iterations_total{solver=...}; direct methods
+	// contribute 1 per fix).
+	Iterations *telemetry.Counter
+	// NRIterations is the unlabeled gps_nr_iterations_total counter,
+	// registered only when the instrumented solver is NR — the paper's
+	// baseline cost driver (Section 5's execution-time rates are
+	// normalized against it).
+	NRIterations *telemetry.Counter
+}
+
+// NewSolverMetrics registers the standard per-solver instruments under
+// reg with a solver=name label. A nil registry yields nil (recording
+// disabled at zero cost).
+func NewSolverMetrics(reg *telemetry.Registry, name string) *SolverMetrics {
+	if reg == nil {
+		return nil
+	}
+	l := telemetry.Label{Key: "solver", Value: name}
+	m := &SolverMetrics{
+		SolveSeconds: reg.Histogram(MetricSolveSeconds,
+			"Position-solve latency in seconds.", telemetry.DefSolveBuckets, l),
+		Failures: reg.Counter(MetricSolveFailures,
+			"Solves that returned an error (degenerate geometry, no convergence, clock not ready).", l),
+		Iterations: reg.Counter(MetricSolveIterations,
+			"Total solver iterations across successful solves.", l),
+	}
+	if name == "NR" {
+		m.NRIterations = reg.Counter(MetricNRIterations,
+			"Newton-Raphson iterations across successful NR solves.")
+	}
+	return m
+}
+
+// InstrumentedSolver wraps a Solver with latency, failure, and
+// iteration-count metrics. With nil Metrics it forwards directly and
+// skips even the clock reads, so an uninstrumented wrapper costs one
+// pointer test per solve.
+type InstrumentedSolver struct {
+	Solver
+	Metrics *SolverMetrics
+}
+
+// Instrument wraps s with the standard per-solver metrics registered in
+// reg (named after s.Name()). With a nil registry the wrapper is
+// overhead-free passthrough.
+func Instrument(s Solver, reg *telemetry.Registry) *InstrumentedSolver {
+	return &InstrumentedSolver{Solver: s, Metrics: NewSolverMetrics(reg, s.Name())}
+}
+
+// Solve implements Solver, recording around the wrapped solver.
+func (w *InstrumentedSolver) Solve(t float64, obs []Observation) (Solution, error) {
+	m := w.Metrics
+	if m == nil {
+		return w.Solver.Solve(t, obs)
+	}
+	start := time.Now()
+	sol, err := w.Solver.Solve(t, obs)
+	m.SolveSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.Failures.Inc()
+		return sol, err
+	}
+	if sol.Iterations > 0 {
+		m.Iterations.Add(uint64(sol.Iterations))
+		m.NRIterations.Add(uint64(sol.Iterations))
+	}
+	return sol, nil
+}
+
+// GLSMetrics counts which covariance path DLG solves take
+// (gps_dlg_solves_total{path="paper"|"fast"|"explicit"}) and how often
+// the Sherman-Morrison fast path had to fall back to the explicit
+// eq. 4-21 reference (gps_dlg_fast_fallbacks_total).
+type GLSMetrics struct {
+	PaperSolves    *telemetry.Counter
+	FastSolves     *telemetry.Counter
+	ExplicitSolves *telemetry.Counter
+	FastFallbacks  *telemetry.Counter
+}
+
+// NewGLSMetrics registers the DLG covariance-path counters. Nil
+// registry yields nil.
+func NewGLSMetrics(reg *telemetry.Registry) *GLSMetrics {
+	if reg == nil {
+		return nil
+	}
+	path := func(v string) telemetry.Label { return telemetry.Label{Key: "path", Value: v} }
+	return &GLSMetrics{
+		PaperSolves:    reg.Counter(MetricDLGSolves, "DLG solves by covariance path.", path("paper")),
+		FastSolves:     reg.Counter(MetricDLGSolves, "DLG solves by covariance path.", path("fast")),
+		ExplicitSolves: reg.Counter(MetricDLGSolves, "DLG solves by covariance path.", path("explicit")),
+		FastFallbacks: reg.Counter(MetricDLGFallbacks,
+			"Sherman-Morrison fast-path failures retried through the explicit inverse."),
+	}
+}
+
+// nil-safe recording helpers (m may be nil when telemetry is disabled).
+
+func (m *GLSMetrics) countPath(v DLGVariant) {
+	if m == nil {
+		return
+	}
+	switch v {
+	case VariantFast:
+		m.FastSolves.Inc()
+	case VariantExplicit:
+		m.ExplicitSolves.Inc()
+	default:
+		m.PaperSolves.Inc()
+	}
+}
+
+func (m *GLSMetrics) countFallback() {
+	if m != nil {
+		m.FastFallbacks.Inc()
+	}
+}
+
+// RAIMMetrics counts integrity-monitoring outcomes.
+type RAIMMetrics struct {
+	// Checks counts RAIM passes that produced an initial fix.
+	Checks *telemetry.Counter
+	// Faults counts epochs whose residual statistic exceeded the
+	// detection threshold.
+	Faults *telemetry.Counter
+	// Exclusions counts faults resolved by excluding one satellite.
+	Exclusions *telemetry.Counter
+}
+
+// NewRAIMMetrics registers the RAIM counters. Nil registry yields nil.
+func NewRAIMMetrics(reg *telemetry.Registry) *RAIMMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &RAIMMetrics{
+		Checks:     reg.Counter(MetricRAIMChecks, "RAIM integrity checks that reached the residual test."),
+		Faults:     reg.Counter(MetricRAIMFaults, "Epochs whose residual statistic exceeded the RAIM threshold."),
+		Exclusions: reg.Counter(MetricRAIMExclusions, "Faulty satellites excluded and re-solved by RAIM."),
+	}
+}
+
+func (m *RAIMMetrics) countCheck() {
+	if m != nil {
+		m.Checks.Inc()
+	}
+}
+
+func (m *RAIMMetrics) countFault() {
+	if m != nil {
+		m.Faults.Inc()
+	}
+}
+
+func (m *RAIMMetrics) countExclusion() {
+	if m != nil {
+		m.Exclusions.Inc()
+	}
+}

@@ -38,6 +38,9 @@ type RAIM struct {
 	// healthy epoch's statistic sits near the pseudo-range noise sigma.
 	// 0 means the default of 15 m.
 	Threshold float64
+	// Metrics, when non-nil, counts checks, detected faults, and
+	// exclusions (see NewRAIMMetrics). Nil records nothing.
+	Metrics *RAIMMetrics
 }
 
 // defaultRAIMThreshold balances missed detection against false alarms
@@ -63,10 +66,12 @@ func (r *RAIM) Check(t float64, obs []Observation) (RAIMResult, error) {
 	if err != nil {
 		return RAIMResult{}, fmt.Errorf("core: RAIM initial solve: %w", err)
 	}
+	r.Metrics.countCheck()
 	stat := residualStat(sol, obs)
 	if stat <= threshold {
 		return RAIMResult{Solution: sol, Excluded: -1, TestStatistic: stat}, nil
 	}
+	r.Metrics.countFault()
 	if len(obs) < 6 {
 		return RAIMResult{Solution: sol, Excluded: -1, TestStatistic: stat},
 			fmt.Errorf("core: RAIM detected fault (stat %.1f m) but cannot exclude with %d satellites: %w",
@@ -99,6 +104,7 @@ func (r *RAIM) Check(t float64, obs []Observation) (RAIMResult, error) {
 		return best, fmt.Errorf("core: RAIM exclusion left stat %.1f m above threshold: %w",
 			best.TestStatistic, ErrDegenerateGeometry)
 	}
+	r.Metrics.countExclusion()
 	return best, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"gpsdl/internal/geo"
 	"gpsdl/internal/mat"
 	"gpsdl/internal/scenario"
+	"gpsdl/internal/telemetry"
 )
 
 // SelectionMode chooses which m satellites are used when an epoch has more
@@ -68,6 +69,12 @@ type Sweep struct {
 	// this GDOP (applied identically to every algorithm; real receivers
 	// reject such fixes). 0 means the default of 20; negative disables.
 	MaxGDOP float64
+	// Registry, when non-nil, mirrors every arm's solves into the
+	// standard telemetry instruments (gps_solve_seconds{solver=...},
+	// failures, iteration counts, clock calibrations/resets). Latency is
+	// observed from the already-measured per-solve nanos, outside the
+	// timed region, so instrumentation cannot skew the η/θ figures.
+	Registry *telemetry.Registry
 }
 
 // ArmResult aggregates one algorithm's performance at one satellite count.
@@ -160,6 +167,13 @@ func (s *Sweep) runOne(m, initEpochs, reps int, sel SelectionMode, maxGDOP float
 	var nr core.NRSolver
 	dlo := &core.DLOSolver{Predictor: pred, Base: s.Base}
 	dlg := &core.DLGSolver{Predictor: pred, Base: s.Base}
+	nrM := core.NewSolverMetrics(s.Registry, "NR")
+	dloM := core.NewSolverMetrics(s.Registry, "DLO")
+	dlgM := core.NewSolverMetrics(s.Registry, "DLG")
+	dlg.Metrics = core.NewGLSMetrics(s.Registry)
+	if lp, ok := pred.(*clock.LinearPredictor); ok {
+		lp.Metrics = clock.NewMetrics(s.Registry)
+	}
 	truth := s.Dataset.Station.Pos
 	rng := rand.New(rand.NewSource(s.Seed ^ int64(m)))
 
@@ -202,6 +216,7 @@ func (s *Sweep) runOne(m, initEpochs, reps int, sel SelectionMode, maxGDOP float
 		// occasionally converges to a spurious root; without the gate a
 		// handful of 100 km outliers dominate a day's mean error.
 		nrSol, nrNanos, err := timedSolve(&nr, e.T, obs, reps)
+		recordArm(nrM, nrNanos, nrSol.Iterations, err != nil || !plausibleFix(nrSol))
 		if err != nil || !plausibleFix(nrSol) {
 			row.addFailure(&row.NR)
 		} else {
@@ -211,6 +226,7 @@ func (s *Sweep) runOne(m, initEpochs, reps int, sel SelectionMode, maxGDOP float
 			pred.Observe(clock.Fix{T: e.T, Bias: nrSol.ClockBias / speedOfLight})
 		}
 		dloSol, dloNanos, err := timedSolve(dlo, e.T, obs, reps)
+		recordArm(dloM, dloNanos, dloSol.Iterations, err != nil || !plausibleFix(dloSol))
 		if err != nil || !plausibleFix(dloSol) {
 			row.addFailure(&row.DLO)
 		} else {
@@ -219,6 +235,7 @@ func (s *Sweep) runOne(m, initEpochs, reps int, sel SelectionMode, maxGDOP float
 			quants[1].add(d)
 		}
 		dlgSol, dlgNanos, err := timedSolve(dlg, e.T, obs, reps)
+		recordArm(dlgM, dlgNanos, dlgSol.Iterations, err != nil || !plausibleFix(dlgSol))
 		if err != nil || !plausibleFix(dlgSol) {
 			row.addFailure(&row.DLG)
 		} else {
@@ -316,6 +333,24 @@ func DefaultPredictor(ct scenario.ClockType) clock.Predictor {
 		p.Refit = true
 		p.OutlierTol = 1e-6
 		return p
+	}
+}
+
+// recordArm mirrors one timed solve into the optional registry. Latency
+// comes from the measurement the sweep already made, so the metrics add
+// no clock reads to the timed region.
+func recordArm(m *core.SolverMetrics, nanos float64, iters int, failed bool) {
+	if m == nil {
+		return
+	}
+	if failed {
+		m.Failures.Inc()
+		return
+	}
+	m.SolveSeconds.Observe(nanos * 1e-9)
+	if iters > 0 {
+		m.Iterations.Add(uint64(iters))
+		m.NRIterations.Add(uint64(iters))
 	}
 }
 

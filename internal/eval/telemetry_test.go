@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"gpsdl/internal/core"
+	"gpsdl/internal/scenario"
+	"gpsdl/internal/telemetry"
+)
+
+// A sweep with a Registry must mirror its solves into the standard
+// instruments: latency histograms per solver, iteration counters, and
+// clock calibrations.
+func TestSweepPopulatesRegistry(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(7)
+	cfg.Step = 5
+	g := scenario.NewGenerator(st, cfg)
+	ds, err := g.GenerateRange(0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sweep := &Sweep{
+		Dataset:    ds,
+		SatCounts:  []int{6},
+		InitEpochs: 30,
+		Seed:       1,
+		Registry:   reg,
+	}
+	res, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+
+	nrHist := reg.Histogram(core.MetricSolveSeconds, "", telemetry.DefSolveBuckets,
+		telemetry.Label{Key: "solver", Value: "NR"})
+	if got, want := nrHist.Count(), uint64(row.NR.Fixes); got != want {
+		t.Errorf("NR latency observations = %d, want %d fixes", got, want)
+	}
+	iters := reg.Counter(core.MetricNRIterations, "")
+	if iters.Value() < uint64(row.NR.Fixes) {
+		t.Errorf("NR iterations %d < fixes %d", iters.Value(), row.NR.Fixes)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`gps_solve_seconds_bucket{solver="DLG"`,
+		`gps_solve_seconds_count{solver="DLO"}`,
+		"gps_clock_calibrations_total 1",
+		`gps_dlg_solves_total{path="paper"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry exposition missing %q", want)
+		}
+	}
+}
+
+// A sweep without a Registry must keep working untouched.
+func TestSweepNilRegistry(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(7)
+	cfg.Step = 30
+	g := scenario.NewGenerator(st, cfg)
+	ds, err := g.GenerateRange(0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := &Sweep{Dataset: ds, SatCounts: []int{5}, InitEpochs: 10, Seed: 1}
+	if _, err := sweep.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// Logging is the repository's structured-logging setup: one output
+// stream, text or JSON rendering, a global level, and independently
+// adjustable per-component levels (a component is a subsystem name such
+// as "broadcaster" or "solver"; each component's logger carries a
+// component=<name> attribute).
+type Logging struct {
+	w      io.Writer
+	json   bool
+	level  slog.LevelVar // global floor for components without overrides
+	mu     sync.Mutex
+	levels map[string]*slog.LevelVar
+	logs   map[string]*slog.Logger
+}
+
+// NewLogging returns a logging setup writing to w. format is "text" or
+// "json" ("" means text); level is the initial global level.
+func NewLogging(w io.Writer, format string, level slog.Level) (*Logging, error) {
+	l := &Logging{
+		w:      w,
+		levels: make(map[string]*slog.LevelVar),
+		logs:   make(map[string]*slog.Logger),
+	}
+	switch strings.ToLower(format) {
+	case "", "text":
+	case "json":
+		l.json = true
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+	l.level.Set(level)
+	return l, nil
+}
+
+// Component returns the logger for one subsystem, creating it on first
+// use. All records carry component=<name>. Nil receiver returns a
+// logger that discards everything, so call sites need no guards.
+func (l *Logging) Component(name string) *slog.Logger {
+	if l == nil {
+		return slog.New(discardHandler{})
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lg, ok := l.logs[name]; ok {
+		return lg
+	}
+	lv := &slog.LevelVar{}
+	lv.Set(l.level.Level())
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if l.json {
+		h = slog.NewJSONHandler(l.w, opts)
+	} else {
+		h = slog.NewTextHandler(l.w, opts)
+	}
+	lg := slog.New(h).With("component", name)
+	l.levels[name] = lv
+	l.logs[name] = lg
+	return lg
+}
+
+// SetLevel changes the global level and every component that has not
+// been given its own level via SetComponentLevel.
+func (l *Logging) SetLevel(level slog.Level) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.level.Set(level)
+	for _, lv := range l.levels {
+		lv.Set(level)
+	}
+}
+
+// SetComponentLevel overrides one component's level (creating the
+// component if needed).
+func (l *Logging) SetComponentLevel(name string, level slog.Level) {
+	if l == nil {
+		return
+	}
+	l.Component(name) // ensure it exists
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.levels[name].Set(level)
+}
+
+// ParseLevel maps "debug", "info", "warn"/"warning", "error" (any case)
+// to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q", s)
+}
+
+// discardHandler drops every record; it backs nil-Logging loggers.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

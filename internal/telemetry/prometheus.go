@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and
+// children by label signature, so output is deterministic and diffable.
+// A nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		children := append([]*child(nil), f.children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].signature < children[j].signature })
+		for _, c := range children {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, braces(c.signature), c.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braces(c.signature), formatFloat(c.gauge.Value()))
+			case kindHistogram:
+				writeHistogram(bw, f.name, c)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one labeled histogram child: cumulative
+// _bucket series (le is an extra label), then _sum and _count.
+func writeHistogram(w io.Writer, name string, c *child) {
+	cum, count, sum := c.hist.snapshot()
+	for i, bound := range c.hist.bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			braces(joinSignatures(c.signature, `le="`+formatFloat(bound)+`"`)), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+		braces(joinSignatures(c.signature, `le="+Inf"`)), cum[len(cum)-1])
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braces(c.signature), formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braces(c.signature), count)
+}
+
+// braces wraps a non-empty label signature in {}.
+func braces(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+// joinSignatures concatenates two rendered label lists.
+func joinSignatures(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trippable representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to a metric.
+type Label struct {
+	Key, Value string
+}
+
+// metricKind discriminates the families a Registry holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled instrument inside a family.
+type child struct {
+	labels    []Label
+	signature string // canonical rendered label set, for lookup + sorting
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+}
+
+// family groups every child sharing one metric name.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	bounds   []float64 // histogram families only
+	children []*child
+}
+
+// Registry holds metric families and exposes them in Prometheus text
+// format. The zero value is ready to use. A nil *Registry is also valid:
+// every constructor returns a nil instrument whose methods no-op, which
+// is the overhead-free "telemetry disabled" mode.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter registered under name with the given
+// labels, creating it on first use. Repeat registrations with the same
+// name and labels return the same instrument. Nil registry → nil
+// counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.child(name, help, kindCounter, nil, labels)
+	return c.counter
+}
+
+// Gauge is Counter's analogue for gauges.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	c := r.child(name, help, kindGauge, nil, labels)
+	return c.gauge
+}
+
+// Histogram registers a fixed-bucket histogram. bounds are inclusive
+// upper bounds (sorted internally); every child of one family shares
+// the bounds of the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	c := r.child(name, help, kindHistogram, bounds, labels)
+	return c.hist
+}
+
+// child finds or creates the instrument for (name, labels). It panics on
+// a kind conflict — re-registering one name as two different types is a
+// programming error no caller can recover from meaningfully.
+func (r *Registry) child(name, help string, kind metricKind, bounds []float64, labels []Label) *child {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.families == nil {
+		r.families = make(map[string]*family)
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s and %s", name, f.kind, kind))
+	}
+	for _, c := range f.children {
+		if c.signature == sig {
+			return c
+		}
+	}
+	c := &child{labels: append([]Label(nil), labels...), signature: sig}
+	switch kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
+	case kindHistogram:
+		c.hist = newHistogram(f.bounds)
+	}
+	f.children = append(f.children, c)
+	return c
+}
+
+// labelSignature renders labels in sorted-key order as they will appear
+// inside {...}; it doubles as the child identity.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

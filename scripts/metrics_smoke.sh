@@ -1,0 +1,60 @@
+#!/bin/sh
+# Smoke test for the gpsserve admin endpoint: start the server with
+# -admin on an ephemeral port, scrape /metrics and /healthz, and assert
+# that the key metric families are exposed. Exits non-zero on any miss.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+log="$workdir/gpsserve.log"
+bin="$workdir/gpsserve"
+
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$bin" ./cmd/gpsserve
+
+# Ephemeral ports for both listeners; the admin address is parsed from
+# the startup banner ("gpsserve: admin on http://ADDR (...)").
+"$bin" -station YYR1 -rate 10 -addr 127.0.0.1:0 -admin 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^gpsserve: admin on http://\([^ ]*\).*|\1|p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "gpsserve exited early:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "admin banner never appeared:"
+    cat "$log"
+    exit 1
+fi
+
+metrics=$(curl -fsS "http://$addr/metrics")
+health=$(curl -sS "http://$addr/healthz")
+
+status=0
+for name in gps_solve_seconds gps_solve_failures_total gps_nr_iterations_total \
+    gps_clock_resets_total gpsserve_clients gpsserve_epochs_total; do
+    if ! printf '%s\n' "$metrics" | grep -q "$name"; then
+        echo "FAIL: /metrics missing $name"
+        status=1
+    fi
+done
+case $health in
+*'"status"'*) ;;
+*)
+    echo "FAIL: /healthz returned no status: $health"
+    status=1
+    ;;
+esac
+
+if [ "$status" -eq 0 ]; then
+    echo "metrics smoke OK ($addr; healthz: $health)"
+fi
+exit $status
