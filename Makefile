@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures ablations cover metrics-smoke clean
+.PHONY: all build vet test race bench figures ablations cover metrics-smoke trace-smoke clean
 
-all: build vet test race
+all: build vet test race metrics-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ cover:
 # families are exposed.
 metrics-smoke:
 	GO="$(GO)" ./scripts/metrics_smoke.sh
+
+# End-to-end check of the flight recorder: boots gpsserve with tracing,
+# asserts /debug/trace carries the pipeline spans and /debug/trace/chrome
+# is a trace_event document, then replays the captured exemplars through
+# gpsrun -replay.
+trace-smoke:
+	GO="$(GO)" ./scripts/trace_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,6 +1,8 @@
 // Admin HTTP endpoint: /metrics (Prometheus text format), /healthz
-// (epoch-loop liveness with last-fix age), and /debug/pprof/* for live
-// profiling. Enabled with -admin addr; everything is stdlib-only.
+// (epoch-loop liveness with last-fix age and broadcaster backpressure),
+// /debug/trace* (the flight recorder: JSON, Chrome trace_event, and
+// replayable exemplars), and /debug/pprof/* for live profiling. Enabled
+// with -admin addr; everything is stdlib-only.
 package main
 
 import (
@@ -16,7 +18,10 @@ import (
 
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/scenario"
 	"gpsdl/internal/telemetry"
+	"gpsdl/internal/trace"
 )
 
 // health tracks epoch-loop liveness for /healthz: how many epochs have
@@ -34,17 +39,23 @@ type health struct {
 	epochs *telemetry.Counter
 	fixes  *telemetry.Counter
 	hdop   *telemetry.Gauge
+
+	// b, when non-nil, contributes broadcaster backpressure (current
+	// client count and cumulative drops) to the health JSON, so a
+	// degraded broadcaster is visible without scraping /metrics.
+	b *Broadcaster
 }
 
 // newHealth returns a tracker whose instruments are registered in reg
 // (nil reg leaves them disabled; liveness still works).
-func newHealth(reg *telemetry.Registry, maxAge time.Duration) *health {
+func newHealth(reg *telemetry.Registry, maxAge time.Duration, b *Broadcaster) *health {
 	return &health{
 		maxAge:  maxAge,
 		started: time.Now(),
 		epochs:  reg.Counter(metricEpochs, "Epochs pulled from the observation source."),
 		fixes:   reg.Counter(metricFixes, "Epochs that produced a broadcast fix."),
 		hdop:    reg.Gauge(metricHDOP, "HDOP of the most recent fix."),
+		b:       b,
 	}
 }
 
@@ -72,6 +83,10 @@ type healthStatus struct {
 	Epochs            uint64  `json:"epochs"`
 	Fixes             uint64  `json:"fixes"`
 	LastFixAgeSeconds float64 `json:"last_fix_age_seconds"` // -1 before the first fix
+	// Clients and Drops expose broadcaster backpressure: connected NMEA
+	// clients right now, and cumulative disconnections for any reason.
+	Clients int    `json:"clients"`
+	Drops   uint64 `json:"drops"`
 }
 
 // status snapshots the current liveness verdict.
@@ -85,6 +100,10 @@ func (h *health) status() (healthStatus, int) {
 		Epochs:            h.epochs.Value(),
 		Fixes:             h.fixes.Value(),
 		LastFixAgeSeconds: -1,
+	}
+	if h.b != nil {
+		s.Clients = h.b.ClientCount()
+		s.Drops = h.b.Metrics.Drops()
 	}
 	last := h.lastFixNanos.Load()
 	if last == 0 {
@@ -109,11 +128,15 @@ func (h *health) handler(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-// newAdminMux wires the admin routes.
-func newAdminMux(reg *telemetry.Registry, h *health) *http.ServeMux {
+// newAdminMux wires the admin routes. rec may be nil (tracing disabled:
+// the /debug/trace routes answer 404).
+func newAdminMux(reg *telemetry.Registry, h *health, rec *trace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.Handler(reg))
 	mux.HandleFunc("/healthz", h.handler)
+	mux.Handle("/debug/trace", trace.Handler(rec))
+	mux.Handle("/debug/trace/chrome", trace.ChromeHandler(rec))
+	mux.Handle("/debug/trace/exemplars", trace.ExemplarsHandler(rec))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -134,20 +157,25 @@ func serveAdmin(ctx context.Context, ln net.Listener, handler http.Handler, log 
 
 // serverTelemetry is the full gpsserve instrument set: the primary and
 // warm-up solvers wrapped with per-solver metrics, clock-predictor
-// counters, broadcaster connection metrics, and the health tracker. One
-// constructor so run() and the admin tests register identical families
-// — every required /metrics name exists from startup, before traffic.
+// counters, broadcaster connection metrics, the health tracker, and the
+// optional flight recorder and RAIM integrity gate. One constructor so
+// run() and the admin tests register identical families — every
+// required /metrics name exists from startup, before traffic.
 type serverTelemetry struct {
-	reg    *telemetry.Registry
-	solver core.Solver // instrumented primary solver
-	warm   core.Solver // instrumented NR warm-up / clock-feed solver
-	health *health
+	reg     *telemetry.Registry
+	solver  core.Solver // instrumented primary solver
+	warm    core.Solver // instrumented NR warm-up / clock-feed solver
+	raim    *core.RAIM  // non-nil when -raim integrity gating is on
+	rec     *trace.Recorder
+	station scenario.Station // ground truth for exemplar residuals
+	health  *health
 }
 
 // wireTelemetry instruments the server around registry reg. logs may be
-// nil (silent).
+// nil (silent); rec may be nil (tracing disabled).
 func wireTelemetry(reg *telemetry.Registry, solver core.Solver, pred clock.Predictor,
-	b *Broadcaster, logs *telemetry.Logging, fixMaxAge time.Duration) *serverTelemetry {
+	b *Broadcaster, logs *telemetry.Logging, fixMaxAge time.Duration,
+	rec *trace.Recorder, withRAIM bool, st scenario.Station) *serverTelemetry {
 	if lp, ok := pred.(*clock.LinearPredictor); ok {
 		lp.Metrics = clock.NewMetrics(reg)
 	} else if reg != nil {
@@ -160,12 +188,57 @@ func wireTelemetry(reg *telemetry.Registry, solver core.Solver, pred clock.Predi
 	}
 	b.Metrics = NewBroadcasterMetrics(reg)
 	b.Logger = logs.Component("broadcaster")
-	return &serverTelemetry{
-		reg:    reg,
-		solver: core.Instrument(solver, reg),
-		warm:   core.Instrument(&core.NRSolver{}, reg),
-		health: newHealth(reg, fixMaxAge),
+	tel := &serverTelemetry{
+		reg:     reg,
+		solver:  core.Instrument(solver, reg),
+		warm:    core.Instrument(&core.NRSolver{}, reg),
+		rec:     rec,
+		station: st,
+		health:  newHealth(reg, fixMaxAge, b),
 	}
+	if withRAIM {
+		tel.raim = &core.RAIM{Solver: tel.solver, Metrics: core.NewRAIMMetrics(reg)}
+	}
+	return tel
+}
+
+// captureExemplar classifies a finished fix against the recorder's
+// thresholds and, when it crosses one, captures the complete trace plus
+// the serialized input epoch for offline replay (gpsrun -replay). The
+// clock estimate is read back from the predictor before the next epoch's
+// Observe, so it is exactly the value the solver subtracted.
+func (st *serverTelemetry) captureExemplar(tr *trace.Trace, obs []core.Observation,
+	sol core.Solution, pred clock.Predictor) {
+	if st.rec == nil || tr == nil {
+		return
+	}
+	var solve time.Duration
+	if sp := tr.Span(core.SpanName(st.solver)); sp != nil {
+		solve = time.Duration(sp.DurNs)
+	}
+	residual := sol.Pos.DistanceTo(st.station.Pos)
+	reason := st.rec.ExemplarReason(solve, residual)
+	if reason == "" {
+		return
+	}
+	bias, err := pred.PredictBias(tr.T)
+	if err != nil {
+		bias = 0
+	}
+	in := &eval.ReplayInput{
+		Station:    st.station,
+		EpochIndex: tr.Epoch,
+		T:          tr.T,
+		Obs:        append([]core.Observation(nil), obs...),
+		Solver:     st.solver.Name(),
+		ClockBias:  bias,
+		Solution:   sol.Pos,
+	}
+	ex, err := eval.CaptureExemplar(reason, tr, solve, residual, in)
+	if err != nil {
+		return
+	}
+	st.rec.AddExemplar(ex)
 }
 
 // listenAdmin binds the admin address and starts the admin server,
@@ -175,7 +248,7 @@ func listenAdmin(ctx context.Context, addr string, st *serverTelemetry, log *slo
 	if err != nil {
 		return nil, fmt.Errorf("admin listen %s: %w", addr, err)
 	}
-	mux := newAdminMux(st.reg, st.health)
+	mux := newAdminMux(st.reg, st.health, st.rec)
 	go serveAdmin(ctx, ln, mux, log)
 	return ln.Addr(), nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,23 +13,37 @@ import (
 
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/scenario"
 	"gpsdl/internal/telemetry"
+	"gpsdl/internal/trace"
 )
 
+// discardLog is a no-output logger for exercising streamFixes directly.
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 // newTestTelemetry wires the full server instrument set the way run()
-// does, around a DLG solver and a linear clock predictor.
-func newTestTelemetry(maxAge time.Duration) (*telemetry.Registry, *serverTelemetry) {
+// does, around a DLG solver and a linear clock predictor. rec may be nil
+// (tracing disabled, the default).
+func newTestTelemetry(t *testing.T, maxAge time.Duration, rec *trace.Recorder) (*telemetry.Registry, *serverTelemetry) {
+	t.Helper()
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	reg := telemetry.NewRegistry()
 	pred := clock.NewLinearPredictor(5, 1e-4)
-	tel := wireTelemetry(reg, core.NewDLGSolver(pred), pred, NewBroadcaster(), nil, maxAge)
+	tel := wireTelemetry(reg, core.NewDLGSolver(pred), pred, NewBroadcaster(), nil, maxAge, rec, false, st)
 	return reg, tel
 }
 
 // The acceptance criterion: /metrics must serve Prometheus text format
 // containing every key metric family from startup, before any traffic.
 func TestAdminMetricsEndpoint(t *testing.T) {
-	reg, tel := newTestTelemetry(0)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	reg, tel := newTestTelemetry(t, 0, nil)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -77,14 +93,14 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 
 // /metrics must reflect recorded activity.
 func TestAdminMetricsReflectActivity(t *testing.T) {
-	reg, tel := newTestTelemetry(0)
+	reg, tel := newTestTelemetry(t, 0, nil)
 	// Fail one solve (too few satellites) and record a fix.
 	if _, err := tel.solver.Solve(0, nil); err == nil {
 		t.Fatal("empty solve succeeded")
 	}
 	tel.health.recordEpoch()
 	tel.health.recordFix(1.25)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -106,8 +122,8 @@ func TestAdminMetricsReflectActivity(t *testing.T) {
 }
 
 func TestHealthzLifecycle(t *testing.T) {
-	reg, tel := newTestTelemetry(time.Hour)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	reg, tel := newTestTelemetry(t, time.Hour, nil)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
 	defer srv.Close()
 
 	get := func() (healthStatus, int) {
@@ -149,10 +165,10 @@ func TestHealthzLifecycle(t *testing.T) {
 }
 
 func TestHealthzStalled(t *testing.T) {
-	reg, tel := newTestTelemetry(time.Nanosecond)
+	reg, tel := newTestTelemetry(t, time.Nanosecond, nil)
 	tel.health.recordFix(1)
 	time.Sleep(2 * time.Millisecond)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -168,18 +184,243 @@ func TestHealthzStalled(t *testing.T) {
 	}
 }
 
+// Every mounted pprof route must answer 200 with a non-empty body —
+// including the named profiles the index handler dispatches to.
 func TestAdminPprofRoutes(t *testing.T) {
-	reg, tel := newTestTelemetry(0)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health))
+	reg, tel := newTestTelemetry(t, 0, nil)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
 	defer srv.Close()
-	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+		"/debug/pprof/heap",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/allocs",
+		"/debug/pprof/threadcreate",
+		"/debug/pprof/block",
+		"/debug/pprof/mutex",
+	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
+		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s = %d", path, resp.StatusCode)
 		}
+		if len(body) == 0 {
+			t.Errorf("GET %s returned an empty body", path)
+		}
+	}
+}
+
+// /healthz must expose broadcaster backpressure: the live client count
+// and the cumulative drop total.
+func TestHealthzBackpressure(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	pred := clock.NewLinearPredictor(5, 1e-4)
+	b := NewBroadcaster()
+	tel := wireTelemetry(reg, core.NewDLGSolver(pred), pred, b, nil, time.Hour, nil, false, st)
+	// Register one fake client and two historical drops directly; the
+	// broadcaster lifecycle itself is covered by the server tests.
+	b.clients[nil] = nil
+	b.Metrics.SlowDrops.Inc()
+	b.Metrics.ShutdownDrops.Inc()
+	tel.health.recordEpoch()
+	tel.health.recordFix(1)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hs healthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Clients != 1 {
+		t.Errorf("healthz clients = %d, want 1", hs.Clients)
+	}
+	if hs.Drops != 2 {
+		t.Errorf("healthz drops = %d, want 2", hs.Drops)
+	}
+}
+
+// With a recorder wired in, the /debug/trace routes must serve the
+// retained traces, the Chrome export, and the exemplar tail.
+func TestAdminTraceRoutes(t *testing.T) {
+	rec := trace.New(trace.Config{Capacity: 8})
+	reg, tel := newTestTelemetry(t, 0, rec)
+	tb := rec.StartEpoch(3, 1.5)
+	sp := tb.Start("solve/dlg")
+	sp.End()
+	tb.Finish()
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("GET %s Content-Type = %q", path, ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/debug/trace"); !strings.Contains(out, `"solve/dlg"`) || !strings.Contains(out, `"count": 1`) {
+		t.Errorf("/debug/trace body missing trace: %s", out)
+	}
+	chrome := get("/debug/trace/chrome")
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(chrome), &ct); err != nil {
+		t.Fatalf("/debug/trace/chrome not JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Error("/debug/trace/chrome has no traceEvents")
+	}
+	if out := get("/debug/trace/exemplars"); !strings.Contains(out, `"exemplars"`) {
+		t.Errorf("/debug/trace/exemplars body: %s", out)
+	}
+}
+
+// Without a recorder the trace routes answer 404, distinguishing
+// "tracing disabled" from "no traces yet".
+func TestAdminTraceDisabled(t *testing.T) {
+	reg, tel := newTestTelemetry(t, 0, nil)
+	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	defer srv.Close()
+	for _, path := range []string{"/debug/trace", "/debug/trace/chrome", "/debug/trace/exemplars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// streamFixes must record one trace per epoch with the full pipeline
+// span set, and capture exemplars when a threshold is crossed.
+func TestStreamFixesTraces(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(11))
+	rec := trace.New(trace.Config{Capacity: 64, SlowThreshold: time.Nanosecond})
+	reg := telemetry.NewRegistry()
+	pred := clock.NewLinearPredictor(5, 1e-4)
+	b := NewBroadcaster()
+	tel := wireTelemetry(reg, core.NewDLGSolver(pred), pred, b, nil, 0, rec, false, st)
+	source := func(i int) (scenario.Epoch, error) { return g.EpochAt(float64(i)) }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- streamFixes(ctx, source, tel, pred, b, 2000, discardLog()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for rec.Count() < 20 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() < 20 {
+		t.Fatalf("recorded %d traces, want >= 20", rec.Count())
+	}
+	// Find a successful fix (the DLG solver needs predictor warm-up, so
+	// the earliest epochs fail) and check its span pipeline.
+	var fix *trace.Trace
+	for _, tr := range rec.Snapshot() {
+		if tr.Err == "" {
+			fix = tr
+			break
+		}
+	}
+	if fix == nil {
+		t.Fatal("no successful fix among recorded traces")
+	}
+	for _, name := range []string{
+		"epoch/generate", "clock/predict", "solve/dlg",
+		"dop/compute", "nmea/encode", "broadcast",
+	} {
+		if fix.Span(name) == nil {
+			t.Errorf("trace missing span %s: %+v", name, fix.Spans)
+		}
+	}
+	if fix.T == 0 {
+		t.Error("trace T not back-filled from the generated epoch")
+	}
+	exs := rec.Exemplars()
+	if len(exs) == 0 {
+		t.Fatal("1 ns slow threshold captured no exemplars")
+	}
+	in, err := eval.DecodeReplayInput(exs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Solver != "DLG" || len(in.Obs) == 0 || in.Station.ID != "YYR1" {
+		t.Errorf("exemplar input = %+v", in)
+	}
+}
+
+// A RAIM-gated server must emit raim/check spans wrapping per-solve
+// spans for the initial fix.
+func TestStreamFixesRAIMSpans(t *testing.T) {
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(12))
+	rec := trace.New(trace.Config{Capacity: 64})
+	reg := telemetry.NewRegistry()
+	pred := clock.NewLinearPredictor(5, 1e-4)
+	b := NewBroadcaster()
+	tel := wireTelemetry(reg, &core.NRSolver{}, pred, b, nil, 0, rec, true, st)
+	source := func(i int) (scenario.Epoch, error) { return g.EpochAt(float64(i)) }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- streamFixes(ctx, source, tel, pred, b, 2000, discardLog()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for rec.Count() < 5 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	var checked *trace.Trace
+	for _, tr := range rec.Snapshot() {
+		if tr.Span("raim/check") != nil {
+			checked = tr
+			break
+		}
+	}
+	if checked == nil {
+		t.Fatal("no trace carries a raim/check span")
+	}
+	if checked.Span("solve/nr") == nil {
+		t.Errorf("RAIM trace missing inner solve/nr span: %+v", checked.Spans)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"gpsdl/internal/nmea"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/telemetry"
+	"gpsdl/internal/trace"
 )
 
 func main() {
@@ -55,16 +56,27 @@ func run(ctx context.Context, args []string) error {
 		solver    = fs.String("solver", "dlg", "positioning algorithm: nr, dlo, dlg or bancroft")
 		addr      = fs.String("addr", "127.0.0.1:2947", "TCP listen address")
 		adminAddr = fs.String("admin", "", "admin HTTP listen address serving /metrics, /healthz and /debug/pprof (disabled when empty)")
-		rate      = fs.Float64("rate", 1, "epochs per second to stream")
-		seed      = fs.Int64("seed", 2009, "generation seed")
-		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
-		logFormat = fs.String("log-format", "text", "log format: text or json")
+		rate       = fs.Float64("rate", 1, "epochs per second to stream")
+		seed       = fs.Int64("seed", 2009, "generation seed")
+		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat  = fs.String("log-format", "text", "log format: text or json")
+		traceN     = fs.Int("trace", 256, "epoch traces retained in the flight recorder (0 disables tracing)")
+		traceSlow  = fs.Duration("trace-slow", 5*time.Millisecond, "solve latency above which a fix is captured as a replayable exemplar (0 disables)")
+		traceResid = fs.Float64("trace-residual", 100, "position residual in meters above which a fix is captured as an exemplar (0 disables)")
+		traceDump  = fs.String("trace-dump", "", "write a flight-recorder dump (traces + exemplars) to this file on shutdown")
+		withRAIM   = fs.Bool("raim", false, "run RAIM integrity checks around each fix (needs >= 5 satellites)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rate <= 0 {
 		return fmt.Errorf("-rate must be positive, have %g", *rate)
+	}
+	if *traceN < 0 {
+		return fmt.Errorf("-trace must be >= 0, have %d", *traceN)
+	}
+	if *traceDump != "" && *traceN == 0 {
+		return fmt.Errorf("-trace-dump needs tracing enabled (-trace > 0)")
 	}
 	if *dataset == "" && strings.TrimSpace(*stationID) == "" {
 		return fmt.Errorf("-station must not be empty (or use -dataset to replay a file)")
@@ -136,14 +148,32 @@ func run(ctx context.Context, args []string) error {
 		maxAge = 10 * time.Second
 	}
 	reg := telemetry.NewRegistry()
-	tel := wireTelemetry(reg, s, pred, b, logs, maxAge)
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.New(trace.Config{
+			Capacity:          *traceN,
+			SlowThreshold:     *traceSlow,
+			ResidualThreshold: *traceResid,
+		})
+	}
+	if *traceDump != "" {
+		// Runs on every exit path, including SIGTERM/SIGINT cancellation.
+		defer func() {
+			if err := rec.DumpFile(*traceDump); err != nil {
+				logs.Component("trace").Error("flight-recorder dump failed", "err", err)
+				return
+			}
+			fmt.Printf("gpsserve: wrote flight-recorder dump %s\n", *traceDump)
+		}()
+	}
+	tel := wireTelemetry(reg, s, pred, b, logs, maxAge, rec, *withRAIM, st)
 	if *adminAddr != "" {
 		bound, err := listenAdmin(ctx, *adminAddr, tel, logs.Component("admin"))
 		if err != nil {
 			ln.Close()
 			return err
 		}
-		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/pprof)\n", bound)
+		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/trace /debug/pprof)\n", bound)
 		logs.Component("admin").Info("admin endpoint up", "addr", bound.String())
 	}
 
@@ -171,8 +201,22 @@ func replaySource(ds *scenario.Dataset) epochSource {
 	}
 }
 
+// ctxSolver forwards Solve through core.SolveTraced so every internal
+// solve of a RAIM pass (initial fix + per-exclusion re-solves) emits its
+// own solve/* span on the epoch's trace.
+type ctxSolver struct {
+	core.Solver
+	ctx context.Context
+}
+
+func (c ctxSolver) Solve(t float64, obs []core.Observation) (core.Solution, error) {
+	return core.SolveTraced(c.ctx, c.Solver, t, obs)
+}
+
 // streamFixes runs the epoch loop until the context ends, reporting
-// liveness and per-solver metrics through tel.
+// liveness and per-solver metrics through tel and recording one flight-
+// recorder trace per epoch (generate → clock → solve → dop → encode →
+// broadcast) when tracing is enabled.
 func streamFixes(ctx context.Context, source epochSource, tel *serverTelemetry,
 	pred clock.Predictor, b *Broadcaster, rate float64, log *slog.Logger) error {
 	ticker := time.NewTicker(time.Duration(float64(time.Second) / rate))
@@ -184,10 +228,19 @@ func streamFixes(ctx context.Context, source epochSource, tel *serverTelemetry,
 			return nil
 		case <-ticker.C:
 		}
+		// The trace opens before the epoch exists: generation (orbits,
+		// atmosphere, noise) is the first traced stage. T is back-filled
+		// once known. tb is nil when tracing is off; every use no-ops.
+		tb := tel.rec.StartEpoch(i, 0)
+		ectx := trace.With(ctx, tb)
+		gen := tb.Start("epoch/generate")
 		epoch, err := source(i)
 		if err != nil {
 			return err
 		}
+		gen.SetAttr(trace.Int("sats", len(epoch.Obs)))
+		gen.End()
+		tb.SetT(epoch.T)
 		i++
 		tel.health.recordEpoch()
 		obs := make([]core.Observation, 0, len(epoch.Obs))
@@ -196,21 +249,49 @@ func streamFixes(ctx context.Context, source epochSource, tel *serverTelemetry,
 			obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
 			sats = append(sats, o.Pos)
 		}
+		cp := tb.Start("clock/predict")
 		if nrSol, err := tel.warm.Solve(epoch.T, obs); err == nil {
 			pred.Observe(clock.Fix{T: epoch.T, Bias: nrSol.ClockBias / geo.SpeedOfLight})
 		}
-		sol, err := tel.solver.Solve(epoch.T, obs)
+		if bias, err := pred.PredictBias(epoch.T); err == nil {
+			cp.SetAttr(trace.Float("bias_s", bias))
+		}
+		cp.End()
+		var sol core.Solution
+		if tel.raim != nil && len(obs) >= 5 {
+			// Copy the RAIM config per epoch so the context-carrying
+			// solver wrapper never outlives its trace.
+			raim := *tel.raim
+			if tb != nil {
+				raim.Solver = ctxSolver{Solver: raim.Solver, ctx: ectx}
+			}
+			res, rerr := raim.CheckCtx(ectx, epoch.T, obs)
+			sol, err = res.Solution, rerr
+			if rerr == nil && res.Excluded >= 0 {
+				// The fix came from the reduced set; capture that set so
+				// an exemplar replay reproduces it exactly.
+				obs = append(obs[:res.Excluded:res.Excluded], obs[res.Excluded+1:]...)
+			}
+		} else {
+			sol, err = core.SolveTraced(ectx, tel.solver, epoch.T, obs)
+		}
 		if err != nil {
 			// Predictor warming up or degenerate epoch; the wrapper
 			// already counted the failure.
+			tb.SetErr(err)
+			tb.Finish()
 			log.Debug("solve failed", "epoch", i, "err", err)
 			continue
 		}
+		dsp := tb.Start("dop/compute")
 		hdop := 0.0
 		if dop, err := core.ComputeDOP(sol.Pos, sats); err == nil {
 			hdop = dop.HDOP
 		}
+		dsp.SetAttr(trace.Float("hdop", hdop))
+		dsp.End()
 		tel.health.recordFix(hdop)
+		esp := tb.Start("nmea/encode")
 		fix := nmea.Fix{
 			TimeOfDay: epoch.T,
 			Pos:       sol.Pos.ToLLA(),
@@ -218,7 +299,12 @@ func streamFixes(ctx context.Context, source epochSource, tel *serverTelemetry,
 			NumSats:   len(obs),
 			HDOP:      hdop,
 		}
-		b.Broadcast(nmea.GGA(fix))
-		b.Broadcast(nmea.RMC(fix))
+		gga, rmc := nmea.GGA(fix), nmea.RMC(fix)
+		esp.End()
+		bsp := tb.Start("broadcast")
+		b.Broadcast(gga)
+		b.Broadcast(rmc)
+		bsp.End()
+		tel.captureExemplar(tb.Finish(), obs, sol, pred)
 	}
 }

@@ -398,3 +398,19 @@ func TestLinearPredictorRefitSteeringConvergesToMean(t *testing.T) {
 		t.Errorf("steering drift = %v, want snapped to 0", r)
 	}
 }
+
+// Constant must ignore observations and always predict its fixed bias —
+// the determinism contract gpsrun -replay depends on.
+func TestConstantPredictor(t *testing.T) {
+	c := Constant{Bias: 3.5e-4}
+	c.Observe(Fix{T: 10, Bias: 99})
+	for _, tt := range []float64{0, 1, 1e6} {
+		got, err := c.PredictBias(tt)
+		if err != nil || got != 3.5e-4 {
+			t.Errorf("PredictBias(%g) = %v, %v; want 3.5e-4, nil", tt, got, err)
+		}
+	}
+	if r, err := PredictRange(c, 0); err != nil || math.Abs(r-3.5e-4*299792458.0) > 1e-6 {
+		t.Errorf("PredictRange = %v, %v", r, err)
+	}
+}

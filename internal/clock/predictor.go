@@ -48,6 +48,24 @@ func PredictRange(p Predictor, t float64) (float64, error) {
 	return geo.SpeedOfLight * b, nil
 }
 
+// Constant is a predictor pinned to one bias value: it ignores every
+// Observe and always predicts Bias. Replay tooling uses it to re-run a
+// captured epoch with exactly the clock estimate the live solver used
+// (Solution.ClockBias / c), making direct-solver replays deterministic
+// without reconstructing the original predictor's fit state.
+type Constant struct {
+	// Bias is the fixed clock bias in seconds.
+	Bias float64
+}
+
+var _ Predictor = Constant{}
+
+// Observe implements Predictor (fixes are discarded).
+func (Constant) Observe(Fix) {}
+
+// PredictBias implements Predictor.
+func (c Constant) PredictBias(float64) (float64, error) { return c.Bias, nil }
+
 // FitLinear fits bias ≈ D + r·t to the fixes by least squares and returns
 // (D, r). It implements the Section 5.2.2 calibration: "For clock drift r,
 // a small set of data items at the initialization time is used".

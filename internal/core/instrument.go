@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"strings"
 	"time"
 
 	"gpsdl/internal/telemetry"
+	"gpsdl/internal/trace"
 )
 
 // Canonical metric names exported by the solver instrumentation. The
@@ -97,6 +100,29 @@ func (w *InstrumentedSolver) Solve(t float64, obs []Observation) (Solution, erro
 		m.NRIterations.Add(uint64(sol.Iterations))
 	}
 	return sol, nil
+}
+
+// SpanName returns the canonical span name for a solver: "solve/" plus
+// the lower-cased solver name ("solve/nr", "solve/dlg", ...).
+func SpanName(s Solver) string { return "solve/" + strings.ToLower(s.Name()) }
+
+// SolveTraced runs s.Solve under a per-stage span on the context's
+// active trace. With no trace in ctx (the common case) the only
+// overhead is one context lookup — no clock reads, no allocations —
+// matching the nil-instrument guarantee of the telemetry layer.
+func SolveTraced(ctx context.Context, s Solver, t float64, obs []Observation) (Solution, error) {
+	sp := trace.Start(ctx, SpanName(s), trace.Int("sats", len(obs)))
+	sol, err := s.Solve(t, obs)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr(trace.String("err", err.Error()))
+		} else {
+			sp.SetAttr(trace.Int("iterations", sol.Iterations),
+				trace.Float("clock_bias_m", sol.ClockBias))
+		}
+		sp.End()
+	}
+	return sol, err
 }
 
 // GLSMetrics counts which covariance path DLG solves take

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"gpsdl/internal/scenario"
+	"gpsdl/internal/trace"
+)
+
+// traceSweepDataset builds a short dataset for the tracing tests.
+func traceSweepDataset(t *testing.T) *scenario.Dataset {
+	t.Helper()
+	st, err := scenario.StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.DefaultConfig(7)
+	cfg.Step = 5
+	g := scenario.NewGenerator(st, cfg)
+	ds, err := g.GenerateRange(0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// A sweep with a Recorder must record one trace per measured epoch with
+// the three solver spans, and — with a 1 ns slow threshold — capture
+// every successful fix as an exemplar.
+func TestSweepRecordsTraces(t *testing.T) {
+	ds := traceSweepDataset(t)
+	rec := trace.New(trace.Config{Capacity: 512, Exemplars: 8, SlowThreshold: time.Nanosecond})
+	sweep := &Sweep{
+		Dataset:    ds,
+		SatCounts:  []int{6},
+		InitEpochs: 30,
+		Seed:       1,
+		Recorder:   rec,
+	}
+	res, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if rec.Count() == 0 {
+		t.Fatal("sweep recorded no traces")
+	}
+	if got, want := rec.Count(), uint64(row.Epochs); got != want {
+		t.Errorf("traces = %d, want one per measured epoch (%d)", got, want)
+	}
+	tr := rec.Snapshot()[0]
+	for _, name := range []string{"solve/nr", "solve/dlo", "solve/dlg"} {
+		sp := tr.Span(name)
+		if sp == nil {
+			t.Fatalf("trace missing span %s: %+v", name, tr.Spans)
+		}
+		if sp.DurNs <= 0 {
+			t.Errorf("%s DurNs = %d, want > 0", name, sp.DurNs)
+		}
+	}
+	// Spans are laid out back to back in solve order.
+	nr, dlo := tr.Span("solve/nr"), tr.Span("solve/dlo")
+	if dlo.StartNs != nr.StartNs+nr.DurNs {
+		t.Errorf("dlo starts at %d, want %d", dlo.StartNs, nr.StartNs+nr.DurNs)
+	}
+	exs := rec.Exemplars()
+	if len(exs) == 0 {
+		t.Fatal("1 ns slow threshold captured no exemplars")
+	}
+	if exs[0].Reason != trace.ReasonSlow {
+		t.Errorf("exemplar reason = %q", exs[0].Reason)
+	}
+}
+
+// A captured exemplar must replay byte-identically: decoding its input
+// and re-running the captured solver with the pinned clock estimate
+// reproduces the recorded solution exactly.
+func TestExemplarReplaysByteIdentical(t *testing.T) {
+	ds := traceSweepDataset(t)
+	rec := trace.New(trace.Config{Capacity: 64, Exemplars: 64, SlowThreshold: time.Nanosecond})
+	sweep := &Sweep{
+		Dataset:    ds,
+		SatCounts:  []int{8},
+		InitEpochs: 30,
+		MaxEpochs:  10,
+		Seed:       1,
+		Recorder:   rec,
+	}
+	if _, err := sweep.Run(); err != nil {
+		t.Fatal(err)
+	}
+	exs := rec.Exemplars()
+	if len(exs) == 0 {
+		t.Fatal("no exemplars captured")
+	}
+	replayed := 0
+	for _, ex := range exs {
+		in, err := DecodeReplayInput(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range in.Solvers() {
+			if s.Name() != in.Solver {
+				continue
+			}
+			sol, err := s.Solve(in.T, in.Obs)
+			if err != nil {
+				t.Fatalf("replay %s epoch %d: %v", in.Solver, in.EpochIndex, err)
+			}
+			if sol.Pos != in.Solution {
+				t.Errorf("replay %s epoch %d: %v != captured %v",
+					in.Solver, in.EpochIndex, sol.Pos, in.Solution)
+			}
+			replayed++
+		}
+	}
+	if replayed == 0 {
+		t.Fatal("no exemplar matched a replay solver")
+	}
+}
+
+// With no Recorder the sweep must behave identically (row counts) —
+// the nil path is the production default.
+func TestSweepNilRecorder(t *testing.T) {
+	ds := traceSweepDataset(t)
+	run := func(rec *trace.Recorder) Row {
+		sweep := &Sweep{Dataset: ds, SatCounts: []int{6}, InitEpochs: 30, Seed: 1, Recorder: rec}
+		res, err := sweep.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0]
+	}
+	with := run(trace.New(trace.Config{Capacity: 16}))
+	without := run(nil)
+	if with.Epochs != without.Epochs || with.NR.Fixes != without.NR.Fixes {
+		t.Errorf("tracing changed results: %+v vs %+v", with, without)
+	}
+}

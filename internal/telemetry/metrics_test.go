@@ -268,3 +268,37 @@ func TestLabelEscaping(t *testing.T) {
 		t.Errorf("escaped output missing %q in %q", want, buf.String())
 	}
 }
+
+// BenchmarkHistogramObserve pins the cost of the binary-search bucket
+// lookup on the default 12-bound solve histogram: widening the bucket
+// set must not regress the per-solve hot path. Values rotate across the
+// full range so every branch of the search is exercised.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", DefSolveBuckets)
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = 1e-8 * float64(uint64(1)<<(uint(i)%28))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(vals[i%len(vals)])
+	}
+}
+
+// BenchmarkHistogramObserveWide doubles the bound count to show the
+// lookup scales logarithmically, not linearly.
+func BenchmarkHistogramObserveWide(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_wide_seconds", "", ExponentialBuckets(1e-9, 2, 24))
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = 1e-8 * float64(uint64(1)<<(uint(i)%28))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(vals[i%len(vals)])
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export: the JSON-object format consumed by
+// about:tracing and Perfetto (ui.perfetto.dev). Each trace becomes one
+// "thread" (tid = trace ID) of complete ("X") events, so stages line up
+// per fix and epochs stack vertically in the viewer.
+
+// chromeEvent is one trace_event entry. Timestamps and durations are in
+// microseconds per the format spec; fractional values are allowed and
+// preserve the nanosecond timings of sub-microsecond solver stages.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	// Dur is a pointer so metadata ("M") events omit it while complete
+	// ("X") events always carry it — a zero-duration stage (e.g. a solve
+	// that failed immediately) is still a valid complete event.
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes traces as a Chrome trace_event JSON object. The
+// earliest trace start is the time origin, so files are stable across
+// process restarts and diffable for identical runs.
+func WriteChrome(w io.Writer, traces []*Trace) error {
+	events := make([]chromeEvent, 0, len(traces)*8)
+	var origin int64
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		if ns := tr.Start.UnixNano(); origin == 0 || ns < origin {
+			origin = ns
+		}
+	}
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		base := float64(tr.Start.UnixNano()-origin) / 1e3
+		meta := map[string]any{"name": fmt.Sprintf("epoch %d (t=%.1f)", tr.Epoch, tr.T)}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tr.ID, Args: meta,
+		})
+		for _, sp := range tr.Spans {
+			dur := float64(sp.DurNs) / 1e3
+			ev := chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   base + float64(sp.StartNs)/1e3,
+				Dur:  &dur,
+				Pid:  1,
+				Tid:  tr.ID,
+			}
+			if len(sp.Attrs) > 0 || tr.Err != "" {
+				args := make(map[string]any, len(sp.Attrs)+1)
+				for _, a := range sp.Attrs {
+					args[a.Key] = a.Value
+				}
+				if tr.Err != "" {
+					args["trace_err"] = tr.Err
+				}
+				ev.Args = args
+			}
+			events = append(events, ev)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ns"}
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encode chrome events: %w", err)
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome-format trace to path.
+func WriteChromeFile(path string, traces []*Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	return WriteChrome(f, traces)
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildRecorder populates a recorder with two traces and one exemplar.
+func buildRecorder() *Recorder {
+	rec := New(Config{Capacity: 8, SlowThreshold: time.Millisecond})
+	for i := 0; i < 2; i++ {
+		tr := rec.StartEpoch(i, float64(i)*5)
+		tr.AddSpan("solve/dlg", 0, 3*time.Microsecond, Int("sats", 8))
+		tr.AddSpan("nmea/encode", 3*time.Microsecond, time.Microsecond)
+		tr.Finish()
+	}
+	rec.AddExemplar(&Exemplar{
+		Reason:     ReasonSlow,
+		SolveNanos: int64(2 * time.Millisecond),
+		Trace:      rec.Snapshot()[0],
+		Input:      json.RawMessage(`{"epoch_index":1}`),
+	})
+	return rec
+}
+
+func TestWriteChrome(t *testing.T) {
+	rec := buildRecorder()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 traces × (1 metadata + 2 spans) events.
+	if len(out.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(out.TraceEvents))
+	}
+	var solves, metas int
+	for _, ev := range out.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			metas++
+		case ev.Name == "solve/dlg":
+			solves++
+			if ev.Ph != "X" || ev.Dur != 3.0 || ev.Pid != 1 || ev.Tid == 0 {
+				t.Errorf("solve event malformed: %+v", ev)
+			}
+			if ev.Args["sats"] != float64(8) {
+				t.Errorf("solve args = %v", ev.Args)
+			}
+		}
+	}
+	if solves != 2 || metas != 2 {
+		t.Errorf("solves = %d metas = %d, want 2 and 2", solves, metas)
+	}
+}
+
+func TestWriteChromeFile(t *testing.T) {
+	rec := buildRecorder()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteChromeFile(path, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeFile(filepath.Join(t.TempDir(), "no/such/dir.json"), nil); err == nil {
+		t.Error("WriteChromeFile to a missing directory must fail")
+	}
+	_ = path
+}
+
+func TestHandlers(t *testing.T) {
+	rec := buildRecorder()
+	for _, tc := range []struct {
+		name    string
+		h       http.Handler
+		needles []string
+	}{
+		{"trace", Handler(rec), []string{`"count": 2`, `"solve/dlg"`, `"epoch"`}},
+		{"chrome", ChromeHandler(rec), []string{`"traceEvents"`, `"solve/dlg"`, `"ph":"X"`}},
+		{"exemplars", ExemplarsHandler(rec), []string{`"exemplars"`, `"reason": "slow"`, `"epoch_index"`}},
+	} {
+		rw := httptest.NewRecorder()
+		tc.h.ServeHTTP(rw, httptest.NewRequest("GET", "/", nil))
+		if rw.Code != http.StatusOK {
+			t.Errorf("%s status = %d", tc.name, rw.Code)
+		}
+		if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s Content-Type = %q", tc.name, ct)
+		}
+		body := rw.Body.String()
+		if !json.Valid(rw.Body.Bytes()) {
+			t.Errorf("%s body is not valid JSON", tc.name)
+		}
+		for _, needle := range tc.needles {
+			if !strings.Contains(body, needle) {
+				t.Errorf("%s body missing %q:\n%s", tc.name, needle, body)
+			}
+		}
+	}
+	// Nil recorder: 404 on every route.
+	for _, h := range []http.Handler{Handler(nil), ChromeHandler(nil), ExemplarsHandler(nil)} {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("GET", "/", nil))
+		if rw.Code != http.StatusNotFound {
+			t.Errorf("nil recorder handler status = %d, want 404", rw.Code)
+		}
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	rec := buildRecorder()
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := rec.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Traces) != 2 || len(d.Exemplars) != 1 {
+		t.Fatalf("dump has %d traces, %d exemplars", len(d.Traces), len(d.Exemplars))
+	}
+	// The dump body must be accepted by DecodeExemplars.
+	exs, err := DecodeExemplars(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 1 || exs[0].Reason != ReasonSlow {
+		t.Fatalf("decoded exemplars = %+v", exs)
+	}
+}
+
+func TestDecodeExemplarsFormats(t *testing.T) {
+	cases := map[string]string{
+		"wrapped": `{"exemplars":[{"reason":"slow","solve_nanos":5,"input":{"a":1}}]}`,
+		"array":   `[{"reason":"residual","solve_nanos":5,"input":{"a":1}}]`,
+		"single":  `{"reason":"slow","solve_nanos":5,"input":{"a":1}}`,
+	}
+	for name, body := range cases {
+		exs, err := DecodeExemplars(strings.NewReader(body))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(exs) != 1 || exs[0].Input == nil {
+			t.Errorf("%s: decoded %+v", name, exs)
+		}
+	}
+	if _, err := DecodeExemplars(strings.NewReader(`{"traces":[]}`)); err == nil {
+		t.Error("exemplar-free input must error")
+	}
+	if _, err := DecodeExemplars(strings.NewReader(`not json`)); err == nil {
+		t.Error("invalid JSON must error")
+	}
+}

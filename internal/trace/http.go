@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Admin-endpoint handlers for the flight recorder. All three are safe
+// to mount with a nil recorder: they answer 404 so probes can tell
+// "tracing disabled" from "no traces yet" (200 with an empty list).
+
+// Handler serves the retained traces as JSON:
+// {"count": N, "traces": [...]} with the most recent trace first.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		body := struct {
+			Count  uint64   `json:"count"`
+			Traces []*Trace `json:"traces"`
+		}{r.Count(), r.Snapshot()}
+		writeJSON(w, body)
+	})
+}
+
+// ChromeHandler serves the retained traces in Chrome trace_event
+// format, loadable in about:tracing and Perfetto.
+func ChromeHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="gps_trace.json"`)
+		_ = WriteChrome(w, r.Snapshot())
+	})
+}
+
+// ExemplarsHandler serves the captured exemplar tail as JSON:
+// {"exemplars": [...]} — the body DecodeExemplars accepts, so a scrape
+// can be fed straight to gpsrun -replay.
+func ExemplarsHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		body := struct {
+			Exemplars []*Exemplar `json:"exemplars"`
+		}{r.Exemplars()}
+		writeJSON(w, body)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes a Recorder and sets its exemplar thresholds.
+type Config struct {
+	// Capacity is the number of recent traces the ring retains.
+	// 0 means 256.
+	Capacity int
+	// Exemplars is the exemplar tail size. 0 means 32.
+	Exemplars int
+	// SlowThreshold captures an exemplar when a fix's solve latency
+	// exceeds it. 0 disables latency capture.
+	SlowThreshold time.Duration
+	// ResidualThreshold captures an exemplar when a fix's position
+	// residual (meters) exceeds it. 0 disables residual capture.
+	ResidualThreshold float64
+}
+
+// Exemplar is one pathological fix: its complete trace plus the
+// serialized input that produced it, so the epoch can be re-run
+// offline (gpsrun -replay). Input is an opaque JSON blob owned by the
+// capturing pipeline (see eval.ReplayInput for the canonical schema).
+type Exemplar struct {
+	CapturedAt     time.Time       `json:"captured_at"`
+	Reason         string          `json:"reason"` // "slow" | "residual"
+	SolveNanos     int64           `json:"solve_nanos"`
+	ResidualMeters float64         `json:"residual_meters,omitempty"`
+	Trace          *Trace          `json:"trace,omitempty"`
+	Input          json.RawMessage `json:"input,omitempty"`
+}
+
+// Exemplar capture reasons.
+const (
+	ReasonSlow     = "slow"
+	ReasonResidual = "residual"
+)
+
+// Recorder is the flight recorder: a lock-free ring buffer of the last
+// N epoch traces plus a smaller ring of exemplars. Writers never block
+// — each publish is one atomic counter bump and one atomic pointer
+// store — so the epoch loop cannot stall on a concurrent admin scrape.
+// A nil *Recorder disables everything at the cost of a pointer test.
+type Recorder struct {
+	ring   []atomic.Pointer[Trace]
+	next   atomic.Uint64 // total traces recorded; slot = (next-1) % len
+	nextID atomic.Uint64
+
+	exRing []atomic.Pointer[Exemplar]
+	exNext atomic.Uint64
+
+	slowNanos   int64
+	residMeters float64
+}
+
+// New builds a Recorder from cfg.
+func New(cfg Config) *Recorder {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 256
+	}
+	exemplars := cfg.Exemplars
+	if exemplars <= 0 {
+		exemplars = 32
+	}
+	return &Recorder{
+		ring:        make([]atomic.Pointer[Trace], capacity),
+		exRing:      make([]atomic.Pointer[Exemplar], exemplars),
+		slowNanos:   cfg.SlowThreshold.Nanoseconds(),
+		residMeters: cfg.ResidualThreshold,
+	}
+}
+
+// StartEpoch opens a trace for one epoch. Nil recorder → nil *T, which
+// turns the whole instrumentation path into no-ops.
+func (r *Recorder) StartEpoch(epoch int, t float64) *T {
+	if r == nil {
+		return nil
+	}
+	return &T{rec: r, tr: Trace{Epoch: epoch, T: t, Start: time.Now()}}
+}
+
+// add assigns an ID and publishes the trace into the ring.
+func (r *Recorder) add(tr *Trace) *Trace {
+	if r == nil {
+		return tr
+	}
+	tr.ID = r.nextID.Add(1)
+	slot := (r.next.Add(1) - 1) % uint64(len(r.ring))
+	r.ring[slot].Store(tr)
+	return tr
+}
+
+// Count returns the total number of traces recorded since start.
+func (r *Recorder) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Snapshot returns the retained traces, most recent first. Concurrent
+// writers may lap the oldest slots; the snapshot drops any trace whose
+// slot was overwritten mid-read (IDs stay strictly decreasing).
+func (r *Recorder) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	total := r.next.Load()
+	n := uint64(len(r.ring))
+	if total < n {
+		n = total
+	}
+	out := make([]*Trace, 0, n)
+	lastID := ^uint64(0)
+	for i := uint64(0); i < n; i++ {
+		slot := (total - 1 - i) % uint64(len(r.ring))
+		tr := r.ring[slot].Load()
+		if tr == nil || tr.ID >= lastID {
+			continue
+		}
+		lastID = tr.ID
+		out = append(out, tr)
+	}
+	return out
+}
+
+// ExemplarReason classifies a completed fix against the capture
+// thresholds: ReasonSlow, ReasonResidual, or "" when the fix is
+// unremarkable (or the recorder is nil / thresholds disabled).
+func (r *Recorder) ExemplarReason(solve time.Duration, residualMeters float64) string {
+	if r == nil {
+		return ""
+	}
+	if r.slowNanos > 0 && solve.Nanoseconds() > r.slowNanos {
+		return ReasonSlow
+	}
+	if r.residMeters > 0 && residualMeters > r.residMeters {
+		return ReasonResidual
+	}
+	return ""
+}
+
+// AddExemplar publishes one captured exemplar into the tail.
+func (r *Recorder) AddExemplar(ex *Exemplar) {
+	if r == nil || ex == nil {
+		return
+	}
+	if ex.CapturedAt.IsZero() {
+		ex.CapturedAt = time.Now()
+	}
+	slot := (r.exNext.Add(1) - 1) % uint64(len(r.exRing))
+	r.exRing[slot].Store(ex)
+}
+
+// Exemplars returns the retained exemplars, most recent first.
+func (r *Recorder) Exemplars() []*Exemplar {
+	if r == nil {
+		return nil
+	}
+	total := r.exNext.Load()
+	n := uint64(len(r.exRing))
+	if total < n {
+		n = total
+	}
+	out := make([]*Exemplar, 0, n)
+	for i := uint64(0); i < n; i++ {
+		slot := (total - 1 - i) % uint64(len(r.exRing))
+		if ex := r.exRing[slot].Load(); ex != nil {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// Dump is the on-disk flight-recorder snapshot: everything the ring and
+// exemplar tail hold, written on SIGTERM or on demand.
+type Dump struct {
+	Written   time.Time   `json:"written"`
+	Traces    []*Trace    `json:"traces"`
+	Exemplars []*Exemplar `json:"exemplars"`
+}
+
+// WriteDump serializes the current recorder contents as JSON.
+func (r *Recorder) WriteDump(w io.Writer) error {
+	d := Dump{Written: time.Now(), Traces: r.Snapshot(), Exemplars: r.Exemplars()}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("trace: encode dump: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DumpFile writes the recorder contents to path.
+func (r *Recorder) DumpFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	return r.WriteDump(f)
+}
+
+// DecodeExemplars reads exemplars from any of the formats the tooling
+// emits: a full Dump, an {"exemplars": [...]} object (the admin
+// endpoint body), a bare JSON array, or a single exemplar object.
+func DecodeExemplars(rd io.Reader) ([]*Exemplar, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read exemplars: %w", err)
+	}
+	var wrapped struct {
+		Exemplars []*Exemplar `json:"exemplars"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err == nil && len(wrapped.Exemplars) > 0 {
+		return wrapped.Exemplars, nil
+	}
+	var list []*Exemplar
+	if err := json.Unmarshal(data, &list); err == nil && len(list) > 0 {
+		return list, nil
+	}
+	var one Exemplar
+	if err := json.Unmarshal(data, &one); err == nil && (one.Input != nil || one.Trace != nil) {
+		return []*Exemplar{&one}, nil
+	}
+	return nil, fmt.Errorf("trace: no exemplars found in input")
+}
