@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures ablations cover metrics-smoke trace-smoke clean
+.PHONY: all build vet test race bench bench-json determinism figures ablations cover metrics-smoke trace-smoke clean
 
-all: build vet test race metrics-smoke trace-smoke
+all: build vet test determinism race metrics-smoke trace-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable fix-engine throughput curve (fixes/sec vs receiver
+# count); the series EXPERIMENTS.md tracks.
+bench-json:
+	$(GO) run ./cmd/gpsbench -engine -engine-receivers 1,2,4,8 -engine-json BENCH_engine.json
+
+# Timebase determinism property: serial and parallel generation agree
+# bit-for-bit for awkward step sizes (0.1, 1/3, 86400/7).
+determinism:
+	$(GO) test -run Determinism ./internal/scenario/...
 
 # Regenerate every table and figure of the paper at full 24 h × 1 Hz
 # scale (a few minutes), plus the ablations.

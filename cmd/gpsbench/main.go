@@ -61,22 +61,52 @@ type benchConfig struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gpsbench", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "", "figure to reproduce: table, 5.1, 5.2 or all")
-		ablation   = fs.String("ablation", "", "ablation to run: base, clock, gls, direct, dgps, smoothing, noise, selection or all")
-		duration   = fs.Float64("duration", 7200, "seconds of data per station")
-		step       = fs.Float64("step", 5, "epoch spacing in seconds")
-		seed       = fs.Int64("seed", 2009, "generation seed")
-		epochs     = fs.Int("epochs", 0, "max epochs per satellite count (0 = all)")
-		plot       = fs.Bool("plot", false, "render ASCII charts of the figure curves")
-		csvDir     = fs.String("csv", "", "also write the figure series as CSV files into this directory")
-		metricsOut = fs.String("metrics-out", "", "write a final Prometheus-format metrics snapshot to this file")
-		traceOut   = fs.String("trace-out", "", "write the figure sweeps' epoch traces as a Chrome trace_event file (open in Perfetto)")
-		traceN     = fs.Int("trace", 4096, "epoch traces retained for -trace-out")
+		fig             = fs.String("fig", "", "figure to reproduce: table, 5.1, 5.2 or all")
+		ablation        = fs.String("ablation", "", "ablation to run: base, clock, gls, direct, dgps, smoothing, noise, selection or all")
+		duration        = fs.Float64("duration", 7200, "seconds of data per station")
+		step            = fs.Float64("step", 5, "epoch spacing in seconds")
+		seed            = fs.Int64("seed", 2009, "generation seed")
+		epochs          = fs.Int("epochs", 0, "max epochs per satellite count (0 = all)")
+		plot            = fs.Bool("plot", false, "render ASCII charts of the figure curves")
+		csvDir          = fs.String("csv", "", "also write the figure series as CSV files into this directory")
+		engineOn        = fs.Bool("engine", false, "benchmark the multi-receiver fix engine (fixes/sec vs receiver count)")
+		engineReceivers = fs.String("engine-receivers", "1,2,4,8", "comma-separated receiver counts for -engine")
+		engineEpochs    = fs.Int("engine-epochs", 2000, "timed epochs per receiver for -engine")
+		engineWarmup    = fs.Int("engine-warmup", 300, "warm-up epochs (clock-predictor calibration) before timing for -engine")
+		engineSolver    = fs.String("engine-solver", "dlg", "solver for -engine: nr, dlo, dlg or bancroft")
+		engineWorkers   = fs.Int("engine-workers", 0, "engine shard count for -engine (0 = GOMAXPROCS)")
+		engineJSON      = fs.String("engine-json", "", "write the -engine throughput series as JSON to this file")
+		metricsOut      = fs.String("metrics-out", "", "write a final Prometheus-format metrics snapshot to this file")
+		traceOut        = fs.String("trace-out", "", "write the figure sweeps' epoch traces as a Chrome trace_event file (open in Perfetto)")
+		traceN          = fs.Int("trace", 4096, "epoch traces retained for -trace-out")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *fig == "" && *ablation == "" {
+	if *engineOn {
+		receivers, err := parseReceiverList(*engineReceivers)
+		if err != nil {
+			return fmt.Errorf("-engine-receivers: %w", err)
+		}
+		if *engineEpochs < 1 {
+			return fmt.Errorf("-engine-epochs must be positive, have %d", *engineEpochs)
+		}
+		if *engineWarmup < 0 {
+			return fmt.Errorf("-engine-warmup must be non-negative, have %d", *engineWarmup)
+		}
+		if err := runEngineBench(engineBenchConfig{
+			receivers: receivers,
+			epochs:    *engineEpochs,
+			warmup:    *engineWarmup,
+			solver:    *engineSolver,
+			workers:   *engineWorkers,
+			seed:      *seed,
+			jsonPath:  *engineJSON,
+		}); err != nil {
+			return err
+		}
+	}
+	if *fig == "" && *ablation == "" && !*engineOn {
 		*fig = "all"
 	}
 	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}

@@ -102,8 +102,9 @@ func (h *health) status() (healthStatus, int) {
 		LastFixAgeSeconds: -1,
 	}
 	if h.b != nil {
-		s.Clients = h.b.ClientCount()
-		s.Drops = h.b.Metrics.Drops()
+		// One locked snapshot keeps clients and drops mutually
+		// consistent (connects − drops == clients).
+		s.Clients, _, s.Drops = h.b.Stats()
 	}
 	last := h.lastFixNanos.Load()
 	if last == 0 {

@@ -1,0 +1,135 @@
+// Multi-receiver serving mode: -receivers N > 1 swaps the single-station
+// epoch loop for internal/engine's sharded fix engine. Every receiver's
+// GGA/RMC stream is fanned out through the same broadcaster, the admin
+// endpoint serves the engine's per-shard metrics (fixes, queue depth,
+// solve-latency histograms) next to the broadcaster/health families, and
+// /healthz keeps working — fed by fix events from all receivers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"time"
+
+	"gpsdl/internal/engine"
+	"gpsdl/internal/scenario"
+	"gpsdl/internal/telemetry"
+)
+
+// engineParams is the subset of gpsserve flags the engine mode consumes.
+type engineParams struct {
+	receivers int
+	workers   int
+	station   string
+	solver    string
+	addr      string
+	adminAddr string
+	rate      float64
+	seed      int64
+	logs      *telemetry.Logging
+}
+
+// resolveStations maps the -station flag to receiver templates: a named
+// station pins every receiver to it; "all" round-robins the four Table
+// 5.1 stations across receivers.
+func resolveStations(id string) ([]scenario.Station, error) {
+	if id == "all" || id == "ALL" {
+		return scenario.Table51Stations(), nil
+	}
+	st, err := scenario.StationByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return []scenario.Station{st}, nil
+}
+
+// runEngine serves fixes from cfg.receivers concurrent sessions, paced at
+// cfg.rate epochs per second per receiver, until ctx ends.
+func runEngine(ctx context.Context, p engineParams) error {
+	stations, err := resolveStations(p.station)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
+	b := NewBroadcaster()
+	b.Metrics = NewBroadcasterMetrics(reg)
+	b.Logger = p.logs.Component("broadcaster")
+	maxAge := time.Duration(10 * float64(time.Second) / p.rate)
+	if maxAge < 10*time.Second {
+		maxAge = 10 * time.Second
+	}
+	h := newHealth(reg, maxAge, b)
+	eng, err := engine.New(engine.Config{
+		Receivers: p.receivers,
+		Workers:   p.workers,
+		Solver:    p.solver,
+		Seed:      p.seed,
+		Stations:  stations,
+		Registry:  reg,
+		// The sink runs on shard goroutines; health counters are atomic
+		// and Broadcast locks internally, so no extra synchronization is
+		// needed. GGA/RMC must be copied (string conversion does) before
+		// the callback returns.
+		Sink: func(e engine.FixEvent) {
+			h.recordEpoch()
+			if e.Err != nil {
+				return
+			}
+			h.recordFix(e.HDOP)
+			b.Broadcast(string(e.GGA))
+			b.Broadcast(string(e.RMC))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", p.addr, err)
+	}
+	fmt.Printf("gpsserve: engine mode, %d receivers × %s over %d workers on %s (%g epoch/s each)\n",
+		p.receivers, p.solver, eng.Workers(), ln.Addr(), p.rate)
+	if p.adminAddr != "" {
+		tel := &serverTelemetry{reg: reg, health: h}
+		bound, err := listenAdmin(ctx, p.adminAddr, tel, p.logs.Component("admin"))
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz)\n", bound)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- b.Serve(ctx, ln) }()
+
+	err = paceEngine(ctx, eng, p.rate, p.logs.Component("engine"))
+	cancelErr := <-serveErr
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+	if cancelErr != nil && ctx.Err() == nil {
+		return cancelErr
+	}
+	return nil
+}
+
+// paceEngine drives RunPaced off a wall-clock ticker and logs a summary
+// when the run ends.
+func paceEngine(ctx context.Context, eng *engine.Engine, rate float64, log *slog.Logger) error {
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer ticker.Stop()
+	err := eng.RunPaced(ctx, ticker.C)
+	st := eng.Stats()
+	log.Info("engine stopped",
+		"fixes", st.Fixes,
+		"solve_failures", st.SolveFailures,
+		"epoch_errors", st.EpochErrors,
+		"batches_done", st.BatchesDone,
+		"batches_aborted", st.BatchesAborted,
+		"skipped_ticks", st.SkippedTicks)
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

@@ -51,11 +51,11 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gpsserve", flag.ContinueOnError)
 	var (
-		stationID = fs.String("station", "YYR1", "Table 5.1 station to simulate")
-		dataset   = fs.String("dataset", "", "replay a gpsgen dataset file instead of live generation")
-		solver    = fs.String("solver", "dlg", "positioning algorithm: nr, dlo, dlg or bancroft")
-		addr      = fs.String("addr", "127.0.0.1:2947", "TCP listen address")
-		adminAddr = fs.String("admin", "", "admin HTTP listen address serving /metrics, /healthz and /debug/pprof (disabled when empty)")
+		stationID  = fs.String("station", "YYR1", "Table 5.1 station to simulate")
+		dataset    = fs.String("dataset", "", "replay a gpsgen dataset file instead of live generation")
+		solver     = fs.String("solver", "dlg", "positioning algorithm: nr, dlo, dlg or bancroft")
+		addr       = fs.String("addr", "127.0.0.1:2947", "TCP listen address")
+		adminAddr  = fs.String("admin", "", "admin HTTP listen address serving /metrics, /healthz and /debug/pprof (disabled when empty)")
 		rate       = fs.Float64("rate", 1, "epochs per second to stream")
 		seed       = fs.Int64("seed", 2009, "generation seed")
 		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn or error")
@@ -65,12 +65,17 @@ func run(ctx context.Context, args []string) error {
 		traceResid = fs.Float64("trace-residual", 100, "position residual in meters above which a fix is captured as an exemplar (0 disables)")
 		traceDump  = fs.String("trace-dump", "", "write a flight-recorder dump (traces + exemplars) to this file on shutdown")
 		withRAIM   = fs.Bool("raim", false, "run RAIM integrity checks around each fix (needs >= 5 satellites)")
+		receivers  = fs.Int("receivers", 1, "independent receiver sessions; > 1 serves via the sharded fix engine (-station all round-robins the Table 5.1 stations)")
+		workers    = fs.Int("workers", 0, "engine shard count when -receivers > 1; 0 means GOMAXPROCS")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rate <= 0 {
 		return fmt.Errorf("-rate must be positive, have %g", *rate)
+	}
+	if *receivers < 1 {
+		return fmt.Errorf("-receivers must be >= 1, have %d", *receivers)
 	}
 	if *traceN < 0 {
 		return fmt.Errorf("-trace must be >= 0, have %d", *traceN)
@@ -88,6 +93,29 @@ func run(ctx context.Context, args []string) error {
 	logs, err := telemetry.NewLogging(os.Stderr, *logFormat, level)
 	if err != nil {
 		return err
+	}
+	if *receivers > 1 {
+		// Engine mode runs many sessions; the single-receiver-only
+		// features must be explicitly absent rather than silently off.
+		switch {
+		case *dataset != "":
+			return fmt.Errorf("-dataset replay supports a single receiver; drop -receivers %d", *receivers)
+		case *withRAIM:
+			return fmt.Errorf("-raim supports a single receiver; drop -receivers %d", *receivers)
+		case *traceDump != "":
+			return fmt.Errorf("-trace-dump supports a single receiver; drop -receivers %d", *receivers)
+		}
+		return runEngine(ctx, engineParams{
+			receivers: *receivers,
+			workers:   *workers,
+			station:   strings.ToUpper(strings.TrimSpace(*stationID)),
+			solver:    strings.ToLower(*solver),
+			addr:      *addr,
+			adminAddr: *adminAddr,
+			rate:      *rate,
+			seed:      *seed,
+			logs:      logs,
+		})
 	}
 	var (
 		source epochSource

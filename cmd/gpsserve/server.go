@@ -270,3 +270,20 @@ func (b *Broadcaster) ClientCount() int {
 	defer b.mu.Unlock()
 	return len(b.clients)
 }
+
+// Stats returns a mutually consistent snapshot of the connection
+// counters. Every connect and drop mutates the metrics while holding
+// b.mu, so snapshotting under the same lock guarantees the conservation
+// law connects − drops == clients within one snapshot — reading the
+// counters individually (ClientCount + Metrics.Drops) can catch a
+// connect or drop mid-transition and transiently violate it.
+func (b *Broadcaster) Stats() (clients int, connects, drops uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	clients = len(b.clients)
+	if m := b.Metrics; m != nil {
+		connects = m.Connects.Value()
+		drops = m.SlowDrops.Value() + m.WriteDrops.Value() + m.ShutdownDrops.Value()
+	}
+	return clients, connects, drops
+}

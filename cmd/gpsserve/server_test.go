@@ -5,6 +5,7 @@ import (
 	"context"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -137,6 +138,74 @@ func TestShutdownClosesClients(t *testing.T) {
 }
 
 // End-to-end: run the full server briefly and read real NMEA sentences.
+// Engine mode end-to-end: -receivers > 1 serves interleaved NMEA from
+// every session through the same broadcaster.
+func TestServeEngineModeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network end-to-end")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", addr, "-rate", "50", "-receivers", "3",
+			"-station", "all", "-solver", "dlg", "-admin", "127.0.0.1:0"})
+	}()
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	r := bufio.NewReader(conn)
+	// With three receivers at 50 Hz each, a handful of lines arrives
+	// quickly; every one must be a valid GGA or RMC sentence.
+	sawGGA := false
+	for i := 0; i < 6; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read line %d: %v", i, err)
+		}
+		s := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(s, "$GPGGA"):
+			if _, err := nmea.ParseGGA(s); err != nil {
+				t.Errorf("invalid GGA: %v (%q)", err, s)
+			}
+			sawGGA = true
+		case strings.HasPrefix(s, "$GPRMC"):
+		default:
+			t.Errorf("unexpected sentence %q", s)
+		}
+	}
+	if !sawGGA {
+		t.Error("no GGA sentence among the first 6 lines")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("server did not stop")
+	}
+}
+
 func TestServeEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("network end-to-end")
@@ -269,6 +338,12 @@ func TestRunFlagErrors(t *testing.T) {
 		{"bad admin address", []string{"-addr", "127.0.0.1:0", "-admin", "256.256.256.256:99999"}},
 		{"missing dataset", []string{"-dataset", "/does/not/exist.jsonl"}},
 		{"bad listen address", []string{"-addr", "256.256.256.256:99999"}},
+		{"zero receivers", []string{"-receivers", "0"}},
+		{"engine with dataset", []string{"-receivers", "2", "-dataset", "/does/not/exist.jsonl"}},
+		{"engine with raim", []string{"-receivers", "2", "-raim"}},
+		{"engine with trace dump", []string{"-receivers", "2", "-trace", "16", "-trace-dump", "/tmp/engine-trace.json"}},
+		{"engine unknown station", []string{"-receivers", "2", "-station", "NOPE"}},
+		{"engine unknown solver", []string{"-receivers", "2", "-solver", "magic"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -384,5 +459,78 @@ func TestRunEmptyDataset(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-dataset", path}); err == nil {
 		t.Error("empty dataset accepted")
+	}
+}
+
+// TestBroadcasterStatsConsistency churns connections while hammering
+// Stats: because every connect/drop mutates the counters under the
+// broadcaster mutex, each snapshot must satisfy the conservation law
+// connects − drops == clients even mid-churn. (Reading ClientCount and
+// Metrics.Drops separately, as healthz used to, violates this
+// transiently.)
+func TestBroadcasterStatsConsistency(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroadcaster()
+	b.Metrics = NewBroadcasterMetrics(telemetry.NewRegistry())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = b.Serve(ctx, ln)
+	}()
+	addr := ln.Addr().String()
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := net.Dial("tcp", addr)
+				if err != nil {
+					continue
+				}
+				time.Sleep(time.Millisecond)
+				c.Close()
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	checks := 0
+	for time.Now().Before(deadline) {
+		clients, connects, drops := b.Stats()
+		if connects-drops != uint64(clients) {
+			close(stop)
+			churn.Wait()
+			t.Fatalf("conservation violated in snapshot: connects %d − drops %d != clients %d",
+				connects, drops, clients)
+		}
+		checks++
+	}
+	close(stop)
+	churn.Wait()
+	if checks == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcaster did not shut down")
+	}
+	// Quiescent: all churned connections eventually drop.
+	waitForClients(t, b, 0)
+	clients, connects, drops := b.Stats()
+	if clients != 0 || connects != drops {
+		t.Errorf("quiescent snapshot: clients %d, connects %d, drops %d", clients, connects, drops)
 	}
 }

@@ -28,29 +28,43 @@ var _ Solver = BancroftSolver{}
 // Name implements Solver.
 func (BancroftSolver) Name() string { return "Bancroft" }
 
-// Solve implements Solver. It requires at least 4 satellites.
+// Solve implements Solver. It requires at least 4 satellites. The whole
+// computation runs in fixed-size storage (4×4 normal equations formed by
+// accumulation, mat.Solve4, a closed-form quadratic), so Bancroft needs no
+// Scratch to be allocation-free on the hot path.
 func (BancroftSolver) Solve(_ float64, obs []Observation) (Solution, error) {
 	if err := checkMinObs("Bancroft", obs, 4); err != nil {
 		return Solution{}, err
 	}
-	m := len(obs)
-	b := mat.NewDense(m, 4)
-	alpha := make([]float64, m)
-	ones := make([]float64, m)
-	for i, o := range obs {
-		b.SetRow(i, []float64{o.Pos.X, o.Pos.Y, o.Pos.Z, o.Pseudorange})
-		alpha[i] = 0.5 * (o.Pos.X*o.Pos.X + o.Pos.Y*o.Pos.Y + o.Pos.Z*o.Pos.Z -
-			o.Pseudorange*o.Pseudorange)
-		ones[i] = 1
+	// Least-squares pseudo-inverse applications w = (BᵀB)⁻¹Bᵀ·rhs for
+	// rhs = 𝟙 and rhs = α, with BᵀB, Bᵀ𝟙 and Bᵀα accumulated row by row
+	// (rows aᵢ = (xᵢ, yᵢ, zᵢ, ρᵢ); αᵢ = ½⟨aᵢ,aᵢ⟩ under the Lorentz metric).
+	var btb [16]float64
+	var btOnes, btAlpha [4]float64
+	for _, o := range obs {
+		r := [4]float64{o.Pos.X, o.Pos.Y, o.Pos.Z, o.Pseudorange}
+		alpha := 0.5 * (r[0]*r[0] + r[1]*r[1] + r[2]*r[2] - r[3]*r[3])
+		for i := 0; i < 4; i++ {
+			for j := i; j < 4; j++ {
+				btb[i*4+j] += r[i] * r[j]
+			}
+			btOnes[i] += r[i]
+			btAlpha[i] += r[i] * alpha
+		}
 	}
-	// Least-squares pseudo-inverse application: w = (BᵀB)⁻¹Bᵀ·rhs.
-	btb := mat.MulATA(b)
-	lu, err := mat.FactorizeLU(btb)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			btb[i*4+j] = btb[j*4+i]
+		}
+	}
+	uRaw, err := mat.Solve4(btb, btOnes)
 	if err != nil {
 		return Solution{}, fmt.Errorf("Bancroft normal matrix: %w", ErrDegenerateGeometry)
 	}
-	uRaw := lu.Solve(mat.MulTVec(b, ones))
-	vRaw := lu.Solve(mat.MulTVec(b, alpha))
+	vRaw, err := mat.Solve4(btb, btAlpha)
+	if err != nil {
+		return Solution{}, fmt.Errorf("Bancroft normal matrix: %w", ErrDegenerateGeometry)
+	}
 	// Apply the Lorentz metric M = diag(1,1,1,−1).
 	u := [4]float64{uRaw[0], uRaw[1], uRaw[2], -uRaw[3]}
 	v := [4]float64{vRaw[0], vRaw[1], vRaw[2], -vRaw[3]}
@@ -60,7 +74,7 @@ func (BancroftSolver) Solve(_ float64, obs []Observation) (Solution, error) {
 	qa := lor(u, u)
 	qb := 2 * (lor(u, v) - 1)
 	qc := lor(v, v)
-	lambdas, err := solveQuadratic(qa, qb, qc)
+	lambdas, nRoots, err := solveQuadratic(qa, qb, qc)
 	if err != nil {
 		return Solution{}, fmt.Errorf("Bancroft quadratic: %w", ErrDegenerateGeometry)
 	}
@@ -68,7 +82,7 @@ func (BancroftSolver) Solve(_ float64, obs []Observation) (Solution, error) {
 	// nearest the Earth's surface (the other lies far out in space).
 	best := Solution{}
 	bestScore := math.Inf(1)
-	for _, l := range lambdas {
+	for _, l := range lambdas[:nRoots] {
 		cand := geo.ECEF{
 			X: v[0] + l*u[0],
 			Y: v[1] + l*u[1],
@@ -84,27 +98,29 @@ func (BancroftSolver) Solve(_ float64, obs []Observation) (Solution, error) {
 	return best, nil
 }
 
-// solveQuadratic returns the real roots of a·x² + b·x + c = 0 (one root
-// when a ≈ 0, two when the discriminant permits).
-func solveQuadratic(a, b, c float64) ([]float64, error) {
+// solveQuadratic returns the real roots of a·x² + b·x + c = 0 in fixed
+// storage: roots[:n] are valid (one root when a ≈ 0, two when the
+// discriminant permits).
+func solveQuadratic(a, b, c float64) (roots [2]float64, n int, err error) {
 	if math.Abs(a) < 1e-30 {
 		if b == 0 {
-			return nil, fmt.Errorf("core: degenerate quadratic (a=b=0)")
+			return roots, 0, fmt.Errorf("core: degenerate quadratic (a=b=0)")
 		}
-		return []float64{-c / b}, nil
+		roots[0] = -c / b
+		return roots, 1, nil
 	}
 	disc := b*b - 4*a*c
 	if disc < 0 {
-		return nil, fmt.Errorf("core: negative discriminant %g", disc)
+		return roots, 0, fmt.Errorf("core: negative discriminant %g", disc)
 	}
 	sq := math.Sqrt(disc)
 	// Numerically stable pairing.
 	q := -0.5 * (b + math.Copysign(sq, b))
-	roots := []float64{q / a}
+	roots[0] = q / a
 	if q != 0 {
-		roots = append(roots, c/q)
+		roots[1] = c / q
 	} else {
-		roots = append(roots, 0)
+		roots[1] = 0
 	}
-	return roots, nil
+	return roots, 2, nil
 }

@@ -1,0 +1,74 @@
+package core
+
+// Batch solving: amortize one Scratch (and one solver configuration) over
+// a run of epochs. This is the API the fix engine's shards build on, and
+// it is useful on its own for offline sweeps that want the steady-state
+// zero-allocation hot path without managing scratch plumbing by hand.
+
+// BatchEpoch is one positioning problem in a batch: an epoch time and its
+// observations.
+type BatchEpoch struct {
+	T   float64
+	Obs []Observation
+}
+
+// BatchResult carries the outcome of one batch epoch. Err is per-epoch: a
+// failed epoch does not abort the rest of the batch.
+type BatchResult struct {
+	Sol Solution
+	Err error
+}
+
+// WithScratch returns a solver equivalent to s that draws its workspace
+// from sc. Solvers with a Scratch field (NR, DLO, DLG) are shallow-copied
+// with the field set; solvers that already run in fixed storage (Bancroft,
+// TriSat) and unknown implementations are returned unchanged. The returned
+// solver inherits sc's ownership rule: it is not safe for concurrent use.
+func WithScratch(s Solver, sc *Scratch) Solver {
+	switch v := s.(type) {
+	case *NRSolver:
+		if v.Scratch == sc {
+			return v
+		}
+		c := *v
+		c.Scratch = sc
+		return &c
+	case *DLOSolver:
+		if v.Scratch == sc {
+			return v
+		}
+		c := *v
+		c.Scratch = sc
+		return &c
+	case *DLGSolver:
+		if v.Scratch == sc {
+			return v
+		}
+		c := *v
+		c.Scratch = sc
+		c.own = nil
+		return &c
+	default:
+		return s
+	}
+}
+
+// SolveBatch runs solver over epochs with one shared scratch, writing one
+// BatchResult per epoch into out (grown if needed) and returning it. The
+// scratch is installed once via WithScratch, so steady-state batches incur
+// no per-epoch allocation; reusing the same out slice across batches makes
+// the whole call allocation-free after the first. A nil sc is allowed and
+// falls back to the solver's own allocation behavior.
+func SolveBatch(solver Solver, sc *Scratch, epochs []BatchEpoch, out []BatchResult) []BatchResult {
+	bs := WithScratch(solver, sc)
+	if cap(out) < len(epochs) {
+		out = make([]BatchResult, len(epochs))
+	} else {
+		out = out[:len(epochs)]
+	}
+	for i := range epochs {
+		sol, err := bs.Solve(epochs[i].T, epochs[i].Obs)
+		out[i] = BatchResult{Sol: sol, Err: err}
+	}
+	return out
+}

@@ -318,7 +318,7 @@ func TestTheorem41CovarianceStructure(t *testing.T) {
 	for i, o := range clean {
 		rhoTrue[i] = recv.DistanceTo(o.Pos)
 	}
-	_, dClean := buildDifferenced(clean, rhoTrue, 0)
+	_, dClean := buildDifferenced(nil, clean, rhoTrue, 0)
 
 	const (
 		trials = 20000
@@ -338,7 +338,7 @@ func TestTheorem41CovarianceStructure(t *testing.T) {
 		for i := range noisy {
 			rho[i] = rhoTrue[i] + sigma*rng.NormFloat64()
 		}
-		_, d := buildDifferenced(noisy, rho, 0)
+		_, d := buildDifferenced(nil, noisy, rho, 0)
 		for i := 0; i < k; i++ {
 			db := d[i] - dClean[i]
 			sum[i] += db
@@ -437,25 +437,25 @@ func TestComputeDOPErrors(t *testing.T) {
 }
 
 func TestSolveQuadratic(t *testing.T) {
-	roots, err := solveQuadratic(1, -3, 2) // (x−1)(x−2)
+	roots, n, err := solveQuadratic(1, -3, 2) // (x−1)(x−2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(roots) != 2 {
-		t.Fatalf("got %d roots", len(roots))
+	if n != 2 {
+		t.Fatalf("got %d roots", n)
 	}
 	lo, hi := math.Min(roots[0], roots[1]), math.Max(roots[0], roots[1])
 	if math.Abs(lo-1) > 1e-12 || math.Abs(hi-2) > 1e-12 {
 		t.Errorf("roots = %v, want [1 2]", roots)
 	}
-	if _, err := solveQuadratic(1, 0, 1); err == nil {
+	if _, _, err := solveQuadratic(1, 0, 1); err == nil {
 		t.Error("complex roots not rejected")
 	}
-	roots, err = solveQuadratic(0, 2, -4)
-	if err != nil || len(roots) != 1 || math.Abs(roots[0]-2) > 1e-12 {
-		t.Errorf("linear case roots = %v, err %v", roots, err)
+	roots, n, err = solveQuadratic(0, 2, -4)
+	if err != nil || n != 1 || math.Abs(roots[0]-2) > 1e-12 {
+		t.Errorf("linear case roots = %v (n=%d), err %v", roots, n, err)
 	}
-	if _, err := solveQuadratic(0, 0, 1); err == nil {
+	if _, _, err := solveQuadratic(0, 0, 1); err == nil {
 		t.Error("degenerate a=b=0 not rejected")
 	}
 }

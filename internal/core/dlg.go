@@ -69,12 +69,13 @@ type DLGSolver struct {
 	// Metrics, when non-nil, counts solves per covariance path and
 	// fast-path fallbacks (see NewGLSMetrics). Nil records nothing.
 	Metrics *GLSMetrics
+	// Scratch, when non-nil, supplies the reusable workspace (shared with
+	// whatever other solvers the owning session runs). Nil falls back to
+	// a lazily created private scratch, preserving the historical
+	// reuse-between-calls behavior.
+	Scratch *Scratch
 
-	// Scratch storage reused across Solve calls.
-	psi  []float64 // k×k covariance / Cholesky factor
-	wl   []float64 // k×3 whitened design
-	ul   []float64 // k whitened rhs
-	diag []float64 // k covariance diagonal
+	own *Scratch // lazily created when Scratch is nil
 }
 
 var _ Solver = (*DLGSolver)(nil)
@@ -93,12 +94,25 @@ func (s *DLGSolver) Name() string {
 	return "DLG-" + s.Variant.String()
 }
 
+// scratch returns the workspace for this solve: the caller-provided
+// Scratch when set, otherwise a lazily created private one.
+func (s *DLGSolver) scratch() *Scratch {
+	if s.Scratch != nil {
+		return s.Scratch
+	}
+	if s.own == nil {
+		s.own = &Scratch{}
+	}
+	return s.own
+}
+
 // Solve implements Solver. It requires at least 4 satellites.
 func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	if err := checkMinObs("DLG", obs, 4); err != nil {
 		return Solution{}, err
 	}
-	rhoE, epsR, err := correctedRanges(s.Predictor, t, obs)
+	sc := s.scratch()
+	rhoE, epsR, err := correctedRanges(sc, s.Predictor, t, obs)
 	if err != nil {
 		if errors.Is(err, clock.ErrNotCalibrated) {
 			return Solution{}, fmt.Errorf("DLG: %w", ErrNoClockPrediction)
@@ -109,14 +123,11 @@ func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	if s.Base != nil {
 		base = s.Base.SelectBase(obs)
 	}
-	rows, d := buildDifferenced(obs, rhoE, base)
+	rows, d := buildDifferenced(sc, obs, rhoE, base)
 	// Covariance terms (eq. 4-26): diagonal ρⱼ² per remaining satellite
 	// plus the shared base term ρ_base².
 	k := len(rows)
-	if cap(s.diag) < k {
-		s.diag = make([]float64, k)
-	}
-	diag := s.diag[:0]
+	diag := sc.glsDiag(k)
 	for j := range obs {
 		if j == base {
 			continue
@@ -140,7 +151,7 @@ func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	case VariantExplicit:
 		x, err = solveGLSExplicit(rows, d, diag, shared)
 	default:
-		x, err = s.solveGLSPaper(rows, d, diag, shared)
+		x, err = solveGLSPaper(sc, rows, d, diag, shared)
 	}
 	if err != nil {
 		return Solution{}, fmt.Errorf("DLG GLS solve (%s): %w", s.Variant, ErrDegenerateGeometry)
@@ -155,18 +166,11 @@ func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
 
 // solveGLSPaper whitens the system with an in-place Cholesky factorization
 // of the dense covariance Ψ = diag + shared·𝟙𝟙ᵀ, then solves the 3×3
-// normal equations of the whitened system. Scratch buffers live in the
-// solver, so the hot path allocates nothing once warmed up.
-func (s *DLGSolver) solveGLSPaper(rows [][3]float64, d, diag []float64, shared float64) ([3]float64, error) {
+// normal equations of the whitened system. Scratch buffers come from sc,
+// so the hot path allocates nothing once warmed up.
+func solveGLSPaper(sc *Scratch, rows [][3]float64, d, diag []float64, shared float64) ([3]float64, error) {
 	k := len(rows)
-	if cap(s.psi) < k*k {
-		s.psi = make([]float64, k*k)
-		s.wl = make([]float64, k*3)
-		s.ul = make([]float64, k)
-	}
-	psi := s.psi[:k*k]
-	w := s.wl[:k*3]
-	u := s.ul[:k]
+	psi, w, u := sc.cholesky(k)
 	// Build Ψ.
 	for i := 0; i < k; i++ {
 		ri := psi[i*k : (i+1)*k]

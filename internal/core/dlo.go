@@ -19,6 +19,11 @@ type DLOSolver struct {
 	// Base selects the base satellite; nil means BaseFirst (the paper
 	// uses an arbitrary choice).
 	Base BaseSelector
+	// Scratch, when non-nil, supplies reusable workspace so steady-state
+	// solves allocate nothing. The solver is then not safe for concurrent
+	// use (the scratch owner's rule); nil keeps the allocate-per-call
+	// behavior, which is concurrency-safe.
+	Scratch *Scratch
 }
 
 var _ Solver = (*DLOSolver)(nil)
@@ -37,7 +42,7 @@ func (s *DLOSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	if err := checkMinObs("DLO", obs, 4); err != nil {
 		return Solution{}, err
 	}
-	rhoE, epsR, err := correctedRanges(s.Predictor, t, obs)
+	rhoE, epsR, err := correctedRanges(s.Scratch, s.Predictor, t, obs)
 	if err != nil {
 		if errors.Is(err, clock.ErrNotCalibrated) {
 			return Solution{}, fmt.Errorf("DLO: %w", ErrNoClockPrediction)
@@ -48,7 +53,7 @@ func (s *DLOSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	if s.Base != nil {
 		base = s.Base.SelectBase(obs)
 	}
-	rows, d := buildDifferenced(obs, rhoE, base)
+	rows, d := buildDifferenced(s.Scratch, obs, rhoE, base)
 	// Ordinary least squares via the 3×3 normal equations (eq. 4-12).
 	ata, atb := mat.NormalEq3(rows, d)
 	x, err := mat.Solve3(ata, atb)

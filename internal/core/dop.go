@@ -20,34 +20,50 @@ type DOP struct {
 	TDOP float64 // time
 }
 
-// ComputeDOP returns the DOP factors for a receiver at recv observing the
-// given satellite positions. At least 4 satellites are required.
-func ComputeDOP(recv geo.ECEF, sats []geo.ECEF) (DOP, error) {
-	if len(sats) < 4 {
-		return DOP{}, fmt.Errorf("DOP needs >= 4 satellites, have %d: %w", len(sats), ErrTooFewSatellites)
-	}
-	// Geometry matrix in the local ENU frame so HDOP/VDOP are meaningful.
+// enuFrame snapshots the local east/north/up rotation at a receiver
+// position, so per-satellite unit vectors can be projected without
+// recomputing trigonometry.
+type enuFrame struct {
+	sinLat, cosLat, sinLon, cosLon float64
+}
+
+func newENUFrame(recv geo.ECEF) enuFrame {
 	lla := recv.ToLLA()
-	sinLat, cosLat := math.Sincos(lla.Lat)
-	sinLon, cosLon := math.Sincos(lla.Lon)
-	g := mat.NewDense(len(sats), 4)
-	for i, s := range sats {
-		d := s.Sub(recv)
-		r := d.Norm()
-		if r == 0 {
-			return DOP{}, fmt.Errorf("satellite %d coincides with receiver: %w", i, ErrDegenerateGeometry)
-		}
-		ux, uy, uz := d.X/r, d.Y/r, d.Z/r
-		e := -sinLon*ux + cosLon*uy
-		n := -sinLat*cosLon*ux - sinLat*sinLon*uy + cosLat*uz
-		u := cosLat*cosLon*ux + cosLat*sinLon*uy + sinLat*uz
-		g.SetRow(i, []float64{e, n, u, 1})
+	var f enuFrame
+	f.sinLat, f.cosLat = math.Sincos(lla.Lat)
+	f.sinLon, f.cosLon = math.Sincos(lla.Lon)
+	return f
+}
+
+// row returns the ENU geometry row (e, n, u, 1) for one satellite, or
+// ok=false when the satellite coincides with the receiver.
+func (f enuFrame) row(recv, sat geo.ECEF) (row [4]float64, ok bool) {
+	d := sat.Sub(recv)
+	r := d.Norm()
+	if r == 0 {
+		return row, false
 	}
-	q, err := mat.Inverse(mat.MulATA(g))
+	ux, uy, uz := d.X/r, d.Y/r, d.Z/r
+	row[0] = -f.sinLon*ux + f.cosLon*uy
+	row[1] = -f.sinLat*f.cosLon*ux - f.sinLat*f.sinLon*uy + f.cosLat*uz
+	row[2] = f.cosLat*f.cosLon*ux + f.cosLat*f.sinLon*uy + f.sinLat*uz
+	row[3] = 1
+	return row, true
+}
+
+// dopFromNormal inverts the accumulated 4×4 ENU normal matrix and reads
+// the dilution factors off its diagonal.
+func dopFromNormal(ata [16]float64) (DOP, error) {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			ata[i*4+j] = ata[j*4+i]
+		}
+	}
+	q, err := mat.Inv4(ata)
 	if err != nil {
 		return DOP{}, fmt.Errorf("DOP covariance: %w", ErrDegenerateGeometry)
 	}
-	qe, qn, qu, qt := q.At(0, 0), q.At(1, 1), q.At(2, 2), q.At(3, 3)
+	qe, qn, qu, qt := q[0], q[5], q[10], q[15]
 	return DOP{
 		GDOP: math.Sqrt(qe + qn + qu + qt),
 		PDOP: math.Sqrt(qe + qn + qu),
@@ -55,6 +71,56 @@ func ComputeDOP(recv geo.ECEF, sats []geo.ECEF) (DOP, error) {
 		VDOP: math.Sqrt(qu),
 		TDOP: math.Sqrt(qt),
 	}, nil
+}
+
+// accumulateDOPRow folds one geometry row into the upper triangle of the
+// 4×4 normal matrix.
+func accumulateDOPRow(ata *[16]float64, row [4]float64) {
+	for i := 0; i < 4; i++ {
+		ri := row[i]
+		for j := i; j < 4; j++ {
+			ata[i*4+j] += ri * row[j]
+		}
+	}
+}
+
+// ComputeDOP returns the DOP factors for a receiver at recv observing the
+// given satellite positions. At least 4 satellites are required. The whole
+// computation runs in fixed-size storage (no heap allocation), so it sits
+// on the per-fix hot path for free.
+func ComputeDOP(recv geo.ECEF, sats []geo.ECEF) (DOP, error) {
+	if len(sats) < 4 {
+		return DOP{}, fmt.Errorf("DOP needs >= 4 satellites, have %d: %w", len(sats), ErrTooFewSatellites)
+	}
+	// Geometry matrix in the local ENU frame so HDOP/VDOP are meaningful.
+	f := newENUFrame(recv)
+	var ata [16]float64
+	for i, s := range sats {
+		row, ok := f.row(recv, s)
+		if !ok {
+			return DOP{}, fmt.Errorf("satellite %d coincides with receiver: %w", i, ErrDegenerateGeometry)
+		}
+		accumulateDOPRow(&ata, row)
+	}
+	return dopFromNormal(ata)
+}
+
+// DOPFromObs is ComputeDOP reading satellite positions straight out of an
+// observation slice, so hot paths need not build a []geo.ECEF first.
+func DOPFromObs(recv geo.ECEF, obs []Observation) (DOP, error) {
+	if len(obs) < 4 {
+		return DOP{}, fmt.Errorf("DOP needs >= 4 satellites, have %d: %w", len(obs), ErrTooFewSatellites)
+	}
+	f := newENUFrame(recv)
+	var ata [16]float64
+	for i := range obs {
+		row, ok := f.row(recv, obs[i].Pos)
+		if !ok {
+			return DOP{}, fmt.Errorf("satellite %d coincides with receiver: %w", i, ErrDegenerateGeometry)
+		}
+		accumulateDOPRow(&ata, row)
+	}
+	return dopFromNormal(ata)
 }
 
 // AccuracyEstimate is the formal (receiver-reported) 1σ accuracy of a

@@ -16,10 +16,16 @@ import (
 // cost decimeters.
 //
 // The returned rows/d exclude the base satellite, preserving input order.
-func buildDifferenced(obs []Observation, rhoE []float64, base int) (rows [][3]float64, d []float64) {
+// With a non-nil scratch the buffers are drawn from it (and remain owned
+// by it); with nil scratch they are freshly allocated.
+func buildDifferenced(sc *Scratch, obs []Observation, rhoE []float64, base int) (rows [][3]float64, d []float64) {
 	m := len(obs)
-	rows = make([][3]float64, 0, m-1)
-	d = make([]float64, 0, m-1)
+	if sc != nil {
+		rows, d = sc.differenced(m - 1)
+	} else {
+		rows = make([][3]float64, 0, m-1)
+		d = make([]float64, 0, m-1)
+	}
 	b := obs[base].Pos
 	rb := rhoE[base]
 	for j, o := range obs {
@@ -38,13 +44,19 @@ func buildDifferenced(obs []Observation, rhoE []float64, base int) (rows [][3]fl
 
 // correctedRanges applies the predicted receiver clock bias: ρᴱᵢ = ρᵉᵢ − ε̂ᴿ
 // (eq. 4-1, with ε̂ᴿ from eq. 4-4). It returns the corrected ranges and the
-// range-domain bias ε̂ᴿ that was subtracted.
-func correctedRanges(p clock.Predictor, t float64, obs []Observation) ([]float64, float64, error) {
+// range-domain bias ε̂ᴿ that was subtracted. A non-nil scratch supplies the
+// output buffer; nil allocates.
+func correctedRanges(sc *Scratch, p clock.Predictor, t float64, obs []Observation) ([]float64, float64, error) {
 	epsR, err := clock.PredictRange(p, t)
 	if err != nil {
 		return nil, 0, err
 	}
-	out := make([]float64, len(obs))
+	var out []float64
+	if sc != nil {
+		out = sc.ranges(len(obs))
+	} else {
+		out = make([]float64, len(obs))
+	}
 	for i, o := range obs {
 		out[i] = o.Pseudorange - epsR
 	}

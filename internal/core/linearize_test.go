@@ -19,7 +19,7 @@ func TestBuildDifferencedIdentity(t *testing.T) {
 		rho[i] = o.Pseudorange
 	}
 	for base := 0; base < len(obs); base++ {
-		rows, d := buildDifferenced(obs, rho, base)
+		rows, d := buildDifferenced(nil, obs, rho, base)
 		if len(rows) != len(obs)-1 || len(d) != len(obs)-1 {
 			t.Fatalf("base=%d: got %d rows, %d rhs", base, len(rows), len(d))
 		}
@@ -53,7 +53,7 @@ func TestPropBuildDifferencedStructure(t *testing.T) {
 			rho[i] = obs[i].Pseudorange
 		}
 		base := r.Intn(m)
-		rows, d := buildDifferenced(obs, rho, base)
+		rows, d := buildDifferenced(nil, obs, rho, base)
 		if len(rows) != m-1 || len(d) != m-1 {
 			return false
 		}
@@ -88,8 +88,8 @@ func TestCommonModeErrorDoesNotCancel(t *testing.T) {
 		clean[i] = o.Pseudorange
 		dirty[i] = o.Pseudorange + delta
 	}
-	_, dClean := buildDifferenced(obs, clean, 0)
-	_, dDirty := buildDifferenced(obs, dirty, 0)
+	_, dClean := buildDifferenced(nil, obs, clean, 0)
+	_, dDirty := buildDifferenced(nil, obs, dirty, 0)
 	for j := range dClean {
 		wantShift := -delta * (clean[j+1] - clean[0]) // ½·[−2δ(ρⱼ−ρ_b)] − ½δ²·0
 		got := dDirty[j] - dClean[j]

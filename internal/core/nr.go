@@ -31,6 +31,11 @@ type NRSolver struct {
 	// ElevationWeight) because low satellites carry more atmospheric and
 	// multipath error. Nil keeps the paper's unweighted OLS.
 	Weight func(Observation) float64
+	// Scratch, when non-nil, supplies reusable workspace so steady-state
+	// solves allocate nothing; the solver is then not safe for concurrent
+	// use. Nil keeps the allocate-per-call behavior, which leaves the
+	// zero-value solver safe to share.
+	Scratch *Scratch
 }
 
 // ElevationWeight is the standard sin²(elev) weighting with a floor at
@@ -69,13 +74,23 @@ func (s *NRSolver) Solve(_ float64, obs []Observation) (Solution, error) {
 		eps = s.InitialGuess.ClockBias
 	}
 	m := len(obs)
-	rows := make([][4]float64, m)
-	rhs := make([]float64, m)
+	var rows [][4]float64
+	var rhs []float64
+	if s.Scratch != nil {
+		rows, rhs = s.Scratch.nr(m)
+	} else {
+		rows = make([][4]float64, m)
+		rhs = make([]float64, m)
+	}
 	// Precompute sqrt-weights once: scaling each equation by √wᵢ makes
 	// the normal equations those of the weighted problem.
 	var sqw []float64
 	if s.Weight != nil {
-		sqw = make([]float64, m)
+		if s.Scratch != nil {
+			sqw = s.Scratch.weights(m)
+		} else {
+			sqw = make([]float64, m)
+		}
 		for i, o := range obs {
 			w := s.Weight(o)
 			if w <= 0 || math.IsNaN(w) {

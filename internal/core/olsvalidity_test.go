@@ -74,7 +74,7 @@ func TestOLSConditionViolatedAfterDifferencing(t *testing.T) {
 	for i, o := range clean {
 		rhoTrue[i] = recv.DistanceTo(o.Pos)
 	}
-	_, dClean := buildDifferenced(clean, rhoTrue, 0)
+	_, dClean := buildDifferenced(nil, clean, rhoTrue, 0)
 	const (
 		trials = 8000
 		sigma  = 4.0
@@ -88,7 +88,7 @@ func TestOLSConditionViolatedAfterDifferencing(t *testing.T) {
 		for i := range rho {
 			rho[i] = rhoTrue[i] + sigma*rng.NormFloat64()
 		}
-		_, d := buildDifferenced(clean, rho, 0)
+		_, d := buildDifferenced(nil, clean, rho, 0)
 		db0 := d[0] - dClean[0]
 		db1 := d[1] - dClean[1]
 		means[0] += db0

@@ -43,7 +43,7 @@ func (s *TriSatSolver) Solve(t float64, obs []Observation) (Solution, error) {
 	if err := checkMinObs("TriSat", obs, 3); err != nil {
 		return Solution{}, err
 	}
-	rho, epsR, err := correctedRanges(s.Predictor, t, obs)
+	rho, epsR, err := correctedRanges(nil, s.Predictor, t, obs)
 	if err != nil {
 		if errors.Is(err, clock.ErrNotCalibrated) {
 			return Solution{}, fmt.Errorf("TriSat: %w", ErrNoClockPrediction)

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkEngineSteadyState measures the per-fix cost of one session's
+// hot path over pregenerated epochs. The acceptance bar is 0 allocs/op.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	for _, solver := range []string{"nr", "dlo", "dlg", "bancroft"} {
+		b.Run(solver, func(b *testing.B) {
+			eng, err := New(Config{Receivers: 1, Workers: 1, Solver: solver, Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const warm = 300
+			pre := warm + b.N
+			if err := eng.Pregenerate(pre); err != nil {
+				b.Fatal(err)
+			}
+			s := eng.sessions[0]
+			for i := 0; i < warm; i++ {
+				s.step(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.step(warm + i)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures end-to-end fixes/sec as the worker
+// count grows, with receivers fixed. On a multi-core runner throughput
+// should scale near-linearly until workers approach GOMAXPROCS.
+func BenchmarkEngineThroughput(b *testing.B) {
+	maxw := runtime.GOMAXPROCS(0)
+	const receivers = 8
+	const preEpochs = 512
+	for workers := 1; workers <= maxw; workers *= 2 {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := New(Config{Receivers: receivers, Workers: workers, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Pregenerate(preEpochs); err != nil {
+				b.Fatal(err)
+			}
+			// Warm every session so the steady state is measured.
+			for _, s := range eng.sessions {
+				for i := 0; i < 300; i++ {
+					s.step(i)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			fixes := 0
+			for i := 0; i < b.N; i++ {
+				// Re-run the same pregenerated window; predictors stay
+				// calibrated, so every epoch is a full hot-path fix.
+				if err := eng.Run(context.Background(), preEpochs); err != nil {
+					b.Fatal(err)
+				}
+				fixes += preEpochs * receivers
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(fixes)/b.Elapsed().Seconds(), "fixes/sec")
+		})
+	}
+}

@@ -1,0 +1,329 @@
+// Package engine runs many independent GPS receiver sessions — each with
+// its own station, trajectory, clock predictor and solver — over a sharded
+// worker pool. It is the multi-receiver serving core behind cmd/gpsserve's
+// -receivers mode and cmd/gpsbench's engine mode.
+//
+// Sharding model: receiver r is owned by shard r mod Workers for the
+// engine's whole lifetime. A shard is one goroutine that steps its
+// receivers through epochs strictly in order, so all per-receiver state
+// (clock predictor, solver scratch) is single-threaded and the engine
+// never locks on the fix path.
+//
+// Scratch ownership: each session owns one core.Scratch shared by its
+// warm-start NR solver and its main solver (they run sequentially within
+// a step). Combined with the reusable observation and NMEA buffers, the
+// steady-state per-fix hot path — generate-free step over pregenerated
+// epochs: linearize, solve, DOP, NMEA — performs zero heap allocations.
+//
+// Determinism guarantee: every epoch is a pure function of (Seed+receiver,
+// station, index·Step), each receiver's epochs are processed in index
+// order by exactly one shard, and batches only group consecutive indices
+// for scheduling. Per-receiver output sequences are therefore identical
+// for any Workers and BatchSize; only interleaving across receivers
+// varies.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/scenario"
+	"gpsdl/internal/telemetry"
+)
+
+// FixEvent is the engine's per-epoch output. GGA and RMC point into a
+// session-owned buffer and are valid only for the duration of the sink
+// callback; copy them to retain. Err is set (and the solution fields
+// zero) when the epoch failed to solve.
+type FixEvent struct {
+	Receiver int
+	Shard    int
+	Epoch    int
+	T        float64
+	Sol      core.Solution
+	HDOP     float64
+	Sats     int
+	Err      error
+	GGA, RMC []byte
+}
+
+// FixSink receives every FixEvent. Shards call it concurrently, so it
+// must be safe for concurrent use. A nil sink discards events.
+type FixSink func(FixEvent)
+
+// Config sizes and wires an Engine.
+type Config struct {
+	// Receivers is the number of independent receiver sessions (≥ 1).
+	Receivers int
+	// Workers is the shard count; ≤ 0 means GOMAXPROCS. It is clamped
+	// to Receivers (a shard with no receivers would be useless).
+	Workers int
+	// Solver selects the per-receiver solver: "nr", "dlo", "dlg" or
+	// "bancroft". Empty means "dlg" (the paper's headline algorithm).
+	Solver string
+	// Seed is the base scenario seed; receiver r uses Seed+r, so every
+	// receiver sees distinct but reproducible measurements.
+	Seed int64
+	// Step is the epoch spacing in seconds; ≤ 0 means 1.
+	Step float64
+	// BatchSize is the number of consecutive epochs per scheduled job;
+	// ≤ 0 means 32. It affects scheduling only, never results.
+	BatchSize int
+	// QueueDepth is each shard's job-channel capacity; ≤ 0 means 4.
+	QueueDepth int
+	// Stations supplies the receiver templates, assigned round-robin;
+	// nil means scenario.Table51Stations().
+	Stations []scenario.Station
+	// Registry receives the engine's per-shard metrics; nil means a
+	// private registry (Stats still works).
+	Registry *telemetry.Registry
+	// Sink receives every fix event; nil discards.
+	Sink FixSink
+	// SessionOptions, when non-nil, returns extra generator options for
+	// receiver r (e.g. a trajectory). Must be deterministic in r.
+	SessionOptions func(r int) []scenario.Option
+}
+
+// job is a half-open range of epoch indices [e0, e1) for one shard.
+type job struct {
+	e0, e1 int
+}
+
+// shard owns a disjoint subset of the sessions and a job queue.
+type shard struct {
+	id       int
+	sessions []*session
+	jobs     chan job
+	m        *shardMetrics
+}
+
+// Engine is a sharded multi-receiver fix engine. Create with New; run
+// with Run or RunPaced. Runs must not overlap, but a returned engine can
+// be run again (receiver state — predictors, scratch — carries over).
+type Engine struct {
+	cfg      Config
+	shards   []*shard
+	sessions []*session // all sessions, indexed by receiver
+}
+
+// New builds the engine: sessions, shards, queues and metrics. It
+// validates the configuration and resolves defaults as documented on
+// Config.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Receivers < 1 {
+		return nil, fmt.Errorf("engine: Receivers must be >= 1, have %d", cfg.Receivers)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Receivers {
+		cfg.Workers = cfg.Receivers
+	}
+	if cfg.Solver == "" {
+		cfg.Solver = "dlg"
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4
+	}
+	if cfg.Stations == nil {
+		cfg.Stations = scenario.Table51Stations()
+	}
+	if len(cfg.Stations) == 0 {
+		return nil, fmt.Errorf("engine: empty station list")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	e := &Engine{cfg: cfg}
+	e.shards = make([]*shard, cfg.Workers)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			id: i,
+			m:  newShardMetrics(cfg.Registry, strconv.Itoa(i)),
+		}
+	}
+	e.sessions = make([]*session, cfg.Receivers)
+	for r := 0; r < cfg.Receivers; r++ {
+		sh := e.shards[r%cfg.Workers]
+		s, err := newSession(cfg, r, sh.id, sh.m)
+		if err != nil {
+			return nil, err
+		}
+		e.sessions[r] = s
+		sh.sessions = append(sh.sessions, s)
+	}
+	return e, nil
+}
+
+// Pregenerate computes and caches epochs [0, n) for every session, so a
+// subsequent run measures only the fix path (solve, DOP, NMEA), not
+// scenario generation. Benchmarks use it; serving does not need it.
+func (e *Engine) Pregenerate(n int) error {
+	for _, s := range e.sessions {
+		if err := s.pregenerate(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run processes epochs [0, epochs) on every receiver, returning when all
+// work is done or ctx is canceled (then ctx.Err() is returned). Batches
+// already queued when cancellation hits are drained and counted aborted,
+// so the conservation law enqueued == done + aborted holds on return.
+func (e *Engine) Run(ctx context.Context, epochs int) error {
+	wg := e.start(ctx)
+enqueue:
+	for start := 0; start < epochs; start += e.cfg.BatchSize {
+		end := start + e.cfg.BatchSize
+		if end > epochs {
+			end = epochs
+		}
+		for _, sh := range e.shards {
+			select {
+			case sh.jobs <- job{e0: start, e1: end}:
+				sh.m.enqueued.Inc()
+			case <-ctx.Done():
+				break enqueue
+			}
+		}
+	}
+	for _, sh := range e.shards {
+		close(sh.jobs)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// RunPaced processes one epoch per tick on every receiver — the serving
+// mode, where epochs arrive in real time. A shard that is still busy when
+// its next tick lands skips that epoch (counted in skipped_ticks) rather
+// than falling behind. Returns when ticks closes or ctx is canceled.
+func (e *Engine) RunPaced(ctx context.Context, ticks <-chan time.Time) error {
+	wg := e.start(ctx)
+	i := 0
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case _, ok := <-ticks:
+			if !ok {
+				break loop
+			}
+			for _, sh := range e.shards {
+				select {
+				case sh.jobs <- job{e0: i, e1: i + 1}:
+					sh.m.enqueued.Inc()
+				default:
+					sh.m.skippedTicks.Inc()
+				}
+			}
+			i++
+		}
+	}
+	for _, sh := range e.shards {
+		close(sh.jobs)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// start gives every shard a fresh job queue and launches its goroutine,
+// returning the WaitGroup the dispatcher waits on after closing the
+// queues. Fresh channels per run are what make the engine re-runnable.
+func (e *Engine) start(ctx context.Context) *sync.WaitGroup {
+	wg := &sync.WaitGroup{}
+	for _, sh := range e.shards {
+		sh.jobs = make(chan job, e.cfg.QueueDepth)
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.run(ctx)
+		}(sh)
+	}
+	return wg
+}
+
+// run drains the shard's queue. After cancellation the remaining jobs are
+// received and counted aborted so the dispatcher's close never strands a
+// queued batch.
+func (sh *shard) run(ctx context.Context) {
+	for jb := range sh.jobs {
+		sh.m.queueDepth.Set(float64(len(sh.jobs)))
+		aborted := false
+		for i := jb.e0; i < jb.e1; i++ {
+			if ctx.Err() != nil {
+				aborted = true
+				break
+			}
+			for _, s := range sh.sessions {
+				s.step(i)
+			}
+		}
+		if aborted {
+			sh.m.aborted.Inc()
+		} else {
+			sh.m.done.Inc()
+		}
+	}
+	sh.m.queueDepth.Set(0)
+}
+
+// Stats is an engine-wide snapshot summed over shards.
+type Stats struct {
+	Fixes, SolveFailures, EpochErrors            uint64
+	BatchesEnqueued, BatchesDone, BatchesAborted uint64
+	SkippedTicks                                 uint64
+}
+
+// Stats sums the per-shard counters. Safe to call at any time; exact once
+// a run has returned.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	for _, sh := range e.shards {
+		st.Fixes += sh.m.fixes.Value()
+		st.SolveFailures += sh.m.solveFailures.Value()
+		st.EpochErrors += sh.m.epochErrors.Value()
+		st.BatchesEnqueued += sh.m.enqueued.Value()
+		st.BatchesDone += sh.m.done.Value()
+		st.BatchesAborted += sh.m.aborted.Value()
+		st.SkippedTicks += sh.m.skippedTicks.Value()
+	}
+	return st
+}
+
+// Workers reports the resolved shard count.
+func (e *Engine) Workers() int { return len(e.shards) }
+
+// newSolver builds the per-session solver wired to the session's scratch.
+func newSolver(name string, pred clock.Predictor, sc *core.Scratch) (core.Solver, error) {
+	switch name {
+	case "nr":
+		return &core.NRSolver{Scratch: sc}, nil
+	case "dlo":
+		s := core.NewDLOSolver(pred)
+		s.Scratch = sc
+		return s, nil
+	case "dlg":
+		s := core.NewDLGSolver(pred)
+		s.Scratch = sc
+		return s, nil
+	case "bancroft":
+		return core.BancroftSolver{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown solver %q (want nr, dlo, dlg or bancroft)", name)
+	}
+}

@@ -1,0 +1,43 @@
+package engine
+
+import "gpsdl/internal/telemetry"
+
+// shardMetrics is one shard's instrument set, all labeled shard="N".
+// Counters are engine-lifetime totals; the queue-depth gauge samples the
+// job channel each time a batch is picked up.
+type shardMetrics struct {
+	fixes         *telemetry.Counter
+	solveFailures *telemetry.Counter
+	epochErrors   *telemetry.Counter
+	solveSeconds  *telemetry.Histogram
+	queueDepth    *telemetry.Gauge
+	enqueued      *telemetry.Counter
+	done          *telemetry.Counter
+	aborted       *telemetry.Counter
+	skippedTicks  *telemetry.Counter
+}
+
+func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
+	l := telemetry.Label{Key: "shard", Value: shard}
+	return &shardMetrics{
+		fixes: reg.Counter("engine_fixes_total",
+			"Successful fixes produced", l),
+		solveFailures: reg.Counter("engine_solve_failures_total",
+			"Epochs where the main solver returned an error", l),
+		epochErrors: reg.Counter("engine_epoch_errors_total",
+			"Epochs that failed before solving (generation errors)", l),
+		solveSeconds: reg.Histogram("engine_solve_seconds",
+			"Main-solver latency per fix",
+			telemetry.ExponentialBuckets(1e-6, 2, 16), l),
+		queueDepth: reg.Gauge("engine_queue_depth",
+			"Jobs waiting in the shard queue, sampled at batch pickup", l),
+		enqueued: reg.Counter("engine_batches_enqueued_total",
+			"Batches handed to the shard queue", l),
+		done: reg.Counter("engine_batches_done_total",
+			"Batches fully processed", l),
+		aborted: reg.Counter("engine_batches_aborted_total",
+			"Batches cut short or drained after cancellation", l),
+		skippedTicks: reg.Counter("engine_skipped_ticks_total",
+			"Paced-mode ticks dropped because the shard queue was full", l),
+	}
+}

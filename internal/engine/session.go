@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/core"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/nmea"
+	"gpsdl/internal/scenario"
+)
+
+// session is one receiver's complete state: scenario generator, clock
+// predictor, solvers, and the reusable buffers that keep the steady-state
+// step allocation-free. A session is owned by exactly one shard and never
+// touched concurrently.
+type session struct {
+	recv  int
+	shard int
+	step_ float64 // epoch spacing (cfg.Step); step is the method
+
+	gen    *scenario.Generator
+	pred   clock.Predictor
+	warm   *core.NRSolver // feeds the predictor, gpsserve-style
+	solver core.Solver
+	sink   FixSink
+	m      *shardMetrics
+
+	obs []core.Observation // reused epoch conversion buffer
+	buf []byte             // reused NMEA sentence buffer
+	pre []scenario.Epoch   // optional pregenerated epochs
+}
+
+// newSession builds receiver r's session. Station templates are assigned
+// round-robin and each receiver draws from its own seed stream Seed+r.
+func newSession(cfg Config, r, shardID int, m *shardMetrics) (*session, error) {
+	st := cfg.Stations[r%len(cfg.Stations)]
+	gcfg := scenario.DefaultConfig(cfg.Seed + int64(r))
+	gcfg.Step = cfg.Step
+	gcfg.CodeOnly = true // the fix path needs pseudoranges only
+	var opts []scenario.Option
+	if cfg.SessionOptions != nil {
+		opts = cfg.SessionOptions(r)
+	}
+	s := &session{
+		recv:  r,
+		shard: shardID,
+		step_: cfg.Step,
+		gen:   scenario.NewGenerator(st, gcfg, opts...),
+		pred:  eval.DefaultPredictor(st.Clock),
+		sink:  cfg.Sink,
+		m:     m,
+	}
+	sc := &core.Scratch{}
+	s.warm = &core.NRSolver{Scratch: sc}
+	solver, err := newSolver(cfg.Solver, s.pred, sc)
+	if err != nil {
+		return nil, err
+	}
+	s.solver = solver
+	return s, nil
+}
+
+// pregenerate caches epochs [0, n) so step skips scenario generation.
+func (s *session) pregenerate(n int) error {
+	pre := make([]scenario.Epoch, n)
+	for i := 0; i < n; i++ {
+		e, err := s.gen.EpochAt(float64(i) * s.step_)
+		if err != nil {
+			return fmt.Errorf("engine: receiver %d epoch %d: %w", s.recv, i, err)
+		}
+		pre[i] = e
+	}
+	s.pre = pre
+	return nil
+}
+
+// step runs one epoch end to end: obtain observations, warm-start NR to
+// feed the clock predictor, main solve, DOP, NMEA, sink. With
+// pregenerated epochs the whole body is allocation-free in steady state.
+func (s *session) step(i int) {
+	var ep scenario.Epoch
+	if s.pre != nil {
+		if i >= len(s.pre) {
+			s.m.epochErrors.Inc()
+			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, Err: errPastPregenerated})
+			return
+		}
+		ep = s.pre[i]
+	} else {
+		var err error
+		ep, err = s.gen.EpochAt(float64(i) * s.step_)
+		if err != nil {
+			s.m.epochErrors.Inc()
+			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, Err: err})
+			return
+		}
+	}
+	obs := s.obs[:0]
+	for j := range ep.Obs {
+		o := &ep.Obs[j]
+		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+	}
+	s.obs = obs
+	// Feed the predictor from a warm NR solve (Section 4.2's "use the
+	// clock bias calculated by the NR method"), exactly as gpsserve does.
+	if nrSol, err := s.warm.Solve(ep.T, obs); err == nil {
+		s.pred.Observe(clock.Fix{T: ep.T, Bias: nrSol.ClockBias / geo.SpeedOfLight})
+	}
+	start := time.Now()
+	sol, err := s.solver.Solve(ep.T, obs)
+	s.m.solveSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.m.solveFailures.Inc()
+		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, T: ep.T, Sats: len(obs), Err: err})
+		return
+	}
+	hdop := 0.0
+	if dop, derr := core.DOPFromObs(sol.Pos, obs); derr == nil {
+		hdop = dop.HDOP
+	}
+	fix := nmea.Fix{
+		TimeOfDay: ep.T,
+		Pos:       sol.Pos.ToLLA(),
+		Quality:   nmea.QualityGPS,
+		NumSats:   len(obs),
+		HDOP:      hdop,
+	}
+	buf := nmea.AppendGGA(s.buf[:0], fix)
+	ggaLen := len(buf)
+	buf = nmea.AppendRMC(buf, fix)
+	s.buf = buf
+	s.m.fixes.Inc()
+	s.emit(FixEvent{
+		Receiver: s.recv, Shard: s.shard, Epoch: i, T: ep.T,
+		Sol: sol, HDOP: hdop, Sats: len(obs),
+		GGA: buf[:ggaLen], RMC: buf[ggaLen:],
+	})
+}
+
+func (s *session) emit(e FixEvent) {
+	if s.sink != nil {
+		s.sink(e)
+	}
+}
+
+var errPastPregenerated = fmt.Errorf("engine: epoch index past pregenerated range")

@@ -21,6 +21,10 @@ import (
 // positive.
 var ErrBadWeights = errors.New("lsq: weights must be strictly positive")
 
+// ErrDimensionMismatch is returned when the right-hand side or weight
+// vector does not match the design matrix's row count.
+var ErrDimensionMismatch = errors.New("lsq: dimension mismatch")
+
 // OLS returns the ordinary least-squares solution x = (AᵀA)⁻¹Aᵀb via the
 // normal equations solved with Cholesky. This matches how the paper's
 // algorithms are specified (eq. 4-12) and is the fastest route for the
@@ -54,7 +58,8 @@ func OLSQR(a *mat.Dense, b []float64) ([]float64, error) {
 func WLS(a *mat.Dense, b []float64, w []float64) ([]float64, error) {
 	rows, cols := a.Dims()
 	if len(w) != rows || len(b) != rows {
-		panic(fmt.Sprintf("lsq: WLS dims %dx%d with b(%d), w(%d)", rows, cols, len(b), len(w)))
+		return nil, fmt.Errorf("lsq: WLS with %d×%d design, b(%d), w(%d): %w",
+			rows, cols, len(b), len(w), ErrDimensionMismatch)
 	}
 	// Form AᵀWA and AᵀWb directly.
 	ata := mat.NewDense(cols, cols)

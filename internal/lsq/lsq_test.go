@@ -153,3 +153,27 @@ func TestResidualsAndRSS(t *testing.T) {
 		t.Errorf("RSS = %v, want 2", got)
 	}
 }
+
+func TestWLSRejectsDimensionMismatch(t *testing.T) {
+	a := mat.NewDenseData(3, 1, []float64{1, 1, 1})
+	tests := []struct {
+		name string
+		b, w []float64
+	}{
+		{"short b", []float64{1, 2}, []float64{1, 1, 1}},
+		{"long b", []float64{1, 2, 3, 4}, []float64{1, 1, 1}},
+		{"short w", []float64{1, 2, 3}, []float64{1, 1}},
+		{"long w", []float64{1, 2, 3}, []float64{1, 1, 1, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x, err := WLS(a, tt.b, tt.w)
+			if !errors.Is(err, ErrDimensionMismatch) {
+				t.Errorf("error = %v, want ErrDimensionMismatch", err)
+			}
+			if x != nil {
+				t.Errorf("x = %v on error, want nil", x)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package nmea
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpsdl/internal/geo"
+)
+
+// trickyFixes covers the formatting edge cases where a hand-rolled
+// encoder could drift from fmt: zero fields, hemisphere signs, rounding
+// at field boundaries, padding widths, negative altitude, day wrap, and
+// non-finite values.
+func trickyFixes() []Fix {
+	return []Fix{
+		{},
+		sampleFix(),
+		{TimeOfDay: 86399.999, Pos: lla(89.99999, 179.99999, -12.34), Quality: QualityDGPS, NumSats: 12, HDOP: 9.96},
+		{TimeOfDay: -3600, Pos: lla(-0.00001, -0.00001, 0.04), NumSats: 4, HDOP: 99.95},
+		{TimeOfDay: 86400 + 3661.005, Pos: lla(-89.5, -179.5, 8848.86), Quality: QualityGPS, NumSats: 10, HDOP: 1.05},
+		{TimeOfDay: 59.995, Pos: lla(0.5, 0.5, 0), NumSats: 9, SpeedKnots: 0.05, CourseDeg: 359.95},
+		{TimeOfDay: 3599.999, Pos: lla(45.999999, 9.999999, 0.049), Quality: QualityGPS, NumSats: 100, HDOP: 0.549},
+		{TimeOfDay: 43200, Pos: lla(0, 0, math.Inf(1)), HDOP: math.NaN()},
+		{TimeOfDay: 1.25, Pos: lla(1.0/3, -1.0/3, -0.05), NumSats: 7, SpeedKnots: 123.456, CourseDeg: 0.04},
+	}
+}
+
+func lla(latDeg, lonDeg, alt float64) geo.LLA {
+	return geo.LLA{Lat: latDeg * math.Pi / 180, Lon: lonDeg * math.Pi / 180, Alt: alt}
+}
+
+func TestAppendMatchesSprintf(t *testing.T) {
+	fixes := trickyFixes()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		fixes = append(fixes, Fix{
+			TimeOfDay:  r.Float64()*2*86400 - 86400,
+			Pos:        lla(r.Float64()*180-90, r.Float64()*360-180, r.Float64()*20000-1000),
+			Quality:    FixQuality(r.Intn(3)),
+			NumSats:    r.Intn(32),
+			HDOP:       r.Float64() * 50,
+			SpeedKnots: r.Float64() * 200,
+			CourseDeg:  r.Float64() * 360,
+		})
+	}
+	var buf []byte
+	for i, f := range fixes {
+		buf = AppendGGA(buf[:0], f)
+		if got, want := string(buf), GGA(f); got != want {
+			t.Errorf("fix %d GGA:\n  append  %s\n  sprintf %s", i, got, want)
+		}
+		buf = AppendRMC(buf[:0], f)
+		if got, want := string(buf), RMC(f); got != want {
+			t.Errorf("fix %d RMC:\n  append  %s\n  sprintf %s", i, got, want)
+		}
+	}
+}
+
+func TestAppendZeroAlloc(t *testing.T) {
+	f := sampleFix()
+	buf := make([]byte, 0, 128)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = AppendGGA(buf[:0], f)
+		buf = AppendRMC(buf[:0], f)
+	}); n != 0 {
+		t.Errorf("Append encoders allocate %v times per sentence pair, want 0", n)
+	}
+}
+
+func BenchmarkAppendGGA(b *testing.B) {
+	f := sampleFix()
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendGGA(buf[:0], f)
+	}
+	_ = buf
+}

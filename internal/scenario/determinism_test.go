@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestTimebaseDeterminism is the property behind the engine's determinism
+// guarantee: serial and parallel generation must agree epoch-for-epoch,
+// bit-for-bit, for steps that are not exactly representable in binary.
+// Before the index-based timebase, GenerateRange accumulated t += Step and
+// drifted one ULP per epoch away from the parallel path's t0 + i·Step.
+func TestTimebaseDeterminism(t *testing.T) {
+	st, err := StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []float64{0.1, 1.0 / 3, 86400.0 / 7}
+	for _, step := range steps {
+		cfg := DefaultConfig(21)
+		cfg.Step = step
+		g := NewGenerator(st, cfg)
+		t1 := 200 * step // ~200 epochs: enough for accumulation drift to bite
+		serial, err := g.GenerateRange(0, t1)
+		if err != nil {
+			t.Fatalf("step=%v serial: %v", step, err)
+		}
+		for _, workers := range []int{1, 3, 0} {
+			par, err := g.GenerateRangeParallel(0, t1, workers)
+			if err != nil {
+				t.Fatalf("step=%v workers=%d: %v", step, workers, err)
+			}
+			if len(par.Epochs) != len(serial.Epochs) {
+				t.Fatalf("step=%v workers=%d: %d epochs, want %d",
+					step, workers, len(par.Epochs), len(serial.Epochs))
+			}
+			for i := range serial.Epochs {
+				se, pe := serial.Epochs[i], par.Epochs[i]
+				if se.T != pe.T {
+					t.Fatalf("step=%v workers=%d epoch %d: T %v != %v (Δ %g)",
+						step, workers, i, pe.T, se.T, pe.T-se.T)
+				}
+				if len(se.Obs) != len(pe.Obs) {
+					t.Fatalf("step=%v workers=%d epoch %d: %d obs, want %d",
+						step, workers, i, len(pe.Obs), len(se.Obs))
+				}
+				for j := range se.Obs {
+					if se.Obs[j] != pe.Obs[j] {
+						t.Fatalf("step=%v workers=%d epoch %d obs %d differ:\n  par    %+v\n  serial %+v",
+							step, workers, i, j, pe.Obs[j], se.Obs[j])
+					}
+				}
+			}
+		}
+		// The canonical timebase is the index-based one.
+		for i, e := range serial.Epochs {
+			if want := EpochTime(0, i, step); e.T != want {
+				t.Fatalf("step=%v epoch %d: T=%v, want index-based %v", step, i, e.T, want)
+			}
+		}
+	}
+}
+
+// TestEpochCount pins the counting scheme both generation paths share.
+func TestEpochCount(t *testing.T) {
+	cases := []struct {
+		t0, t1, step float64
+		want         int
+	}{
+		{0, 10, 1, 10},
+		{0, 10.5, 1, 11},
+		{5, 5, 1, 0},
+		{10, 5, 1, 0},
+		{0, 1, 0, 0},  // zero step must not loop forever
+		{0, 1, -1, 0}, // nor a negative one
+		{0, 1, 0.1, 10},
+	}
+	for _, c := range cases {
+		if got := EpochCount(c.t0, c.t1, c.step); got != c.want {
+			t.Errorf("EpochCount(%v, %v, %v) = %d, want %d", c.t0, c.t1, c.step, got, c.want)
+		}
+	}
+	// EpochCount must agree with direct enumeration for awkward steps.
+	for _, step := range []float64{0.1, 1.0 / 3, 86400.0 / 7} {
+		t1 := 50 * step
+		n := EpochCount(0, t1, step)
+		if n == 0 {
+			t.Fatalf("step=%v: zero epochs", step)
+		}
+		if EpochTime(0, n-1, step) >= t1 || EpochTime(0, n, step) < t1 {
+			t.Errorf("step=%v: count %d does not bracket t1=%v", step, n, t1)
+		}
+	}
+}

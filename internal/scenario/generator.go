@@ -378,19 +378,41 @@ func (g *Generator) satelliteErrorParts(prn int, t, elev float64) (eps, iono, tr
 	return eps, iono, tropo, rng
 }
 
-// GenerateRange produces epochs for t in [t0, t1) at the configured step.
-func (g *Generator) GenerateRange(t0, t1 float64) (*Dataset, error) {
-	n := int((t1 - t0) / g.cfg.Step)
-	if n < 0 {
-		n = 0
+// EpochTime is the canonical timebase: epoch i of a run starting at t0
+// lies at t0 + i·step. Computing every timestamp directly from the index
+// (rather than accumulating t += step) keeps serial and parallel
+// generation bit-identical even for steps that are not exactly
+// representable in binary (1/3, 86400/7, 0.1, …), where accumulation
+// drifts by one ULP per epoch.
+func EpochTime(t0 float64, i int, step float64) float64 {
+	return t0 + float64(i)*step
+}
+
+// EpochCount returns how many epochs [t0, t1) holds at the given step:
+// the number of indices i ≥ 0 with EpochTime(t0, i, step) < t1. A step
+// ≤ 0 yields 0 (rather than an infinite loop).
+func EpochCount(t0, t1, step float64) int {
+	if step <= 0 {
+		return 0
 	}
+	n := 0
+	for EpochTime(t0, n, step) < t1 {
+		n++
+	}
+	return n
+}
+
+// GenerateRange produces epochs for t in [t0, t1) at the configured step,
+// on the canonical index-based timebase (see EpochTime).
+func (g *Generator) GenerateRange(t0, t1 float64) (*Dataset, error) {
+	n := EpochCount(t0, t1, g.cfg.Step)
 	ds := &Dataset{
 		Station: g.station,
 		Config:  g.cfg,
 		Epochs:  make([]Epoch, 0, n),
 	}
-	for t := t0; t < t1; t += g.cfg.Step {
-		e, err := g.EpochAt(t)
+	for i := 0; i < n; i++ {
+		e, err := g.EpochAt(EpochTime(t0, i, g.cfg.Step))
 		if err != nil {
 			return nil, err
 		}

@@ -15,10 +15,7 @@ func (g *Generator) GenerateRangeParallel(t0, t1 float64, workers int) (*Dataset
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := 0
-	for t := t0; t < t1; t += g.cfg.Step {
-		n++
-	}
+	n := EpochCount(t0, t1, g.cfg.Step)
 	ds := &Dataset{
 		Station: g.station,
 		Config:  g.cfg,
@@ -50,7 +47,7 @@ func (g *Generator) GenerateRangeParallel(t0, t1 float64, workers int) (*Dataset
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				t := t0 + float64(i)*g.cfg.Step
+				t := EpochTime(t0, i, g.cfg.Step)
 				e, err := g.EpochAt(t)
 				if err != nil {
 					errOnce.Do(func() {
