@@ -2,10 +2,12 @@
 # tools beyond the Go toolchain are required.
 
 GO ?= go
+# Per-target budget for the fuzz smoke pass (Go -fuzztime syntax).
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json determinism figures ablations cover metrics-smoke trace-smoke clean
+.PHONY: all build vet test race bench bench-json bench-faults determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke clean
 
-all: build vet test determinism race metrics-smoke trace-smoke bench-json
+all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -27,10 +29,31 @@ bench:
 bench-json:
 	$(GO) run ./cmd/gpsbench -engine -engine-receivers 1,2,4,8 -engine-json BENCH_engine.json
 
+# Degradation curve under the composite fault program: accuracy rate η
+# and availability vs fault intensity, written to BENCH_faults.json.
+bench-faults:
+	$(GO) run ./cmd/gpsbench -faults
+
 # Timebase determinism property: serial and parallel generation agree
 # bit-for-bit for awkward step sizes (0.1, 1/3, 86400/7).
 determinism:
 	$(GO) test -run Determinism ./internal/scenario/...
+
+# Fault-injection determinism: the same (program, seed) pair mutates the
+# observation stream identically on every worker count, so degradation
+# runs stay byte-replayable.
+fault-determinism:
+	$(GO) test -run Determinism ./internal/fault/ ./internal/engine/
+
+# Short native-fuzzing pass over every parser facing external input
+# (RINEX obs/nav, YUMA almanacs, NMEA sentences). Each target gets
+# FUZZTIME; seed corpora and past crashers live under testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadObs -fuzztime=$(FUZZTIME) ./internal/rinex/
+	$(GO) test -fuzz=FuzzReadNav -fuzztime=$(FUZZTIME) ./internal/rinex/
+	$(GO) test -fuzz=FuzzReadYuma -fuzztime=$(FUZZTIME) ./internal/orbit/
+	$(GO) test -fuzz=FuzzValidate -fuzztime=$(FUZZTIME) ./internal/nmea/
+	$(GO) test -fuzz=FuzzParseGGA -fuzztime=$(FUZZTIME) ./internal/nmea/
 
 # Regenerate every table and figure of the paper at full 24 h × 1 Hz
 # scale (a few minutes), plus the ablations.
@@ -42,6 +65,11 @@ ablations:
 
 cover:
 	$(GO) test ./... -cover
+
+# Full coverage profile with a per-function breakdown.
+test-cover:
+	$(GO) test ./... -coverprofile=coverage.out
+	$(GO) tool cover -func=coverage.out | tail -n 20
 
 # End-to-end check of the gpsserve admin endpoint: boots the server with
 # -admin, scrapes /metrics and /healthz, and asserts the key metric

@@ -76,6 +76,12 @@ func run(args []string) error {
 		engineSolver    = fs.String("engine-solver", "dlg", "solver for -engine: nr, dlo, dlg or bancroft")
 		engineWorkers   = fs.Int("engine-workers", 0, "engine shard count for -engine (0 = GOMAXPROCS)")
 		engineJSON      = fs.String("engine-json", "", "write the -engine throughput series as JSON to this file")
+		faultsOn        = fs.Bool("faults", false, "run the fault-degradation sweep (availability and eta vs fault intensity)")
+		faultsSpec      = fs.String("faults-spec", defaultFaultSpec, "fault program for -faults (fault spec grammar)")
+		faultsReceivers = fs.Int("faults-receivers", 4, "receiver sessions for -faults (round-robin over the Table 5.1 stations)")
+		faultsEpochs    = fs.Int("faults-epochs", 600, "epochs per receiver for -faults")
+		faultsSeed      = fs.Int64("fault-seed", 1, "fault-injector seed for -faults")
+		faultsJSON      = fs.String("faults-json", "BENCH_faults.json", "write the -faults degradation series as JSON to this file (empty disables)")
 		metricsOut      = fs.String("metrics-out", "", "write a final Prometheus-format metrics snapshot to this file")
 		traceOut        = fs.String("trace-out", "", "write the figure sweeps' epoch traces as a Chrome trace_event file (open in Perfetto)")
 		traceN          = fs.Int("trace", 4096, "epoch traces retained for -trace-out")
@@ -106,7 +112,25 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *fig == "" && *ablation == "" && !*engineOn {
+	if *faultsOn {
+		if *faultsEpochs < 1 {
+			return fmt.Errorf("-faults-epochs must be positive, have %d", *faultsEpochs)
+		}
+		if *faultsReceivers < 1 {
+			return fmt.Errorf("-faults-receivers must be positive, have %d", *faultsReceivers)
+		}
+		if err := runFaultBench(faultBenchConfig{
+			spec:      *faultsSpec,
+			receivers: *faultsReceivers,
+			epochs:    *faultsEpochs,
+			seed:      *seed,
+			faultSeed: *faultsSeed,
+			jsonPath:  *faultsJSON,
+		}); err != nil {
+			return err
+		}
+	}
+	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn {
 		*fig = "all"
 	}
 	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}
@@ -212,7 +236,7 @@ func writeCSV(dir string, res *eval.Result) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	header := []string{
-		"sats", "epochs", "skipped_dop",
+		"sats", "epochs", "skipped_dop", "skipped_sats", "availability_nr_pct",
 		"d_nr_m", "d_dlo_m", "d_dlg_m",
 		"median_nr_m", "median_dlo_m", "median_dlg_m",
 		"p95_nr_m", "p95_dlo_m", "p95_dlg_m",
@@ -226,6 +250,7 @@ func writeCSV(dir string, res *eval.Result) error {
 	for _, row := range res.Rows {
 		rec := []string{
 			strconv.Itoa(row.M), strconv.Itoa(row.Epochs), strconv.Itoa(row.SkippedDOP),
+			strconv.Itoa(row.SkippedSats), ftoa(row.Availability(row.NR)),
 			ftoa(row.NR.MeanError), ftoa(row.DLO.MeanError), ftoa(row.DLG.MeanError),
 			ftoa(row.NR.MedianError), ftoa(row.DLO.MedianError), ftoa(row.DLG.MedianError),
 			ftoa(row.NR.P95Error), ftoa(row.DLO.P95Error), ftoa(row.DLG.P95Error),

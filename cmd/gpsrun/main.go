@@ -25,6 +25,7 @@ import (
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
 	"gpsdl/internal/eval"
+	"gpsdl/internal/fault"
 	"gpsdl/internal/geo"
 	"gpsdl/internal/nmea"
 	"gpsdl/internal/scenario"
@@ -41,13 +42,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gpsrun", flag.ContinueOnError)
 	var (
-		dataset = fs.String("dataset", "", "path to a JSON-lines dataset from gpsgen (required)")
-		solver  = fs.String("solver", "dlg", "algorithm: nr, dlo, dlg, bancroft or trisat")
-		sats    = fs.Int("sats", 8, "satellites per epoch (4-12)")
-		epochs  = fs.Int("epochs", 0, "max epochs to process (0 = all)")
-		seed    = fs.Int64("seed", 1, "satellite-selection seed")
-		nmeaN   = fs.Int("nmea", 0, "emit NMEA GGA/RMC sentences for the first N fixes")
-		replay  = fs.String("replay", "", "replay a captured exemplar file (trace dump, /debug/trace/exemplars body, or exemplar array) through all solvers")
+		dataset   = fs.String("dataset", "", "path to a JSON-lines dataset from gpsgen (required)")
+		solver    = fs.String("solver", "dlg", "algorithm: nr, dlo, dlg, bancroft or trisat")
+		sats      = fs.Int("sats", 8, "satellites per epoch (4-12)")
+		epochs    = fs.Int("epochs", 0, "max epochs to process (0 = all)")
+		seed      = fs.Int64("seed", 1, "satellite-selection seed")
+		nmeaN     = fs.Int("nmea", 0, "emit NMEA GGA/RMC sentences for the first N fixes")
+		replay    = fs.String("replay", "", "replay a captured exemplar file (trace dump, /debug/trace/exemplars body, or exemplar array) through all solvers")
+		faults    = fs.String("faults", "", "apply a fault-injection program to the dataset first, e.g. 'step:prn=7,bias=400,from=100;burst:sigma=8'")
+		faultSeed = fs.Int64("fault-seed", 1, "fault-injector seed (burst noise stream) for -faults")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +67,25 @@ func run(args []string) error {
 	}
 	fmt.Printf("dataset %s: station %s (%s clock), %d epochs, %d-%d satellites\n",
 		*dataset, ds.Station.ID, ds.Station.Clock, ds.Len(), ds.MinSatCount(), ds.MaxSatCount())
+	if *faults != "" {
+		prog, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		var log []fault.Event
+		ds, log = fault.ApplyDataset(ds, prog, *faultSeed)
+		byKind := map[string]int{}
+		for _, ev := range log {
+			byKind[ev.Kind.String()]++
+		}
+		fmt.Printf("faults applied: %s (seed %d): %d events", prog.String(), *faultSeed, len(log))
+		for _, k := range []string{"drop", "step", "ramp", "burst", "clockjump", "shrink"} {
+			if byKind[k] > 0 {
+				fmt.Printf(" %s=%d", k, byKind[k])
+			}
+		}
+		fmt.Println()
+	}
 
 	pred := eval.DefaultPredictor(ds.Station.Clock)
 	var s core.Solver

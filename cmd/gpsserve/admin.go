@@ -18,6 +18,7 @@ import (
 
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
+	"gpsdl/internal/engine"
 	"gpsdl/internal/eval"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/telemetry"
@@ -44,6 +45,11 @@ type health struct {
 	// client count and cumulative drops) to the health JSON, so a
 	// degraded broadcaster is visible without scraping /metrics.
 	b *Broadcaster
+
+	// shards, when non-nil (engine mode), contributes the per-shard
+	// session-state census so /healthz shows which shards are degraded
+	// or coasting under fault injection.
+	shards func() []engine.ShardHealth
 }
 
 // newHealth returns a tracker whose instruments are registered in reg
@@ -87,6 +93,13 @@ type healthStatus struct {
 	// clients right now, and cumulative disconnections for any reason.
 	Clients int    `json:"clients"`
 	Drops   uint64 `json:"drops"`
+	// Shards is the engine mode's per-shard session-state census
+	// (healthy / degraded / coasting), absent in single-receiver mode.
+	Shards []engine.ShardHealth `json:"shards,omitempty"`
+	// DegradedSessions and CoastingSessions total the census across
+	// shards, so a load balancer can alert on one number.
+	DegradedSessions uint64 `json:"degraded_sessions,omitempty"`
+	CoastingSessions uint64 `json:"coasting_sessions,omitempty"`
 }
 
 // status snapshots the current liveness verdict.
@@ -105,6 +118,13 @@ func (h *health) status() (healthStatus, int) {
 		// One locked snapshot keeps clients and drops mutually
 		// consistent (connects − drops == clients).
 		s.Clients, _, s.Drops = h.b.Stats()
+	}
+	if h.shards != nil {
+		s.Shards = h.shards()
+		for _, sh := range s.Shards {
+			s.DegradedSessions += sh.Degraded
+			s.CoastingSessions += sh.Coasting
+		}
 	}
 	last := h.lastFixNanos.Load()
 	if last == 0 {

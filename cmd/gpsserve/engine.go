@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gpsdl/internal/engine"
+	"gpsdl/internal/fault"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/telemetry"
 )
@@ -28,6 +29,8 @@ type engineParams struct {
 	adminAddr string
 	rate      float64
 	seed      int64
+	faults    string // fault-program spec (fault.ParseSpec grammar); "" = none
+	faultSeed int64
 	logs      *telemetry.Logging
 }
 
@@ -52,6 +55,13 @@ func runEngine(ctx context.Context, p engineParams) error {
 	if err != nil {
 		return err
 	}
+	var prog fault.Program
+	if p.faults != "" {
+		prog, err = fault.ParseSpec(p.faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+	}
 	reg := telemetry.NewRegistry()
 	b := NewBroadcaster()
 	b.Metrics = NewBroadcasterMetrics(reg)
@@ -66,6 +76,8 @@ func runEngine(ctx context.Context, p engineParams) error {
 		Workers:   p.workers,
 		Solver:    p.solver,
 		Seed:      p.seed,
+		Faults:    prog,
+		FaultSeed: p.faultSeed,
 		Stations:  stations,
 		Registry:  reg,
 		// The sink runs on shard goroutines; health counters are atomic
@@ -85,12 +97,16 @@ func runEngine(ctx context.Context, p engineParams) error {
 	if err != nil {
 		return err
 	}
+	h.shards = eng.ShardHealth
 	ln, err := net.Listen("tcp", p.addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", p.addr, err)
 	}
 	fmt.Printf("gpsserve: engine mode, %d receivers × %s over %d workers on %s (%g epoch/s each)\n",
 		p.receivers, p.solver, eng.Workers(), ln.Addr(), p.rate)
+	if p.faults != "" {
+		fmt.Printf("gpsserve: fault injection active: %s (seed %d)\n", prog.String(), p.faultSeed)
+	}
 	if p.adminAddr != "" {
 		tel := &serverTelemetry{reg: reg, health: h}
 		bound, err := listenAdmin(ctx, p.adminAddr, tel, p.logs.Component("admin"))
@@ -123,8 +139,13 @@ func paceEngine(ctx context.Context, eng *engine.Engine, rate float64, log *slog
 	st := eng.Stats()
 	log.Info("engine stopped",
 		"fixes", st.Fixes,
+		"coast_fixes", st.CoastFixes,
 		"solve_failures", st.SolveFailures,
 		"epoch_errors", st.EpochErrors,
+		"fault_events", st.FaultEvents,
+		"fallbacks", st.Fallbacks,
+		"suspect_fixes", st.SuspectFixes,
+		"raim_exclusions", st.RAIMExclusions,
 		"batches_done", st.BatchesDone,
 		"batches_aborted", st.BatchesAborted,
 		"skipped_ticks", st.SkippedTicks)

@@ -67,6 +67,8 @@ func run(ctx context.Context, args []string) error {
 		withRAIM   = fs.Bool("raim", false, "run RAIM integrity checks around each fix (needs >= 5 satellites)")
 		receivers  = fs.Int("receivers", 1, "independent receiver sessions; > 1 serves via the sharded fix engine (-station all round-robins the Table 5.1 stations)")
 		workers    = fs.Int("workers", 0, "engine shard count when -receivers > 1; 0 means GOMAXPROCS")
+		faults     = fs.String("faults", "", "fault-injection program for engine mode, e.g. 'drop:prn=3,from=10,until=40;burst:sigma=8,from=60' (needs -receivers > 1)")
+		faultSeed  = fs.Int64("fault-seed", 1, "fault-injector seed (burst noise stream) for -faults")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,8 +116,13 @@ func run(ctx context.Context, args []string) error {
 			adminAddr: *adminAddr,
 			rate:      *rate,
 			seed:      *seed,
+			faults:    *faults,
+			faultSeed: *faultSeed,
 			logs:      logs,
 		})
+	}
+	if *faults != "" {
+		return fmt.Errorf("-faults needs the fix engine's degradation machinery; use -receivers > 1")
 	}
 	var (
 		source epochSource

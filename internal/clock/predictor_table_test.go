@@ -1,0 +1,157 @@
+package clock
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLinearPredictorFaultTable drives the predictor's post-calibration
+// decision logic — accept, reset, or discard — through one table. Every
+// case calibrates on the same clean linear clock (bias = d0 + r·t over
+// t = 0..9), then feeds the listed fixes and checks the prediction at
+// t = 20 plus the reset census. This is the clock model the engine's
+// coasting path leans on, so a mis-handled reset or an absorbed outlier
+// here becomes position error during fault windows.
+func TestLinearPredictorFaultTable(t *testing.T) {
+	const (
+		d0 = 3e-6
+		r0 = 2e-9
+	)
+	truth := func(ti float64) float64 { return d0 + r0*ti }
+	cases := []struct {
+		name string
+		// build configures everything beyond the shared InitWindow.
+		build func() *LinearPredictor
+		// fixes are fed after calibration as (t, bias-offset-from-truth).
+		fixes []struct{ t, dev float64 }
+		// want is the expected PredictBias(20) deviation from truth(20);
+		// tol is its tolerance.
+		want, tol  float64
+		wantResets int
+	}{
+		{
+			name:  "clean fix accepted, prediction stays on truth",
+			build: func() *LinearPredictor { return &LinearPredictor{InitWindow: 10, JumpTol: 1e-6} },
+			fixes: []struct{ t, dev float64 }{{10, 0}, {11, 0}},
+			want:  0, tol: 1e-12,
+		},
+		{
+			name:  "threshold reset re-anchors the offset",
+			build: func() *LinearPredictor { return &LinearPredictor{InitWindow: 10, JumpTol: 1e-6} },
+			fixes: []struct{ t, dev float64 }{{10, 5e-6}},
+			want:  5e-6, tol: 1e-9,
+			wantResets: 1,
+		},
+		{
+			name: "reset step snapped to the slew quantum",
+			build: func() *LinearPredictor {
+				return &LinearPredictor{InitWindow: 10, JumpTol: 1e-6, RoundJumpTo: 1e-6}
+			},
+			// The observed step is noisy (4.97 µs); the receiver slews in
+			// exact 1 µs quanta, so the absorbed step must be 5 µs.
+			fixes: []struct{ t, dev float64 }{{10, 4.97e-6}},
+			want:  5e-6, tol: 1e-12,
+			wantResets: 1,
+		},
+		{
+			name: "spurious fix between tolerances is discarded",
+			build: func() *LinearPredictor {
+				return &LinearPredictor{InitWindow: 10, JumpTol: 1e-5, OutlierTol: 1e-7}
+			},
+			// 5e-6 exceeds OutlierTol but not JumpTol: not a reset, just a
+			// bad NR solution. It must not move the prediction at all.
+			fixes: []struct{ t, dev float64 }{{10, 5e-6}},
+			want:  0, tol: 1e-12,
+		},
+		{
+			name: "outlier burst then recovery keeps tracking",
+			build: func() *LinearPredictor {
+				return &LinearPredictor{InitWindow: 10, JumpTol: 1e-5, OutlierTol: 1e-7, Refit: true}
+			},
+			fixes: []struct{ t, dev float64 }{
+				{10, 3e-6}, {11, -4e-6}, {12, 2e-6}, // burst: all discarded
+				{13, 0}, {14, 0}, {15, 0}, // recovery: clean fixes resume
+			},
+			want: 0, tol: 1e-10,
+		},
+		{
+			name: "reset mid-run with refit recovers across the step",
+			build: func() *LinearPredictor {
+				return &LinearPredictor{InitWindow: 10, JumpTol: 1e-6, Refit: true}
+			},
+			fixes: []struct{ t, dev float64 }{
+				{10, 5e-6}, {11, 5e-6}, {12, 5e-6}, {13, 5e-6},
+			},
+			want: 5e-6, tol: 1e-9,
+			wantResets: 1,
+		},
+		{
+			name:  "double reset accumulates both steps",
+			build: func() *LinearPredictor { return &LinearPredictor{InitWindow: 10, JumpTol: 1e-6} },
+			fixes: []struct{ t, dev float64 }{{10, 5e-6}, {11, 8e-6}},
+			want:  8e-6, tol: 1e-9,
+			wantResets: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build()
+			for i := 0; i < 10; i++ {
+				ti := float64(i)
+				p.Observe(Fix{T: ti, Bias: truth(ti)})
+			}
+			if _, err := p.PredictBias(9); err != nil {
+				t.Fatalf("not calibrated after init window: %v", err)
+			}
+			for _, fx := range tc.fixes {
+				p.Observe(Fix{T: fx.t, Bias: truth(fx.t) + fx.dev})
+			}
+			got, err := p.PredictBias(20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev := got - truth(20); math.Abs(dev-tc.want) > tc.tol {
+				t.Errorf("PredictBias(20) deviates from truth by %.3g s, want %.3g ± %.3g",
+					dev, tc.want, tc.tol)
+			}
+			if p.Recalibrations != tc.wantResets {
+				t.Errorf("Recalibrations = %d, want %d", p.Recalibrations, tc.wantResets)
+			}
+		})
+	}
+}
+
+// TestLinearPredictorResetRecoversFixError is the end-to-end claim the
+// engine's coasting path depends on: after a threshold-clock reset, the
+// range-domain prediction error c·|Δt̂−Δt| spikes for exactly one fix and
+// returns below a meter once the reset is absorbed.
+func TestLinearPredictorResetRecoversFixError(t *testing.T) {
+	m := ThresholdModel{Drift: 1e-9, Threshold: 2e-6}
+	p := &LinearPredictor{InitWindow: 20, JumpTol: 1e-6, RoundJumpTo: 2e-6, Refit: true}
+	var worstAfter float64
+	sawReset := false
+	for i := 0; i < 4000; i++ {
+		ti := float64(i)
+		bias := m.BiasAt(ti)
+		if pred, err := p.PredictBias(ti); err == nil {
+			errRange := math.Abs(pred-bias) * 299792458.0
+			if sawReset && p.Recalibrations > 0 && errRange > worstAfter {
+				// Only measure once the predictor has had one fix to
+				// absorb the most recent reset.
+				worstAfter = errRange
+			}
+		}
+		before := p.Recalibrations
+		p.Observe(Fix{T: ti, Bias: bias})
+		if p.Recalibrations > before {
+			sawReset = true
+			worstAfter = 0 // restart the census after each reset is absorbed
+		}
+	}
+	if !sawReset {
+		t.Fatal("threshold clock never reset during the run; test is vacuous")
+	}
+	if worstAfter > 1.0 {
+		t.Errorf("range-domain prediction error %.3f m after reset absorption, want < 1 m", worstAfter)
+	}
+}

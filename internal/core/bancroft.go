@@ -78,8 +78,12 @@ func (BancroftSolver) Solve(_ float64, obs []Observation) (Solution, error) {
 	if err != nil {
 		return Solution{}, fmt.Errorf("Bancroft quadratic: %w", ErrDegenerateGeometry)
 	}
-	// Each root gives a candidate fix; keep the one whose position is
-	// nearest the Earth's surface (the other lies far out in space).
+	// Each root gives a candidate fix. The spurious root flips the sign of
+	// the ranges (ρᵢ − εᴿ = −‖pos − satᵢ‖), so it fits the actual
+	// measurements with residuals of ~2ρ: score candidates by residual RSS
+	// rather than by distance from the Earth's surface, which misidentifies
+	// the mirror when it happens to land antipodally (also near the
+	// surface).
 	best := Solution{}
 	bestScore := math.Inf(1)
 	for _, l := range lambdas[:nRoots] {
@@ -89,7 +93,11 @@ func (BancroftSolver) Solve(_ float64, obs []Observation) (Solution, error) {
 			Z: v[2] + l*u[2],
 		}
 		bias := v[3] + l*u[3]
-		score := math.Abs(cand.Norm() - geo.SemiMajorAxis)
+		var score float64
+		for _, o := range obs {
+			r := o.Pseudorange - bias - cand.DistanceTo(o.Pos)
+			score += r * r
+		}
 		if score < bestScore {
 			bestScore = score
 			best = Solution{Pos: cand, ClockBias: bias, Iterations: 1}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpsdl/internal/mat"
+)
+
+// TestDLGIdentityCovarianceMatchesOLS is the differential anchor between
+// the two direct solvers: with Ψ = I (unit diagonal, no shared term) the
+// GLS estimator collapses to OLS, so every GLS code path must reproduce
+// the DLO normal-equation solution to near machine precision on the same
+// differenced system.
+func TestDLGIdentityCovarianceMatchesOLS(t *testing.T) {
+	recv := yyr1()
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range []int{4, 6, 9, 12} {
+		obs := scene(t, recv, 4500, 20, m)
+		for i := range obs {
+			obs[i].Pseudorange += rng.NormFloat64() * 5
+		}
+		rhoE := make([]float64, len(obs))
+		for i, o := range obs {
+			rhoE[i] = o.Pseudorange - 20
+		}
+		rows, d := buildDifferenced(nil, obs, rhoE, 0)
+		ones := make([]float64, len(d))
+		for i := range ones {
+			ones[i] = 1
+		}
+		ata, atb := mat.NormalEq3(rows, d)
+		ols, err := mat.Solve3(ata, atb)
+		if err != nil {
+			t.Fatalf("m=%d: OLS: %v", m, err)
+		}
+		solvers := map[string]func() ([3]float64, error){
+			"paper":    func() ([3]float64, error) { return solveGLSPaper(&Scratch{}, rows, d, ones, 0) },
+			"fast":     func() ([3]float64, error) { return solveGLSFast(rows, d, ones, 0) },
+			"explicit": func() ([3]float64, error) { return solveGLSExplicit(rows, d, ones, 0) },
+		}
+		for name, solve := range solvers {
+			x, err := solve()
+			if err != nil {
+				t.Fatalf("m=%d %s: %v", m, name, err)
+			}
+			// 1e-9 relative: at ECEF magnitudes (~5e6 m) that is a few
+			// dozen ULPs, which is all a full-inverse reference path can
+			// promise against the normal-equation route.
+			for k := 0; k < 3; k++ {
+				if diff := math.Abs(x[k] - ols[k]); diff > 1e-9*(1+math.Abs(ols[k])) {
+					t.Errorf("m=%d %s[%d]: GLS(I) %.12g vs OLS %.12g (diff %g)",
+						m, name, k, x[k], ols[k], diff)
+				}
+			}
+		}
+	}
+}
+
+// TestBancroftAgreesWithNRNoiseFree: on exact pseudo-ranges the closed
+// form and the iterative solver must land on the same point and bias.
+func TestBancroftAgreesWithNRNoiseFree(t *testing.T) {
+	recv := yyr1()
+	for _, m := range []int{4, 6, 8, 11} {
+		for _, bias := range []float64{-5000, -40, 0, 75, 3000} {
+			obs := scene(t, recv, 6100, bias, m)
+			nrSol, err := (&NRSolver{}).Solve(0, obs)
+			if err != nil {
+				t.Fatalf("m=%d bias=%g: NR: %v", m, bias, err)
+			}
+			bSol, err := (BancroftSolver{}).Solve(0, obs)
+			if err != nil {
+				t.Fatalf("m=%d bias=%g: Bancroft: %v", m, bias, err)
+			}
+			if d := nrSol.Pos.DistanceTo(bSol.Pos); d > 0.5 {
+				t.Errorf("m=%d bias=%g: NR and Bancroft disagree by %v m", m, bias, d)
+			}
+			if diff := math.Abs(nrSol.ClockBias - bSol.ClockBias); diff > 0.5 {
+				t.Errorf("m=%d bias=%g: clock bias differs by %v m", m, bias, diff)
+			}
+		}
+	}
+}
+
+// TestSolversInvariantUnderReordering: permuting the observation list must
+// not change any solver's answer beyond floating-point summation noise.
+// DLO/DLG pin the base satellite by elevation so the permutation does not
+// silently change the differencing base.
+func TestSolversInvariantUnderReordering(t *testing.T) {
+	recv := yyr1()
+	bias := 60.0
+	obs := scene(t, recv, 7700, bias, 9)
+	rng := rand.New(rand.NewSource(17))
+	for i := range obs {
+		obs[i].Pseudorange += rng.NormFloat64() * 4
+	}
+	solvers := []Solver{
+		&NRSolver{},
+		BancroftSolver{},
+		&DLOSolver{Predictor: oracle(bias), Base: BaseHighestElevation{}},
+		&DLGSolver{Predictor: oracle(bias), Base: BaseHighestElevation{}},
+	}
+	baseline := make([]Solution, len(solvers))
+	for i, s := range solvers {
+		sol, err := s.Solve(7700, obs)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", s.Name(), err)
+		}
+		baseline[i] = sol
+	}
+	perm := make([]Observation, len(obs))
+	for trial := 0; trial < 8; trial++ {
+		copy(perm, obs)
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i, s := range solvers {
+			sol, err := s.Solve(7700, perm)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", s.Name(), trial, err)
+			}
+			if d := sol.Pos.DistanceTo(baseline[i].Pos); d > 1e-6 {
+				t.Errorf("%s trial %d: reordering moved the fix by %v m", s.Name(), trial, d)
+			}
+			if diff := math.Abs(sol.ClockBias - baseline[i].ClockBias); diff > 1e-6 {
+				t.Errorf("%s trial %d: reordering moved the bias by %v m", s.Name(), trial, diff)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"gpsdl/internal/telemetry"
+)
+
+// Fallback metric names.
+const (
+	MetricFallbackSolves    = "gps_fallback_solves_total"
+	MetricFallbackSuspects  = "gps_fallback_suspect_fixes_total"
+	MetricFallbackExhausted = "gps_fallback_exhausted_total"
+)
+
+// FallbackResult describes which solver in a chain produced the fix and
+// what the integrity layer had to do to get it.
+type FallbackResult struct {
+	// Solution is the accepted fix.
+	Solution Solution
+	// Solver is the name of the solver that produced it.
+	Solver string
+	// Index is the solver's position in the chain; 0 means the primary
+	// solver succeeded, > 0 means the session degraded to a fallback.
+	Index int
+	// Excluded is the index (into the observation slice) of the
+	// satellite RAIM excluded before re-solving, or -1.
+	Excluded int
+	// Stat is the final RAIM residual statistic in meters (0 when the
+	// epoch had too few satellites for a residual test).
+	Stat float64
+	// Suspect is true when RAIM detected a fault it could neither
+	// exclude nor out-solve with any chain member: the fix is returned
+	// rather than dropped, but callers must flag it degraded instead of
+	// presenting it as clean.
+	Suspect bool
+}
+
+// Degraded reports whether the fix needed anything beyond a clean
+// primary solve: a fallback solver, a RAIM exclusion, or an unresolved
+// integrity fault.
+func (r FallbackResult) Degraded() bool {
+	return r.Index > 0 || r.Excluded >= 0 || r.Suspect
+}
+
+// FallbackChain tries an ordered list of solvers until one produces an
+// acceptable fix — the graceful-degradation policy NR → DLG → DLO →
+// Bancroft (rotated so the session's primary solver comes first). With
+// RAIM enabled, every candidate fix passes the residual test and, on
+// detection, the single-satellite exclusion-and-re-solve pass; a solver
+// whose fix fails integrity is not trusted blindly — the chain moves on,
+// and only if every member leaves the fault unresolved is the best
+// contaminated fix returned, explicitly marked Suspect.
+//
+// A chain is as concurrency-unsafe as its solvers: create one per
+// session/goroutine. The clean path (primary solver passes the residual
+// test) performs no heap allocations beyond the primary solver's own.
+type FallbackChain struct {
+	solvers []Solver
+	raims   []*RAIM // per-solver RAIM wrappers; nil when RAIM is off
+	metrics *FallbackMetrics
+}
+
+// NewFallbackChain builds a chain over the solvers in order. At least
+// one solver is required.
+func NewFallbackChain(solvers ...Solver) (*FallbackChain, error) {
+	if len(solvers) == 0 {
+		return nil, fmt.Errorf("core: fallback chain needs at least one solver")
+	}
+	for i, s := range solvers {
+		if s == nil {
+			return nil, fmt.Errorf("core: fallback chain solver %d is nil", i)
+		}
+	}
+	return &FallbackChain{solvers: solvers}, nil
+}
+
+// EnableRAIM turns on integrity checking for every chain member.
+// threshold ≤ 0 uses the RAIM default; m may be nil.
+func (c *FallbackChain) EnableRAIM(threshold float64, m *RAIMMetrics) {
+	c.raims = make([]*RAIM, len(c.solvers))
+	for i, s := range c.solvers {
+		c.raims[i] = &RAIM{Solver: s, Threshold: threshold, Metrics: m}
+	}
+}
+
+// SetMetrics installs the chain's outcome counters (nil disables).
+func (c *FallbackChain) SetMetrics(m *FallbackMetrics) { c.metrics = m }
+
+// Solvers returns the chain's solver list (shared, not a copy).
+func (c *FallbackChain) Solvers() []Solver { return c.solvers }
+
+// Solve runs the chain: each solver in order, integrity-checked when
+// RAIM is enabled and the epoch has ≥ 5 satellites. The first clean (or
+// cleanly-excluded) fix wins. If every solver fails outright, the first
+// error is returned; if at least one produced a fix but none passed
+// integrity, the lowest-residual contaminated fix is returned with
+// Suspect set — degraded, never silent garbage.
+func (c *FallbackChain) Solve(t float64, obs []Observation) (FallbackResult, error) {
+	var firstErr error
+	suspect := FallbackResult{Excluded: -1}
+	haveSuspect := false
+	for i, s := range c.solvers {
+		if c.raims != nil && len(obs) >= 5 {
+			res, err := c.raims[i].Check(t, obs)
+			if err == nil {
+				out := FallbackResult{
+					Solution: res.Solution,
+					Solver:   s.Name(),
+					Index:    i,
+					Excluded: res.Excluded,
+					Stat:     res.TestStatistic,
+				}
+				c.metrics.countOutcome(i)
+				return out, nil
+			}
+			// A result with a positive statistic means the solver did
+			// produce a fix but RAIM could not clear it — keep the best
+			// contaminated candidate in case no solver does better.
+			if res.TestStatistic > 0 && (!haveSuspect || res.TestStatistic < suspect.Stat) {
+				suspect = FallbackResult{
+					Solution: res.Solution,
+					Solver:   s.Name(),
+					Index:    i,
+					Excluded: res.Excluded,
+					Stat:     res.TestStatistic,
+					Suspect:  true,
+				}
+				haveSuspect = true
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sol, err := s.Solve(t, obs)
+		if err == nil {
+			c.metrics.countOutcome(i)
+			return FallbackResult{Solution: sol, Solver: s.Name(), Index: i, Excluded: -1}, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if haveSuspect {
+		c.metrics.countOutcome(suspect.Index)
+		c.metrics.countSuspect()
+		return suspect, nil
+	}
+	c.metrics.countExhausted()
+	return FallbackResult{Excluded: -1}, fmt.Errorf("core: fallback chain exhausted: %w", firstErr)
+}
+
+// FallbackMetrics counts chain outcomes.
+type FallbackMetrics struct {
+	// Fallbacks counts fixes produced by a non-primary solver.
+	Fallbacks *telemetry.Counter
+	// Suspects counts fixes returned with an unresolved integrity fault.
+	Suspects *telemetry.Counter
+	// Exhausted counts epochs where every chain member failed.
+	Exhausted *telemetry.Counter
+}
+
+// NewFallbackMetrics registers the chain counters. Nil registry yields
+// nil (recording disabled at zero cost).
+func NewFallbackMetrics(reg *telemetry.Registry) *FallbackMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &FallbackMetrics{
+		Fallbacks: reg.Counter(MetricFallbackSolves,
+			"Fixes produced by a fallback solver after the primary failed or flunked integrity."),
+		Suspects: reg.Counter(MetricFallbackSuspects,
+			"Fixes returned with a RAIM fault no chain member could resolve (flagged degraded)."),
+		Exhausted: reg.Counter(MetricFallbackExhausted,
+			"Epochs where every solver in the fallback chain failed."),
+	}
+}
+
+func (m *FallbackMetrics) countOutcome(index int) {
+	if m != nil && index > 0 {
+		m.Fallbacks.Inc()
+	}
+}
+
+func (m *FallbackMetrics) countSuspect() {
+	if m != nil {
+		m.Suspects.Inc()
+	}
+}
+
+func (m *FallbackMetrics) countExhausted() {
+	if m != nil {
+		m.Exhausted.Inc()
+	}
+}

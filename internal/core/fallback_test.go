@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpsdl/internal/telemetry"
+)
+
+func TestNewFallbackChainErrors(t *testing.T) {
+	if _, err := NewFallbackChain(); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewFallbackChain(&NRSolver{}, nil); err == nil {
+		t.Error("nil solver accepted")
+	}
+}
+
+func TestFallbackPrimaryCleanNotDegraded(t *testing.T) {
+	recv := yyr1()
+	obs := scene(t, recv, 2000, 40, 8)
+	chain, err := NewFallbackChain(&NRSolver{}, BancroftSolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chain.Solve(2000, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 0 || res.Solver != "NR" || res.Excluded != -1 || res.Suspect {
+		t.Errorf("clean primary fix degraded: %+v", res)
+	}
+	if res.Degraded() {
+		t.Error("Degraded() true for a clean primary fix")
+	}
+	if d := res.Solution.Pos.DistanceTo(recv); d > 1e-3 {
+		t.Errorf("position error %v m", d)
+	}
+}
+
+func TestFallbackToSecondarySolver(t *testing.T) {
+	// An uncalibrated DLG cannot solve (ErrNoClockPrediction); the chain
+	// must degrade to NR rather than fail the epoch.
+	recv := yyr1()
+	obs := scene(t, recv, 3000, 25, 7)
+	reg := telemetry.NewRegistry()
+	m := NewFallbackMetrics(reg)
+	chain, err := NewFallbackChain(NewDLGSolver(newUncalibrated()), &NRSolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.SetMetrics(m)
+	res, err := chain.Solve(3000, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 1 || res.Solver != "NR" {
+		t.Errorf("fix came from %q at index %d, want NR at 1", res.Solver, res.Index)
+	}
+	if !res.Degraded() || res.Suspect {
+		t.Errorf("fallback fix flags wrong: %+v", res)
+	}
+	if d := res.Solution.Pos.DistanceTo(recv); d > 1e-3 {
+		t.Errorf("position error %v m", d)
+	}
+	if m.Fallbacks.Value() != 1 || m.Suspects.Value() != 0 || m.Exhausted.Value() != 0 {
+		t.Errorf("metrics = %d/%d/%d, want 1/0/0",
+			m.Fallbacks.Value(), m.Suspects.Value(), m.Exhausted.Value())
+	}
+}
+
+func TestFallbackRAIMExcludesFault(t *testing.T) {
+	recv := yyr1()
+	obs := scene(t, recv, 2000, 80, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := range obs {
+		obs[i].Pseudorange += rng.NormFloat64() * 3
+	}
+	obs[3].Pseudorange += 600
+	chain, err := NewFallbackChain(&NRSolver{}, BancroftSolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.EnableRAIM(0, nil)
+	res, err := chain.Solve(2000, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Excluded != 3 {
+		t.Errorf("excluded %d, want 3", res.Excluded)
+	}
+	if res.Index != 0 || res.Suspect {
+		t.Errorf("exclusion outcome wrong: %+v", res)
+	}
+	if !res.Degraded() {
+		t.Error("Degraded() false after a RAIM exclusion")
+	}
+	if d := res.Solution.Pos.DistanceTo(recv); d > 20 {
+		t.Errorf("post-exclusion error %v m", d)
+	}
+}
+
+func TestFallbackSuspectWhenUnresolvable(t *testing.T) {
+	// At 5 satellites RAIM detects but cannot exclude; every chain member
+	// sees the same contaminated sky, so the policy is: return the best
+	// fix, explicitly marked Suspect, never an error and never silence.
+	obs := scene(t, yyr1(), 3000, 0, 5)
+	obs[2].Pseudorange += 2000
+	reg := telemetry.NewRegistry()
+	m := NewFallbackMetrics(reg)
+	chain, err := NewFallbackChain(&NRSolver{}, BancroftSolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.EnableRAIM(0, nil)
+	chain.SetMetrics(m)
+	res, err := chain.Solve(3000, obs)
+	if err != nil {
+		t.Fatalf("unresolvable fault surfaced as error: %v", err)
+	}
+	if !res.Suspect || !res.Degraded() {
+		t.Errorf("fix not marked suspect: %+v", res)
+	}
+	if res.Stat <= 15 {
+		t.Errorf("suspect statistic %v under threshold", res.Stat)
+	}
+	if m.Suspects.Value() != 1 {
+		t.Errorf("Suspects = %d, want 1", m.Suspects.Value())
+	}
+}
+
+func TestFallbackExhausted(t *testing.T) {
+	// Three satellites defeat every 4-observation solver in the chain.
+	obs := scene(t, yyr1(), 0, 0, 4)[:3]
+	reg := telemetry.NewRegistry()
+	m := NewFallbackMetrics(reg)
+	chain, err := NewFallbackChain(&NRSolver{}, NewDLOSolver(oracle(0)), BancroftSolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.SetMetrics(m)
+	if _, err := chain.Solve(0, obs); err == nil {
+		t.Fatal("exhausted chain returned a fix")
+	}
+	if m.Exhausted.Value() != 1 {
+		t.Errorf("Exhausted = %d, want 1", m.Exhausted.Value())
+	}
+}
+
+func TestFallbackBelowRAIMMinUsesPlainSolve(t *testing.T) {
+	// With 4 satellites there is no residual redundancy: the chain must
+	// fall through to the plain solver path instead of erroring.
+	recv := yyr1()
+	obs := scene(t, recv, 1000, 10, 4)
+	chain, err := NewFallbackChain(&NRSolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.EnableRAIM(0, nil)
+	res, err := chain.Solve(1000, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stat != 0 || res.Excluded != -1 {
+		t.Errorf("4-satellite fix carries integrity fields: %+v", res)
+	}
+	if d := res.Solution.Pos.DistanceTo(recv); d > 1e-3 {
+		t.Errorf("position error %v m", d)
+	}
+}

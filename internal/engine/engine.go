@@ -33,14 +33,15 @@ import (
 
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
+	"gpsdl/internal/fault"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/telemetry"
 )
 
-// FixEvent is the engine's per-epoch output. GGA and RMC point into a
-// session-owned buffer and are valid only for the duration of the sink
-// callback; copy them to retain. Err is set (and the solution fields
-// zero) when the epoch failed to solve.
+// FixEvent is the engine's per-epoch output. GGA, RMC and Faults point
+// into session-owned buffers and are valid only for the duration of the
+// sink callback; copy them to retain. Err is set (and the solution fields
+// zero) when the epoch failed to solve and the session could not coast.
 type FixEvent struct {
 	Receiver int
 	Shard    int
@@ -49,7 +50,20 @@ type FixEvent struct {
 	Sol      core.Solution
 	HDOP     float64
 	Sats     int
-	Err      error
+	// Solver names the fallback-chain member that produced the fix
+	// ("coast" for a dead-reckoning fix).
+	Solver string
+	// Excluded is the observation index RAIM excluded, or -1.
+	Excluded int
+	// Suspect marks a fix carrying an unresolved integrity fault.
+	Suspect bool
+	// Coast marks a position-hold fix computed from the clock model.
+	Coast bool
+	// State is the session's health state after this epoch.
+	State SessionState
+	// Faults lists the fault-injector events applied to this epoch.
+	Faults []fault.Event
+	Err    error
 	GGA, RMC []byte
 }
 
@@ -88,6 +102,13 @@ type Config struct {
 	// SessionOptions, when non-nil, returns extra generator options for
 	// receiver r (e.g. a trajectory). Must be deterministic in r.
 	SessionOptions func(r int) []scenario.Option
+	// Faults is an optional fault program applied to every receiver's
+	// epoch stream (see internal/fault). Empty means fault-free.
+	Faults fault.Program
+	// FaultSeed drives the fault injector's burst noise; receiver r uses
+	// FaultSeed+r. The same (Faults, FaultSeed, Seed) triple reproduces
+	// bit-identical fix streams and fault-event logs for any worker count.
+	FaultSeed int64
 }
 
 // job is a half-open range of epoch indices [e0, e1) for one shard.
@@ -110,6 +131,15 @@ type Engine struct {
 	cfg      Config
 	shards   []*shard
 	sessions []*session // all sessions, indexed by receiver
+	cm       *chainMetrics
+}
+
+// chainMetrics bundles the engine-wide (cross-shard) fallback and RAIM
+// counters shared by every session's chain; the underlying counters are
+// atomic, so sharing across shard goroutines is safe.
+type chainMetrics struct {
+	fallback *core.FallbackMetrics
+	raim     *core.RAIMMetrics
 }
 
 // New builds the engine: sessions, shards, queues and metrics. It
@@ -147,6 +177,10 @@ func New(cfg Config) (*Engine, error) {
 		cfg.Registry = telemetry.NewRegistry()
 	}
 	e := &Engine{cfg: cfg}
+	e.cm = &chainMetrics{
+		fallback: core.NewFallbackMetrics(cfg.Registry),
+		raim:     core.NewRAIMMetrics(cfg.Registry),
+	}
 	e.shards = make([]*shard, cfg.Workers)
 	for i := range e.shards {
 		e.shards[i] = &shard{
@@ -157,7 +191,7 @@ func New(cfg Config) (*Engine, error) {
 	e.sessions = make([]*session, cfg.Receivers)
 	for r := 0; r < cfg.Receivers; r++ {
 		sh := e.shards[r%cfg.Workers]
-		s, err := newSession(cfg, r, sh.id, sh.m)
+		s, err := newSession(cfg, r, sh.id, sh.m, e.cm)
 		if err != nil {
 			return nil, err
 		}
@@ -284,9 +318,11 @@ func (sh *shard) run(ctx context.Context) {
 
 // Stats is an engine-wide snapshot summed over shards.
 type Stats struct {
-	Fixes, SolveFailures, EpochErrors            uint64
-	BatchesEnqueued, BatchesDone, BatchesAborted uint64
-	SkippedTicks                                 uint64
+	Fixes, CoastFixes, SolveFailures, EpochErrors uint64
+	BatchesEnqueued, BatchesDone, BatchesAborted  uint64
+	SkippedTicks                                  uint64
+	FaultEvents                                   uint64
+	Fallbacks, SuspectFixes, RAIMExclusions       uint64
 }
 
 // Stats sums the per-shard counters. Safe to call at any time; exact once
@@ -295,18 +331,75 @@ func (e *Engine) Stats() Stats {
 	var st Stats
 	for _, sh := range e.shards {
 		st.Fixes += sh.m.fixes.Value()
+		st.CoastFixes += sh.m.coastFixes.Value()
 		st.SolveFailures += sh.m.solveFailures.Value()
 		st.EpochErrors += sh.m.epochErrors.Value()
 		st.BatchesEnqueued += sh.m.enqueued.Value()
 		st.BatchesDone += sh.m.done.Value()
 		st.BatchesAborted += sh.m.aborted.Value()
 		st.SkippedTicks += sh.m.skippedTicks.Value()
+		st.FaultEvents += sh.m.faultEvents.Value()
 	}
+	st.Fallbacks = e.cm.fallback.Fallbacks.Value()
+	st.SuspectFixes = e.cm.fallback.Suspects.Value()
+	st.RAIMExclusions = e.cm.raim.Exclusions.Value()
 	return st
+}
+
+// ShardHealth is one shard's session-state census, for /healthz.
+type ShardHealth struct {
+	Shard    int    `json:"shard"`
+	Healthy  uint64 `json:"healthy"`
+	Degraded uint64 `json:"degraded"`
+	Coasting uint64 `json:"coasting"`
+}
+
+// ShardHealth reports how many of each shard's sessions are currently
+// healthy, degraded, or coasting. The gauges are updated atomically at
+// state transitions, so this is safe to call while a run is in flight.
+func (e *Engine) ShardHealth() []ShardHealth {
+	out := make([]ShardHealth, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = ShardHealth{
+			Shard:    sh.id,
+			Healthy:  uint64(sh.m.healthySessions.Value()),
+			Degraded: uint64(sh.m.degradedSessions.Value()),
+			Coasting: uint64(sh.m.coastingSessions.Value()),
+		}
+	}
+	return out
 }
 
 // Workers reports the resolved shard count.
 func (e *Engine) Workers() int { return len(e.shards) }
+
+// canonicalChain is the fallback order of ISSUE 4: the iterative
+// reference first, then the paper's direct methods by decreasing
+// sophistication, then the predictor-free closed form as the last resort.
+var canonicalChain = [4]string{"nr", "dlg", "dlo", "bancroft"}
+
+// newChain builds the session's fallback chain: the primary solver
+// followed by the remaining canonical solvers in order, all sharing the
+// session scratch (they run sequentially within a step).
+func newChain(primary string, pred clock.Predictor, sc *core.Scratch) (*core.FallbackChain, error) {
+	first, err := newSolver(primary, pred, sc)
+	if err != nil {
+		return nil, err
+	}
+	solvers := make([]core.Solver, 0, len(canonicalChain))
+	solvers = append(solvers, first)
+	for _, name := range canonicalChain {
+		if name == primary {
+			continue
+		}
+		s, err := newSolver(name, pred, sc)
+		if err != nil {
+			return nil, err
+		}
+		solvers = append(solvers, s)
+	}
+	return core.NewFallbackChain(solvers...)
+}
 
 // newSolver builds the per-session solver wired to the session's scratch.
 func newSolver(name string, pred clock.Predictor, sc *core.Scratch) (core.Solver, error) {

@@ -110,9 +110,9 @@ func TestEngineShutdown(t *testing.T) {
 	if st.BatchesAborted == 0 {
 		t.Error("cancellation mid-run aborted no batches")
 	}
-	if got := st.Fixes + st.SolveFailures + st.EpochErrors; got != events.Load() {
-		t.Errorf("event conservation violated: fixes %d + failures %d + errors %d != %d sink calls",
-			st.Fixes, st.SolveFailures, st.EpochErrors, events.Load())
+	if got := st.Fixes + st.CoastFixes + st.SolveFailures + st.EpochErrors; got != events.Load() {
+		t.Errorf("event conservation violated: fixes %d + coast %d + failures %d + errors %d != %d sink calls",
+			st.Fixes, st.CoastFixes, st.SolveFailures, st.EpochErrors, events.Load())
 	}
 	// All shard goroutines must exit promptly after Run returns.
 	deadline := time.Now().Add(2 * time.Second)

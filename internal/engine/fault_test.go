@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpsdl/internal/fault"
+	"gpsdl/internal/nmea"
+)
+
+// faultProgram is the adversarial reference program the determinism and
+// degradation tests share: a dropout, a gross step fault (RAIM bait), a
+// multipath burst, a clock jump, and a shrink below the 4-satellite
+// solver minimum.
+func faultProgram(t *testing.T) fault.Program {
+	t.Helper()
+	prog, err := fault.ParseSpec(
+		"drop:prn=3,from=10,until=40;step:prn=7,bias=400,from=20,until=50;" +
+			"burst:sigma=12,from=45,until=60;clockjump:at=55,bias=5e-4;shrink:n=3,from=65,until=80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// collectFaulted renders every sink event — fix or coast or failure,
+// including solver name, health state, and the full fault-event log — to
+// a per-receiver string sequence for bit-exact comparison.
+func collectFaulted(t *testing.T, prog fault.Program, receivers, workers, batch, epochs int) [][]string {
+	t.Helper()
+	out := make([][]string, receivers)
+	eng, err := New(Config{
+		Receivers: receivers,
+		Workers:   workers,
+		BatchSize: batch,
+		Seed:      42,
+		Faults:    prog,
+		FaultSeed: 1234,
+		Sink: func(e FixEvent) {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%d|%s|%s|coast=%v|suspect=%v|excl=%d", e.Epoch, e.Solver, e.State, e.Coast, e.Suspect, e.Excluded)
+			for _, fe := range e.Faults {
+				fmt.Fprintf(&sb, "|f:%s:%d:%.9g", fe.Kind, fe.PRN, fe.Delta)
+			}
+			if e.Err != nil {
+				fmt.Fprintf(&sb, "|err:%v", e.Err)
+			} else {
+				fmt.Fprintf(&sb, "|%s", e.GGA)
+			}
+			out[e.Receiver] = append(out[e.Receiver], sb.String())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background(), epochs); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEngineFaultDeterminism is the acceptance criterion: same seed +
+// fault spec ⇒ bit-identical fix stream and fault-event log regardless of
+// worker count or batch size.
+func TestEngineFaultDeterminism(t *testing.T) {
+	prog := faultProgram(t)
+	const receivers, epochs = 4, 100
+	ref := collectFaulted(t, prog, receivers, 1, 32, epochs)
+	for _, alt := range []struct{ workers, batch int }{{4, 32}, {2, 7}, {3, 1}} {
+		got := collectFaulted(t, prog, receivers, alt.workers, alt.batch, epochs)
+		for r := 0; r < receivers; r++ {
+			if len(got[r]) != len(ref[r]) {
+				t.Fatalf("workers=%d batch=%d receiver %d: %d events, want %d",
+					alt.workers, alt.batch, r, len(got[r]), len(ref[r]))
+			}
+			for i := range ref[r] {
+				if got[r][i] != ref[r][i] {
+					t.Fatalf("workers=%d batch=%d receiver %d event %d:\n  got  %s\n  want %s",
+						alt.workers, alt.batch, r, i, got[r][i], ref[r][i])
+				}
+			}
+		}
+	}
+	// The program must actually exercise the degradation machinery in the
+	// reference run, or this test proves nothing.
+	var sawFault, sawCoast bool
+	for r := range ref {
+		for _, ev := range ref[r] {
+			if strings.Contains(ev, "|f:") {
+				sawFault = true
+			}
+			if strings.Contains(ev, "coast=true") {
+				sawCoast = true
+			}
+		}
+	}
+	if !sawFault {
+		t.Error("fault program applied no faults")
+	}
+	if !sawCoast {
+		t.Error("shrink-below-4 produced no coasting fixes")
+	}
+}
+
+// TestEngineDropoutBelowFourCoasts is the graceful-degradation criterion:
+// a constellation shrunk below 4 satellites yields coasting fixes flagged
+// degraded — never a panic, an error wall, or silent garbage.
+func TestEngineDropoutBelowFourCoasts(t *testing.T) {
+	prog, err := fault.ParseSpec("shrink:n=2,from=40,until=70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		coast  bool
+		state  SessionState
+		sats   int
+		gga    string
+		failed bool
+	}
+	var events []rec
+	eng, err := New(Config{
+		Receivers: 1,
+		Workers:   1,
+		Seed:      42,
+		Faults:    prog,
+		Sink: func(e FixEvent) {
+			events = append(events, rec{
+				coast: e.Coast, state: e.State, sats: e.Sats,
+				gga: string(e.GGA), failed: e.Err != nil,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 100 {
+		t.Fatalf("%d events, want 100", len(events))
+	}
+	for i, e := range events {
+		inWindow := i >= 40 && i < 70
+		if inWindow {
+			if e.failed {
+				t.Errorf("epoch %d: failed instead of coasting", i)
+				continue
+			}
+			if !e.coast || e.state != StateCoasting {
+				t.Errorf("epoch %d: 2-satellite epoch not coasting (coast=%v state=%v sats=%d)",
+					i, e.coast, e.state, e.sats)
+			}
+			if want := fmt.Sprintf(",%d,", int(nmea.QualityEstimated)); !strings.Contains(e.gga, want) {
+				t.Errorf("epoch %d: coast GGA lacks quality %d: %s", i, int(nmea.QualityEstimated), e.gga)
+			}
+		} else if i >= 75 && e.coast {
+			// A few epochs of slack after the window, then the session
+			// must have resumed real solving.
+			t.Errorf("epoch %d: still coasting after the shrink window", i)
+		}
+	}
+	st := eng.Stats()
+	if st.CoastFixes != 30 {
+		t.Errorf("CoastFixes = %d, want 30", st.CoastFixes)
+	}
+	if got := st.Fixes + st.CoastFixes + st.SolveFailures + st.EpochErrors; got != 100 {
+		t.Errorf("event conservation: %d accounted, want 100", got)
+	}
+}
+
+// TestEngineShardHealthCensus drives one shard into coasting and checks
+// the /healthz-facing census tracks the transition and the recovery.
+func TestEngineShardHealthCensus(t *testing.T) {
+	prog, err := fault.ParseSpec("shrink:n=1,from=20,until=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{Receivers: 2, Workers: 2, Seed: 9, Faults: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any run every session is healthy.
+	total := 0
+	for _, h := range eng.ShardHealth() {
+		total += int(h.Healthy)
+		if h.Degraded != 0 || h.Coasting != 0 {
+			t.Errorf("pre-run census has degraded/coasting sessions: %+v", h)
+		}
+	}
+	if total != 2 {
+		t.Fatalf("pre-run healthy census = %d, want 2", total)
+	}
+	// Run only into the middle of the shrink window.
+	if err := eng.Run(context.Background(), 25); err != nil {
+		t.Fatal(err)
+	}
+	coasting := 0
+	for _, h := range eng.ShardHealth() {
+		coasting += int(h.Coasting)
+	}
+	if coasting != 2 {
+		t.Errorf("mid-window coasting census = %d, want 2", coasting)
+	}
+	// Resume past the window: sessions recover.
+	if err := eng.Run(context.Background(), 60); err != nil {
+		t.Fatal(err)
+	}
+	healthy := 0
+	for _, h := range eng.ShardHealth() {
+		healthy += int(h.Healthy) + int(h.Degraded)
+	}
+	if healthy != 2 {
+		t.Errorf("post-window recovered census = %d, want 2", healthy)
+	}
+}
+
+// TestEngineFallbackKeepsUncalibratedEpochsAlive: a DLG primary cannot
+// solve before its predictor calibrates; the chain must hand those early
+// epochs to NR instead of failing them.
+func TestEngineFallbackKeepsUncalibratedEpochsAlive(t *testing.T) {
+	var failures, fixes int
+	var firstSolver string
+	eng, err := New(Config{
+		Receivers: 1,
+		Workers:   1,
+		Solver:    "dlg",
+		Seed:      5,
+		Sink: func(e FixEvent) {
+			if e.Err != nil {
+				failures++
+				return
+			}
+			if fixes == 0 {
+				firstSolver = e.Solver
+			}
+			fixes++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background(), 80); err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Errorf("%d failed epochs despite the fallback chain", failures)
+	}
+	if fixes != 80 {
+		t.Errorf("%d fixes, want 80", fixes)
+	}
+	if firstSolver == "DLG" {
+		t.Error("first epoch claims DLG before the predictor could calibrate")
+	}
+	if st := eng.Stats(); st.Fallbacks == 0 {
+		t.Error("no fallbacks counted during DLG calibration warm-up")
+	}
+}

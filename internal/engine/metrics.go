@@ -4,17 +4,23 @@ import "gpsdl/internal/telemetry"
 
 // shardMetrics is one shard's instrument set, all labeled shard="N".
 // Counters are engine-lifetime totals; the queue-depth gauge samples the
-// job channel each time a batch is picked up.
+// job channel each time a batch is picked up; the session-state gauges
+// track how many of the shard's sessions sit in each health state.
 type shardMetrics struct {
-	fixes         *telemetry.Counter
-	solveFailures *telemetry.Counter
-	epochErrors   *telemetry.Counter
-	solveSeconds  *telemetry.Histogram
-	queueDepth    *telemetry.Gauge
-	enqueued      *telemetry.Counter
-	done          *telemetry.Counter
-	aborted       *telemetry.Counter
-	skippedTicks  *telemetry.Counter
+	fixes            *telemetry.Counter
+	coastFixes       *telemetry.Counter
+	solveFailures    *telemetry.Counter
+	epochErrors      *telemetry.Counter
+	faultEvents      *telemetry.Counter
+	solveSeconds     *telemetry.Histogram
+	queueDepth       *telemetry.Gauge
+	enqueued         *telemetry.Counter
+	done             *telemetry.Counter
+	aborted          *telemetry.Counter
+	skippedTicks     *telemetry.Counter
+	healthySessions  *telemetry.Gauge
+	degradedSessions *telemetry.Gauge
+	coastingSessions *telemetry.Gauge
 }
 
 func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
@@ -22,10 +28,14 @@ func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
 	return &shardMetrics{
 		fixes: reg.Counter("engine_fixes_total",
 			"Successful fixes produced", l),
+		coastFixes: reg.Counter("engine_coast_fixes_total",
+			"Dead-reckoning fixes emitted while coasting on the clock model", l),
 		solveFailures: reg.Counter("engine_solve_failures_total",
-			"Epochs where the main solver returned an error", l),
+			"Epochs where every fallback solver failed and no coast was possible", l),
 		epochErrors: reg.Counter("engine_epoch_errors_total",
 			"Epochs that failed before solving (generation errors)", l),
+		faultEvents: reg.Counter("engine_fault_events_total",
+			"Fault-injector events applied to this shard's epochs", l),
 		solveSeconds: reg.Histogram("engine_solve_seconds",
 			"Main-solver latency per fix",
 			telemetry.ExponentialBuckets(1e-6, 2, 16), l),
@@ -39,5 +49,23 @@ func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
 			"Batches cut short or drained after cancellation", l),
 		skippedTicks: reg.Counter("engine_skipped_ticks_total",
 			"Paced-mode ticks dropped because the shard queue was full", l),
+		healthySessions: reg.Gauge("engine_sessions_healthy",
+			"Sessions whose last fix was a clean primary solve", l),
+		degradedSessions: reg.Gauge("engine_sessions_degraded",
+			"Sessions on a fallback solver, post-exclusion, or suspect fix", l),
+		coastingSessions: reg.Gauge("engine_sessions_coasting",
+			"Sessions holding position on the clock model", l),
+	}
+}
+
+// stateGauge maps a session state to its census gauge.
+func (m *shardMetrics) stateGauge(st SessionState) *telemetry.Gauge {
+	switch st {
+	case StateDegraded:
+		return m.degradedSessions
+	case StateCoasting:
+		return m.coastingSessions
+	default:
+		return m.healthySessions
 	}
 }

@@ -7,35 +7,81 @@ import (
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
 	"gpsdl/internal/eval"
+	"gpsdl/internal/fault"
 	"gpsdl/internal/geo"
 	"gpsdl/internal/nmea"
 	"gpsdl/internal/scenario"
 )
 
-// session is one receiver's complete state: scenario generator, clock
-// predictor, solvers, and the reusable buffers that keep the steady-state
-// step allocation-free. A session is owned by exactly one shard and never
-// touched concurrently.
+// SessionState is a session's health: Healthy fixes come from a clean
+// primary solve; Degraded fixes needed a fallback solver, a RAIM
+// exclusion, or carry an unresolved integrity fault; Coasting fixes hold
+// the last good position on the clock model because the sky (fewer than
+// 4 satellites, or no solver converging) cannot support a solve.
+type SessionState uint8
+
+// Session health states, in order of increasing trouble.
+const (
+	StateHealthy SessionState = iota
+	StateDegraded
+	StateCoasting
+)
+
+// String returns the state's /healthz name.
+func (st SessionState) String() string {
+	switch st {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateCoasting:
+		return "coasting"
+	default:
+		return "unknown"
+	}
+}
+
+// Receiver-position plausibility band for the warm-start predictor feed:
+// anything outside [Earth surface − 1000 km, +1000 km] is a poisoned
+// solve (gross fault) that must not recalibrate the clock model.
+const (
+	minPlausibleNorm = 5.4e6
+	maxPlausibleNorm = 7.4e6
+)
+
+// session is one receiver's complete state: scenario generator, fault
+// injector, clock predictor, solver fallback chain, health state, and the
+// reusable buffers that keep the steady-state step allocation-free. A
+// session is owned by exactly one shard and never touched concurrently.
 type session struct {
 	recv  int
 	shard int
 	step_ float64 // epoch spacing (cfg.Step); step is the method
 
-	gen    *scenario.Generator
-	pred   clock.Predictor
-	warm   *core.NRSolver // feeds the predictor, gpsserve-style
-	solver core.Solver
-	sink   FixSink
-	m      *shardMetrics
+	gen   *scenario.Generator
+	inj   *fault.Injector // nil when the run is fault-free
+	pred  clock.Predictor
+	warm  *core.NRSolver // feeds the predictor, gpsserve-style
+	chain *core.FallbackChain
+	sink  FixSink
+	m     *shardMetrics
 
-	obs []core.Observation // reused epoch conversion buffer
-	buf []byte             // reused NMEA sentence buffer
-	pre []scenario.Epoch   // optional pregenerated epochs
+	state    SessionState
+	lastGood core.Solution // most recent non-suspect fix, for coasting
+	haveGood bool
+
+	obs  []core.Observation // reused epoch conversion buffer
+	fobs []scenario.SatObs  // reused faulted-observation buffer
+	fev  []fault.Event      // reused per-epoch fault-event buffer
+	buf  []byte             // reused NMEA sentence buffer
+	pre  []scenario.Epoch   // optional pregenerated epochs
 }
 
 // newSession builds receiver r's session. Station templates are assigned
-// round-robin and each receiver draws from its own seed stream Seed+r.
-func newSession(cfg Config, r, shardID int, m *shardMetrics) (*session, error) {
+// round-robin and each receiver draws from its own seed stream Seed+r;
+// the fault injector likewise uses FaultSeed+r so burst noise is distinct
+// but reproducible per receiver.
+func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics) (*session, error) {
 	st := cfg.Stations[r%len(cfg.Stations)]
 	gcfg := scenario.DefaultConfig(cfg.Seed + int64(r))
 	gcfg.Step = cfg.Step
@@ -52,18 +98,27 @@ func newSession(cfg Config, r, shardID int, m *shardMetrics) (*session, error) {
 		pred:  eval.DefaultPredictor(st.Clock),
 		sink:  cfg.Sink,
 		m:     m,
+		state: StateHealthy,
+	}
+	if len(cfg.Faults) > 0 {
+		s.inj = fault.NewInjector(cfg.Faults, cfg.FaultSeed+int64(r))
 	}
 	sc := &core.Scratch{}
 	s.warm = &core.NRSolver{Scratch: sc}
-	solver, err := newSolver(cfg.Solver, s.pred, sc)
+	chain, err := newChain(cfg.Solver, s.pred, sc)
 	if err != nil {
 		return nil, err
 	}
-	s.solver = solver
+	chain.EnableRAIM(0, cm.raim)
+	chain.SetMetrics(cm.fallback)
+	s.chain = chain
+	m.stateGauge(StateHealthy).Inc()
 	return s, nil
 }
 
 // pregenerate caches epochs [0, n) so step skips scenario generation.
+// Faults are NOT baked in here: the injector runs inside step, so the
+// same pregenerated epochs serve any fault program.
 func (s *session) pregenerate(n int) error {
 	pre := make([]scenario.Epoch, n)
 	for i := 0; i < n; i++ {
@@ -77,15 +132,16 @@ func (s *session) pregenerate(n int) error {
 	return nil
 }
 
-// step runs one epoch end to end: obtain observations, warm-start NR to
-// feed the clock predictor, main solve, DOP, NMEA, sink. With
-// pregenerated epochs the whole body is allocation-free in steady state.
+// step runs one epoch end to end: obtain observations, inject faults,
+// warm-start NR to feed the clock predictor, fallback-chain solve (or
+// coast), DOP, NMEA, sink. With pregenerated epochs the whole body is
+// allocation-free in steady state.
 func (s *session) step(i int) {
 	var ep scenario.Epoch
 	if s.pre != nil {
 		if i >= len(s.pre) {
 			s.m.epochErrors.Inc()
-			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, Err: errPastPregenerated})
+			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, State: s.state, Err: errPastPregenerated})
 			return
 		}
 		ep = s.pre[i]
@@ -94,36 +150,55 @@ func (s *session) step(i int) {
 		ep, err = s.gen.EpochAt(float64(i) * s.step_)
 		if err != nil {
 			s.m.epochErrors.Inc()
-			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, Err: err})
+			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, State: s.state, Err: err})
 			return
 		}
 	}
+	satObs := ep.Obs
+	var fev []fault.Event
+	if s.inj != nil {
+		s.fobs, s.fev = s.inj.Apply(ep.T, ep.Obs, s.fobs[:0], s.fev[:0])
+		satObs, fev = s.fobs, s.fev
+		s.m.faultEvents.Add(uint64(len(fev)))
+	}
 	obs := s.obs[:0]
-	for j := range ep.Obs {
-		o := &ep.Obs[j]
+	for j := range satObs {
+		o := &satObs[j]
 		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
 	}
 	s.obs = obs
 	// Feed the predictor from a warm NR solve (Section 4.2's "use the
-	// clock bias calculated by the NR method"), exactly as gpsserve does.
+	// clock bias calculated by the NR method"), exactly as gpsserve does —
+	// but gate on position plausibility so a grossly faulted epoch cannot
+	// poison the clock model the coasting path depends on.
 	if nrSol, err := s.warm.Solve(ep.T, obs); err == nil {
-		s.pred.Observe(clock.Fix{T: ep.T, Bias: nrSol.ClockBias / geo.SpeedOfLight})
+		if n := nrSol.Pos.Norm(); n >= minPlausibleNorm && n <= maxPlausibleNorm {
+			s.pred.Observe(clock.Fix{T: ep.T, Bias: nrSol.ClockBias / geo.SpeedOfLight})
+		}
 	}
 	start := time.Now()
-	sol, err := s.solver.Solve(ep.T, obs)
+	res, err := s.chain.Solve(ep.T, obs)
 	s.m.solveSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
-		s.m.solveFailures.Inc()
-		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, T: ep.T, Sats: len(obs), Err: err})
+		s.coastOrFail(i, ep.T, len(obs), fev, err)
 		return
 	}
+	if !res.Suspect {
+		s.lastGood = res.Solution
+		s.haveGood = true
+	}
+	if res.Degraded() {
+		s.setState(StateDegraded)
+	} else {
+		s.setState(StateHealthy)
+	}
 	hdop := 0.0
-	if dop, derr := core.DOPFromObs(sol.Pos, obs); derr == nil {
+	if dop, derr := core.DOPFromObs(res.Solution.Pos, obs); derr == nil {
 		hdop = dop.HDOP
 	}
 	fix := nmea.Fix{
 		TimeOfDay: ep.T,
-		Pos:       sol.Pos.ToLLA(),
+		Pos:       res.Solution.Pos.ToLLA(),
 		Quality:   nmea.QualityGPS,
 		NumSats:   len(obs),
 		HDOP:      hdop,
@@ -135,9 +210,61 @@ func (s *session) step(i int) {
 	s.m.fixes.Inc()
 	s.emit(FixEvent{
 		Receiver: s.recv, Shard: s.shard, Epoch: i, T: ep.T,
-		Sol: sol, HDOP: hdop, Sats: len(obs),
+		Sol: res.Solution, HDOP: hdop, Sats: len(obs),
+		Solver: res.Solver, Excluded: res.Excluded, Suspect: res.Suspect,
+		State: s.state, Faults: fev,
 		GGA: buf[:ggaLen], RMC: buf[ggaLen:],
 	})
+}
+
+// coastOrFail handles an epoch no solver could fix. With a previous good
+// fix the session coasts: position-hold on lastGood plus the clock
+// model's extrapolated bias, emitted as a QualityEstimated fix so
+// downstream consumers see a flagged dead-reckoning solution instead of
+// silence or garbage. Without one (cold start under fault) the epoch is
+// reported failed.
+func (s *session) coastOrFail(i int, t float64, sats int, fev []fault.Event, err error) {
+	if !s.haveGood {
+		s.setState(StateCoasting)
+		s.m.solveFailures.Inc()
+		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, T: t,
+			Sats: sats, State: s.state, Faults: fev, Err: err})
+		return
+	}
+	s.setState(StateCoasting)
+	sol := s.lastGood
+	if bias, perr := s.pred.PredictBias(t); perr == nil {
+		sol.ClockBias = bias * geo.SpeedOfLight
+	}
+	fix := nmea.Fix{
+		TimeOfDay: t,
+		Pos:       sol.Pos.ToLLA(),
+		Quality:   nmea.QualityEstimated,
+		NumSats:   sats,
+	}
+	buf := nmea.AppendGGA(s.buf[:0], fix)
+	ggaLen := len(buf)
+	buf = nmea.AppendRMC(buf, fix)
+	s.buf = buf
+	s.m.coastFixes.Inc()
+	s.emit(FixEvent{
+		Receiver: s.recv, Shard: s.shard, Epoch: i, T: t,
+		Sol: sol, Sats: sats, Coast: true,
+		Solver: "coast", Excluded: -1,
+		State: s.state, Faults: fev,
+		GGA: buf[:ggaLen], RMC: buf[ggaLen:],
+	})
+}
+
+// setState moves the health state machine, keeping the shard's per-state
+// session gauges consistent.
+func (s *session) setState(next SessionState) {
+	if s.state == next {
+		return
+	}
+	s.m.stateGauge(s.state).Dec()
+	s.m.stateGauge(next).Inc()
+	s.state = next
 }
 
 func (s *session) emit(e FixEvent) {

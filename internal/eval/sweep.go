@@ -106,9 +106,32 @@ type Row struct {
 	// MaxGDOP): with few satellites, occasional near-degenerate
 	// geometries would otherwise dominate every algorithm's mean error.
 	SkippedDOP int
-	NR         ArmResult
-	DLO        ArmResult
-	DLG        ArmResult
+	// SkippedSats counts epochs dropped because fewer than m satellites
+	// were in view. These epochs used to vanish without a trace, which
+	// silently shrank the availability denominator: a receiver that sees
+	// m satellites only 10% of the time reported the same availability
+	// as one that sees them always.
+	SkippedSats int
+	NR          ArmResult
+	DLO         ArmResult
+	DLG         ArmResult
+}
+
+// Candidates returns how many measurement epochs were considered at this
+// m — solved, geometry-screened, or short of satellites. It is the
+// denominator every availability figure must use.
+func (r Row) Candidates() int { return r.Epochs + r.SkippedDOP + r.SkippedSats }
+
+// Availability returns the percentage of candidate epochs for which the
+// given arm (one of r.NR, r.DLO, r.DLG) produced an accepted fix. Epochs
+// without m satellites in view and epochs rejected by the GDOP screen
+// count against availability, exactly as they would for a real receiver.
+func (r Row) Availability(a ArmResult) float64 {
+	c := r.Candidates()
+	if c == 0 {
+		return 0
+	}
+	return 100 * float64(a.Fixes) / float64(c)
 }
 
 // AccuracyRateDLO returns η_DLO (eq. 5-2) for this row.
@@ -207,6 +230,7 @@ func (s *Sweep) runOne(m, initEpochs, reps int, sel SelectionMode, maxGDOP float
 		e := &epochs[i]
 		obs := selectObsInto(obsBuf, e.Obs, m, sel, rng, truth)
 		if obs == nil {
+			row.SkippedSats++
 			continue
 		}
 		if maxGDOP > 0 && !geometryOK(truth, obs, maxGDOP) {

@@ -1,0 +1,278 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+// testEpoch builds a small epoch with descending elevations, mirroring
+// the generator's sort order.
+func testEpoch(t float64) scenario.Epoch {
+	ep := scenario.Epoch{T: t}
+	for i, prn := range []int{7, 12, 3, 25, 30, 5} {
+		ep.Obs = append(ep.Obs, scenario.SatObs{
+			PRN:         prn,
+			Pos:         geo.ECEF{X: 2e7 + float64(i)*1e5, Y: 1e7, Z: 5e6},
+			Pseudorange: 2.2e7 + float64(i)*1e4,
+			Elevation:   1.4 - 0.2*float64(i),
+		})
+	}
+	return ep
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"drop:prn=7,from=100,until=300",
+		"step:prn=3,from=50,until=250,bias=75",
+		"ramp:prn=12,rate=0.5",
+		"burst:from=400,until=460,sigma=15",
+		"clockjump:from=500,bias=0.001",
+		"shrink:n=3,from=600,until=700",
+		"drop:prn=7,from=100,until=300;step:prn=3,bias=75;shrink:n=0,from=10,until=20",
+	}
+	for _, spec := range specs {
+		prog, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		rt, err := ParseSpec(prog.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String(%q)) = %q: %v", spec, prog.String(), err)
+		}
+		if !reflect.DeepEqual(prog, rt) {
+			t.Errorf("spec %q did not round-trip: %#v != %#v", spec, prog, rt)
+		}
+	}
+}
+
+func TestSpecAtAlias(t *testing.T) {
+	a, err := ParseSpec("clockjump:at=500,bias=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("clockjump:from=500,bias=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("at= and from= parse differently: %#v vs %#v", a, b)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []string{
+		"warp:prn=1",                    // unknown kind
+		"drop:prn",                      // not key=value
+		"drop:satellite=1",              // unknown key
+		"drop:prn=x",                    // bad int
+		"step:prn=1",                    // step without bias
+		"ramp:prn=1",                    // ramp without rate
+		"burst:sigma=0",                 // burst without positive sigma
+		"clockjump:at=5",                // clockjump without bias
+		"shrink:from=1",                 // shrink without n
+		"drop:prn=1,from=100,until=50",  // inverted window
+		"burst:sigma=nan,from=0",        // NaN rejected
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+	if prog, err := ParseSpec("  "); err != nil || prog != nil {
+		t.Errorf("blank spec: got %v, %v", prog, err)
+	}
+}
+
+// TestApplyDeterminism is the injector's core guarantee: identical
+// inputs give byte-identical outputs and event logs, for repeated calls
+// and for epochs processed in any order.
+func TestApplyDeterminism(t *testing.T) {
+	prog, err := ParseSpec("drop:prn=12,from=5,until=50;step:prn=3,bias=80,from=0;burst:sigma=10,from=20,until=60;clockjump:at=40,bias=1e-3;shrink:n=4,from=70,until=90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(prog, 99)
+	times := []float64{0, 10, 25, 45, 75, 80}
+	type result struct {
+		ep scenario.Epoch
+		ev []Event
+	}
+	run := func(order []int) map[float64]result {
+		out := make(map[float64]result)
+		for _, i := range order {
+			tt := times[i]
+			ep, ev := in.ApplyEpoch(testEpoch(tt))
+			out[tt] = result{ep, ev}
+		}
+		return out
+	}
+	fwd := run([]int{0, 1, 2, 3, 4, 5})
+	rev := run([]int{5, 4, 3, 2, 1, 0})
+	for _, tt := range times {
+		if !reflect.DeepEqual(fwd[tt], rev[tt]) {
+			t.Errorf("t=%g: forward and reverse order disagree", tt)
+		}
+	}
+	// A distinct injector with the same (program, seed) agrees too.
+	in2 := NewInjector(prog, 99)
+	for _, tt := range times {
+		ep, ev := in2.ApplyEpoch(testEpoch(tt))
+		if !reflect.DeepEqual(fwd[tt], result{ep, ev}) {
+			t.Errorf("t=%g: fresh injector disagrees", tt)
+		}
+	}
+	// A different seed must change the burst draws.
+	in3 := NewInjector(prog, 100)
+	ep3, _ := in3.ApplyEpoch(testEpoch(25))
+	if reflect.DeepEqual(fwd[25].ep, ep3) {
+		t.Error("seed change did not alter burst noise")
+	}
+}
+
+func TestApplyDrop(t *testing.T) {
+	prog, _ := ParseSpec("drop:prn=12,from=5,until=50")
+	in := NewInjector(prog, 1)
+	ep, ev := in.ApplyEpoch(testEpoch(10))
+	if len(ep.Obs) != 5 {
+		t.Fatalf("dropped epoch has %d obs, want 5", len(ep.Obs))
+	}
+	for _, o := range ep.Obs {
+		if o.PRN == 12 {
+			t.Error("PRN 12 still present inside drop window")
+		}
+	}
+	if len(ev) != 1 || ev[0].Kind != KindDrop || ev[0].PRN != 12 {
+		t.Errorf("drop events = %+v", ev)
+	}
+	// Outside the window nothing happens.
+	ep, ev = in.ApplyEpoch(testEpoch(60))
+	if len(ep.Obs) != 6 || len(ev) != 0 {
+		t.Errorf("outside window: %d obs, %d events", len(ep.Obs), len(ev))
+	}
+}
+
+func TestApplyStepAndRamp(t *testing.T) {
+	prog, _ := ParseSpec("step:prn=3,bias=75,from=0;ramp:prn=7,rate=0.5,from=10")
+	in := NewInjector(prog, 1)
+	base := testEpoch(30)
+	ep, ev := in.ApplyEpoch(base)
+	var sawStep, sawRamp bool
+	for i, o := range ep.Obs {
+		switch o.PRN {
+		case 3:
+			if got := o.Pseudorange - base.Obs[i].Pseudorange; got != 75 {
+				t.Errorf("step delta = %g, want 75", got)
+			}
+			sawStep = true
+		case 7:
+			if got := o.Pseudorange - base.Obs[i].Pseudorange; got != 0.5*(30-10) {
+				t.Errorf("ramp delta = %g, want 10", got)
+			}
+			sawRamp = true
+		default:
+			if o.Pseudorange != base.Obs[i].Pseudorange {
+				t.Errorf("PRN %d perturbed without a matching clause", o.PRN)
+			}
+		}
+	}
+	if !sawStep || !sawRamp {
+		t.Fatal("target satellites missing from epoch")
+	}
+	if len(ev) != 2 {
+		t.Errorf("%d events, want 2: %+v", len(ev), ev)
+	}
+}
+
+func TestApplyClockJumpHitsAllSatellites(t *testing.T) {
+	prog, _ := ParseSpec("clockjump:at=40,bias=1e-3")
+	in := NewInjector(prog, 1)
+	base := testEpoch(50)
+	ep, ev := in.ApplyEpoch(base)
+	want := geo.SpeedOfLight * 1e-3
+	for i := range ep.Obs {
+		// The addition rounds at the ~2e7 m pseudo-range magnitude, so
+		// compare to within one ULP of that scale.
+		if got := ep.Obs[i].Pseudorange - base.Obs[i].Pseudorange; math.Abs(got-want) > 1e-5 {
+			t.Errorf("PRN %d: jump delta %g, want %g", ep.Obs[i].PRN, got, want)
+		}
+	}
+	if len(ev) != 1 || ev[0].Kind != KindClockJump || ev[0].Delta != want {
+		t.Errorf("clockjump events = %+v", ev)
+	}
+}
+
+func TestApplyShrinkKeepsHighestElevation(t *testing.T) {
+	prog, _ := ParseSpec("shrink:n=3,from=0")
+	in := NewInjector(prog, 1)
+	ep, ev := in.ApplyEpoch(testEpoch(5))
+	if len(ep.Obs) != 3 {
+		t.Fatalf("shrunk epoch has %d obs, want 3", len(ep.Obs))
+	}
+	for _, want := range []int{7, 12, 3} { // the three highest elevations
+		found := false
+		for _, o := range ep.Obs {
+			if o.PRN == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shrink removed high-elevation PRN %d", want)
+		}
+	}
+	if len(ev) != 1 || ev[0].Delta != 3 {
+		t.Errorf("shrink events = %+v", ev)
+	}
+}
+
+func TestScale(t *testing.T) {
+	prog, _ := ParseSpec("step:prn=3,bias=100,from=0;drop:prn=7,from=10,until=110;burst:sigma=8,from=0;ramp:prn=5,rate=2,from=0;clockjump:at=5,bias=1e-3")
+	half := prog.Scale(0.5)
+	if half[0].Bias != 50 {
+		t.Errorf("scaled step bias = %g, want 50", half[0].Bias)
+	}
+	if half[1].Until != 60 { // window 100 s long → 50 s
+		t.Errorf("scaled drop until = %g, want 60", half[1].Until)
+	}
+	if half[2].Sigma != 4 {
+		t.Errorf("scaled burst sigma = %g, want 4", half[2].Sigma)
+	}
+	if half[3].Rate != 1 {
+		t.Errorf("scaled ramp rate = %g, want 1", half[3].Rate)
+	}
+	if half[4].Bias != 5e-4 {
+		t.Errorf("scaled clockjump bias = %g, want 5e-4", half[4].Bias)
+	}
+	if !math.IsInf(half[2].Until, 1) {
+		t.Error("infinite window did not stay infinite")
+	}
+	if got := prog.Scale(0); got != nil {
+		t.Errorf("Scale(0) = %v, want nil", got)
+	}
+	if got := prog.Scale(1); !reflect.DeepEqual(Program(got), prog) {
+		t.Errorf("Scale(1) changed the program")
+	}
+}
+
+func TestApplyDataset(t *testing.T) {
+	ds := &scenario.Dataset{Epochs: []scenario.Epoch{testEpoch(0), testEpoch(10), testEpoch(20)}}
+	prog, _ := ParseSpec("drop:prn=7,from=5,until=15")
+	out, log := ApplyDataset(ds, prog, 3)
+	if len(out.Epochs) != 3 {
+		t.Fatalf("%d epochs, want 3", len(out.Epochs))
+	}
+	if len(out.Epochs[0].Obs) != 6 || len(out.Epochs[1].Obs) != 5 || len(out.Epochs[2].Obs) != 6 {
+		t.Errorf("obs counts = %d/%d/%d, want 6/5/6",
+			len(out.Epochs[0].Obs), len(out.Epochs[1].Obs), len(out.Epochs[2].Obs))
+	}
+	if len(log) != 1 || log[0].T != 10 {
+		t.Errorf("log = %+v", log)
+	}
+	// Input untouched.
+	if len(ds.Epochs[1].Obs) != 6 {
+		t.Error("ApplyDataset modified its input")
+	}
+}

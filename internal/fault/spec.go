@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Spec grammar
+//
+//	spec    = clause *( ";" clause )
+//	clause  = kind ":" field *( "," field )   |   kind
+//	field   = key "=" value
+//	kind    = "drop" | "step" | "ramp" | "burst" | "clockjump" | "shrink"
+//	key     = "prn" | "from" | "until" | "at" | "bias" | "rate" | "sigma" | "n"
+//
+// Examples:
+//
+//	drop:prn=7,from=100,until=300
+//	step:prn=3,bias=75,from=50,until=250
+//	ramp:prn=12,rate=0.5,from=0
+//	burst:sigma=15,from=400,until=460
+//	clockjump:at=500,bias=0.001
+//	shrink:n=3,from=600,until=700
+//
+// "at" is an alias for "from" (natural for clock jumps). A missing
+// "until" means +Inf (for the rest of the run); a missing "from" means 0.
+
+// ParseSpec parses a fault-program spec string. An empty spec yields an
+// empty (fault-free) program.
+func ParseSpec(spec string) (Program, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var prog Program
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		c, err := parseClause(raw)
+		if err != nil {
+			return nil, err
+		}
+		prog = append(prog, c)
+	}
+	return prog, nil
+}
+
+// parseClause parses one "kind:key=val,..." clause.
+func parseClause(raw string) (Clause, error) {
+	kindStr, rest, _ := strings.Cut(raw, ":")
+	c := Clause{From: 0, Until: math.Inf(1)}
+	switch strings.TrimSpace(kindStr) {
+	case "drop":
+		c.Kind = KindDrop
+	case "step":
+		c.Kind = KindStep
+	case "ramp":
+		c.Kind = KindRamp
+	case "burst":
+		c.Kind = KindBurst
+	case "clockjump":
+		c.Kind = KindClockJump
+	case "shrink":
+		c.Kind = KindShrink
+	default:
+		return Clause{}, fmt.Errorf("fault: unknown kind %q in clause %q (want drop, step, ramp, burst, clockjump or shrink)", kindStr, raw)
+	}
+	c.N = -1
+	for _, f := range strings.Split(rest, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Clause{}, fmt.Errorf("fault: field %q in clause %q is not key=value", f, raw)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "prn", "n":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Clause{}, fmt.Errorf("fault: bad %s %q in clause %q", key, val, raw)
+			}
+			if key == "prn" {
+				c.PRN = n
+			} else {
+				c.N = n
+			}
+		case "from", "at", "until", "bias", "rate", "sigma":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) {
+				return Clause{}, fmt.Errorf("fault: bad %s %q in clause %q", key, val, raw)
+			}
+			switch key {
+			case "from", "at":
+				c.From = v
+			case "until":
+				c.Until = v
+			case "bias":
+				c.Bias = v
+			case "rate":
+				c.Rate = v
+			case "sigma":
+				c.Sigma = v
+			}
+		default:
+			return Clause{}, fmt.Errorf("fault: unknown key %q in clause %q", key, raw)
+		}
+	}
+	return c, c.validate(raw)
+}
+
+// validate enforces per-kind required fields and sane windows.
+func (c Clause) validate(raw string) error {
+	if c.Until < c.From {
+		return fmt.Errorf("fault: clause %q: until %g before from %g", raw, c.Until, c.From)
+	}
+	switch c.Kind {
+	case KindStep:
+		if c.Bias == 0 {
+			return fmt.Errorf("fault: clause %q: step needs bias", raw)
+		}
+	case KindRamp:
+		if c.Rate == 0 {
+			return fmt.Errorf("fault: clause %q: ramp needs rate", raw)
+		}
+	case KindBurst:
+		if c.Sigma <= 0 {
+			return fmt.Errorf("fault: clause %q: burst needs sigma > 0", raw)
+		}
+	case KindClockJump:
+		if c.Bias == 0 {
+			return fmt.Errorf("fault: clause %q: clockjump needs bias", raw)
+		}
+	case KindShrink:
+		if c.N < 0 {
+			return fmt.Errorf("fault: clause %q: shrink needs n >= 0", raw)
+		}
+	}
+	return nil
+}
+
+// String renders the clause in canonical spec form; ParseSpec round-trips
+// it.
+func (c Clause) String() string {
+	var sb strings.Builder
+	sb.WriteString(c.Kind.String())
+	sep := byte(':')
+	field := func(key, val string) {
+		sb.WriteByte(sep)
+		sep = ','
+		sb.WriteString(key)
+		sb.WriteByte('=')
+		sb.WriteString(val)
+	}
+	ftoa := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if c.PRN != 0 {
+		field("prn", strconv.Itoa(c.PRN))
+	}
+	if c.N >= 0 && c.Kind == KindShrink {
+		field("n", strconv.Itoa(c.N))
+	}
+	if c.From != 0 {
+		field("from", ftoa(c.From))
+	}
+	if !math.IsInf(c.Until, 1) {
+		field("until", ftoa(c.Until))
+	}
+	if c.Bias != 0 {
+		field("bias", ftoa(c.Bias))
+	}
+	if c.Rate != 0 {
+		field("rate", ftoa(c.Rate))
+	}
+	if c.Sigma != 0 {
+		field("sigma", ftoa(c.Sigma))
+	}
+	return sb.String()
+}
+
+// String renders the program as a spec string.
+func (p Program) String() string {
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,54 @@
+package nmea
+
+import (
+	"math"
+	"testing"
+
+	"gpsdl/internal/geo"
+)
+
+// FuzzValidate checks the framing/checksum layer two ways: Validate must
+// never panic on arbitrary input, and frame∘Validate is the identity on
+// any body (the '*' separator is located from the end, so bodies
+// containing '*' still round-trip).
+func FuzzValidate(f *testing.F) {
+	f.Add("$GPGGA,000000.00,4823.3820,N,00134.0000,W,1,08,1.0,35.0,M,0.0,M,,*7A")
+	f.Add("GPGGA,weird*body,with,stars")
+	f.Add("$*00")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = Validate(s) // must not panic, any error is fine
+		body, err := Validate(frame(s))
+		if err != nil {
+			t.Fatalf("Validate(frame(%q)): %v", s, err)
+		}
+		if body != s {
+			t.Fatalf("frame round trip changed body: %q != %q", body, s)
+		}
+	})
+}
+
+// FuzzParseGGA drives the sentence parser with arbitrary input. It must
+// never panic, and every fix it accepts must re-render to a sentence the
+// parser accepts again (render∘parse closure), provided the parsed
+// fields are finite — ParseFloat legitimately accepts NaN/Inf spellings
+// the fixed-width renderer cannot reproduce.
+func FuzzParseGGA(f *testing.F) {
+	f.Add(GGA(Fix{TimeOfDay: 43210, Pos: geo.LLA{Lat: 0.84, Lon: -0.02, Alt: 35}, Quality: QualityGPS, NumSats: 8, HDOP: 1.1}))
+	f.Add(GGA(Fix{TimeOfDay: 86399.99, Pos: geo.LLA{Lat: -1.2, Lon: 3.1, Alt: -10}, Quality: QualityEstimated, NumSats: 3, HDOP: 9.9}))
+	f.Add("$GPGGA,not,enough,fields*00")
+	f.Fuzz(func(t *testing.T, s string) {
+		fix, err := ParseGGA(s)
+		if err != nil {
+			return
+		}
+		for _, v := range []float64{fix.TimeOfDay, fix.Pos.Lat, fix.Pos.Lon, fix.Pos.Alt, fix.HDOP} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		again := GGA(fix)
+		if _, err := ParseGGA(again); err != nil {
+			t.Fatalf("re-parse of re-rendered %q (from %q): %v", again, s, err)
+		}
+	})
+}

@@ -31,6 +31,10 @@ const (
 	QualityInvalid FixQuality = 0
 	QualityGPS     FixQuality = 1
 	QualityDGPS    FixQuality = 2
+	// QualityEstimated marks a dead-reckoning (coasting) fix: the receiver
+	// is holding its last position and extrapolating the clock model, not
+	// solving from satellites.
+	QualityEstimated FixQuality = 6
 )
 
 // Fix is the information one epoch's solution contributes to a sentence.

@@ -1,0 +1,46 @@
+package orbit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadYuma drives the almanac reader with arbitrary text. YUMA files
+// come from outside the repository (the Navigation Center publishes
+// them), so the parser must never panic, and any almanac it accepts must
+// survive a write-back round trip: WriteYuma's output for the parsed
+// satellites has to parse again with the same satellite count and PRNs.
+// The format is label:value per line, so the round trip holds for every
+// float64 the reader can produce (NaN and ±Inf print and re-parse).
+func FuzzReadYuma(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteYuma(&buf, DefaultConstellation().Satellites()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("******** Week 0 almanac for PRN-01 ********\nID: 01\n")
+	f.Add("field outside any block\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		sats, err := ReadYuma(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteYuma(&out, sats); err != nil {
+			t.Fatalf("WriteYuma failed on parsed satellites: %v", err)
+		}
+		back, err := ReadYuma(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written almanac failed: %v", err)
+		}
+		if len(back) != len(sats) {
+			t.Fatalf("round trip kept %d of %d satellites", len(back), len(sats))
+		}
+		for i := range back {
+			if back[i].PRN != sats[i].PRN {
+				t.Fatalf("satellite %d PRN %d != %d after round trip", i, back[i].PRN, sats[i].PRN)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package rinex
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gpsdl/internal/orbit"
+	"gpsdl/internal/scenario"
+)
+
+// Fuzz targets for the two RINEX readers. These parsers face on-disk
+// input from outside the repository (IGS archives, receiver logs), so
+// they must never panic, and anything they accept must survive a
+// write-back round trip: a parsed constellation re-serialized by the
+// writer has to parse again. Seed corpora live under testdata/fuzz/.
+
+// fuzzObsSeed renders a small generated dataset as an observation file.
+func fuzzObsSeed(f *testing.F) string {
+	f.Helper()
+	st, err := scenario.StationByID("SRZN")
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := scenario.NewGenerator(st, scenario.DefaultConfig(17))
+	ds, err := g.GenerateRange(0, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObs(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	return buf.String()
+}
+
+func FuzzReadObs(f *testing.F) {
+	f.Add(fuzzObsSeed(f))
+	f.Add(obsHeader())
+	f.Add(obsHeader() + " 09  8 12  0  0  0.0000000  0  2G01G02\n 20000000.000\n 21000000.000\n")
+	f.Add("garbage with no header\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		obs, err := ReadObs(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if obs == nil {
+			t.Fatal("ReadObs returned nil file with nil error")
+		}
+		// The parser enforces the declared satellite count per epoch; a
+		// mismatch slipping through would desynchronize every downstream
+		// consumer of the epoch stream.
+		for i, e := range obs.Epochs {
+			for _, s := range e.Sats {
+				if s.PRN < 0 || s.PRN > 99 {
+					t.Fatalf("epoch %d: PRN %d outside the two-digit field", i, s.PRN)
+				}
+			}
+		}
+	})
+}
+
+// fitsD reports whether formatD can represent v in its fixed 19-char
+// field (12-digit mantissa, two-digit exponent). Parsed files can carry
+// values outside that range — parseD delegates to strconv — and those
+// are legitimately not write-back-able.
+func fitsD(v float64) bool {
+	if v == 0 {
+		return true
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return false
+	}
+	a := math.Abs(v)
+	return a > 1e-80 && a < 1e80
+}
+
+// navWritable reports whether WriteNav can faithfully serialize the
+// satellite back into aligned D19.12 columns.
+func navWritable(s orbit.Satellite) bool {
+	e := s.Orbit
+	if e.SemiMajorAxis < 0 || !fitsD(math.Sqrt(e.SemiMajorAxis)) {
+		return false
+	}
+	for _, v := range []float64{s.ClockAF0, s.ClockAF1, e.MeanAnomaly,
+		e.Eccentricity, e.Toe, e.RAAN, e.Inclination, e.ArgPerigee, e.RAANRate} {
+		if !fitsD(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzReadNav(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteNav(&buf, orbit.DefaultConstellation().Satellites()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("no header here\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		sats, err := ReadNav(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, s := range sats {
+			if !navWritable(s) {
+				return
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteNav(&out, sats); err != nil {
+			t.Fatalf("WriteNav failed on parsed satellites: %v", err)
+		}
+		back, err := ReadNav(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written nav failed: %v", err)
+		}
+		if len(back) != len(sats) {
+			t.Fatalf("round trip kept %d of %d satellites", len(back), len(sats))
+		}
+		for i := range back {
+			if back[i].PRN != sats[i].PRN {
+				t.Fatalf("satellite %d PRN %d != %d after round trip", i, back[i].PRN, sats[i].PRN)
+			}
+		}
+	})
+}

@@ -152,9 +152,16 @@ func ReadObs(r io.Reader) (*ObsFile, error) {
 			if !sc.Scan() {
 				return nil, fmt.Errorf("rinex: truncated PRN list: %w", ErrBadEpoch)
 			}
-			more, err := parsePRNList(sc.Text()[32:], epoch.n-len(prns))
+			cont := sc.Text()
+			if len(cont) < 32 {
+				return nil, fmt.Errorf("rinex: short PRN continuation %q: %w", cont, ErrBadEpoch)
+			}
+			more, err := parsePRNList(cont[32:], epoch.n-len(prns))
 			if err != nil {
 				return nil, err
+			}
+			if len(more) == 0 {
+				return nil, fmt.Errorf("rinex: empty PRN continuation %q: %w", cont, ErrBadEpoch)
 			}
 			prns = append(prns, more...)
 		}
@@ -204,6 +211,11 @@ func parseEpochLine(line string) (epochHeader, []int, error) {
 	}
 	if flag != 0 {
 		return epochHeader{}, nil, fmt.Errorf("rinex: unsupported epoch flag %d: %w", flag, ErrBadEpoch)
+	}
+	// A GPS epoch carries at most a few dozen satellites; anything outside
+	// this band is a corrupt count that would otherwise size allocations.
+	if n < 0 || n > 99 {
+		return epochHeader{}, nil, fmt.Errorf("rinex: satellite count %d out of range: %w", n, ErrBadEpoch)
 	}
 	prns, err := parsePRNList(line[32:], n)
 	if err != nil {
