@@ -5,15 +5,24 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (Go -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-json bench-faults determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke clean
+.PHONY: all build vet lint test race bench bench-json bench-faults bench-recovery determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke chaos-smoke clean
 
-all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke bench-json
+all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke chaos-smoke bench-json
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static checks beyond vet: gofmt cleanliness everywhere, plus
+# staticcheck when (and only when) it is installed — the repo must stay
+# buildable with the bare Go toolchain.
+lint: vet
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; else echo "staticcheck not installed; skipped"; fi
 
 test:
 	$(GO) test ./...
@@ -33,6 +42,11 @@ bench-json:
 # and availability vs fault intensity, written to BENCH_faults.json.
 bench-faults:
 	$(GO) run ./cmd/gpsbench -faults
+
+# Checkpoint-recovery comparison: cold restart (NR re-warm-up) vs
+# -restore from a checkpoint, written to BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/gpsbench -recovery
 
 # Timebase determinism property: serial and parallel generation agree
 # bit-for-bit for awkward step sizes (0.1, 1/3, 86400/7).
@@ -83,6 +97,13 @@ metrics-smoke:
 # gpsrun -replay.
 trace-smoke:
 	GO="$(GO)" ./scripts/trace_smoke.sh
+
+# Chaos end-to-end check of the supervised engine (race-built gpsserve):
+# injected worker panic, stalled NMEA client, mid-run SIGTERM with
+# graceful drain, restart with -restore, and a corrupt-checkpoint
+# cold-start fallback.
+chaos-smoke:
+	GO="$(GO)" ./scripts/chaos_smoke.sh
 
 clean:
 	$(GO) clean ./...

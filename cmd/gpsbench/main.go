@@ -82,6 +82,12 @@ func run(args []string) error {
 		faultsEpochs    = fs.Int("faults-epochs", 600, "epochs per receiver for -faults")
 		faultsSeed      = fs.Int64("fault-seed", 1, "fault-injector seed for -faults")
 		faultsJSON      = fs.String("faults-json", "BENCH_faults.json", "write the -faults degradation series as JSON to this file (empty disables)")
+		recoveryOn      = fs.Bool("recovery", false, "run the checkpoint-recovery benchmark (cold NR re-warm-up vs restored clock calibration)")
+		recoveryRecv    = fs.Int("recovery-receivers", 4, "receiver sessions for -recovery (round-robin over the Table 5.1 stations)")
+		recoveryCut     = fs.Int("recovery-cut", 300, "epoch the serving engine is killed (and checkpointed) at for -recovery")
+		recoveryEpochs  = fs.Int("recovery-epochs", 600, "total epochs for -recovery; [cut, epochs) is the measured restart window")
+		recoverySolver  = fs.String("recovery-solver", "dlg", "primary solver for -recovery: nr, dlo, dlg or bancroft")
+		recoveryJSON    = fs.String("recovery-json", "BENCH_recovery.json", "write the -recovery comparison as JSON to this file (empty disables)")
 		metricsOut      = fs.String("metrics-out", "", "write a final Prometheus-format metrics snapshot to this file")
 		traceOut        = fs.String("trace-out", "", "write the figure sweeps' epoch traces as a Chrome trace_event file (open in Perfetto)")
 		traceN          = fs.Int("trace", 4096, "epoch traces retained for -trace-out")
@@ -130,7 +136,28 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn {
+	if *recoveryOn {
+		if *recoveryRecv < 1 {
+			return fmt.Errorf("-recovery-receivers must be positive, have %d", *recoveryRecv)
+		}
+		if *recoveryCut < 1 {
+			return fmt.Errorf("-recovery-cut must be positive, have %d", *recoveryCut)
+		}
+		if *recoveryEpochs <= *recoveryCut {
+			return fmt.Errorf("-recovery-epochs (%d) must exceed -recovery-cut (%d)", *recoveryEpochs, *recoveryCut)
+		}
+		if err := runRecoveryBench(recoveryBenchConfig{
+			receivers: *recoveryRecv,
+			cut:       *recoveryCut,
+			epochs:    *recoveryEpochs,
+			solver:    *recoverySolver,
+			seed:      *seed,
+			jsonPath:  *recoveryJSON,
+		}); err != nil {
+			return err
+		}
+	}
+	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn && !*recoveryOn {
 		*fig = "all"
 	}
 	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}

@@ -1,0 +1,277 @@
+// Recovery mode: -recovery prices what a checkpoint is worth. A serving
+// engine is killed at a cut epoch; the benchmark then races two restart
+// arms over the same post-cut window. The cold arm loses the clock
+// calibration and must re-warm its predictors through the NR fallback
+// (the expensive recalibration case the paper's Section 5 prices);
+// the restored arm resumes from the checkpointed D and r of eq. 4-3 and
+// produces primary-solver fixes immediately. BENCH_recovery.json records
+// the recovery gap in epochs, both arms' accuracy, their ratio on the
+// eq. 5-2 scale, and the checkpoint's save/load cost.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gpsdl/internal/checkpoint"
+	"gpsdl/internal/engine"
+	"gpsdl/internal/eval"
+	"gpsdl/internal/geo"
+	"gpsdl/internal/scenario"
+)
+
+// recoveryBenchConfig holds the -recovery-* flag values.
+type recoveryBenchConfig struct {
+	receivers int
+	cut       int // epoch the serving process dies at
+	epochs    int // total epochs; [cut, epochs) is the measured window
+	solver    string
+	seed      int64
+	jsonPath  string
+}
+
+// recoveryArm summarizes one restart strategy over the post-cut window.
+type recoveryArm struct {
+	Arm string `json:"arm"` // "cold" | "restored"
+	// RecoveryEpochs is how many epochs past the cut the slowest
+	// receiver needed before its primary solver produced a fix again
+	// (-1: some receiver never recovered). The cold arm pays the clock
+	// predictor's full calibration window here; the restored arm should
+	// be at or near zero.
+	RecoveryEpochs int `json:"recovery_epochs"`
+	// FirstPrimaryFix is the absolute epoch of each receiver's first
+	// post-cut primary-solver fix (-1: never).
+	FirstPrimaryFix []int `json:"first_primary_fix"`
+	// Fixes and MeanErrorM cover every non-coast fix in the window,
+	// fallback fixes included — exactly what a client would have seen.
+	Fixes      uint64  `json:"fixes"`
+	MeanErrorM float64 `json:"mean_error_m"`
+}
+
+// recoveryReport is the -recovery-json document.
+type recoveryReport struct {
+	Benchmark string `json:"benchmark"`
+	Solver    string `json:"solver"`
+	Receivers int    `json:"receivers"`
+	CutEpoch  int    `json:"cut_epoch"`
+	Epochs    int    `json:"epochs"`
+	Seed      int64  `json:"seed"`
+	// Checkpoint cost: encoded size and wall-clock for the atomic save
+	// and the load+verify, measured through a real temp file.
+	CheckpointBytes  int64       `json:"checkpoint_bytes"`
+	SaveMillis       float64     `json:"save_millis"`
+	LoadMillis       float64     `json:"load_millis"`
+	RestoredSessions int         `json:"restored_sessions"`
+	Cold             recoveryArm `json:"cold"`
+	Restored         recoveryArm `json:"restored"`
+	// EtaPct is eq. 5-2 applied to the two arms (100·d_restored/d_cold):
+	// below 100 means the restored arm was more accurate over the window.
+	EtaPct float64 `json:"eta_pct"`
+	// RecoveryAdvantageEpochs is the warm-up the checkpoint saved:
+	// cold recovery epochs minus restored recovery epochs.
+	RecoveryAdvantageEpochs int `json:"recovery_advantage_epochs"`
+}
+
+// primaryName maps a -recovery-solver value to the fallback-chain member
+// name FixEvent.Solver reports for the primary.
+func primaryName(solver string) string {
+	switch solver {
+	case "nr":
+		return "NR"
+	case "dlo":
+		return "DLO"
+	case "bancroft":
+		return "Bancroft"
+	default:
+		return "DLG"
+	}
+}
+
+// recoveryCollector accumulates per-receiver outcomes. Each receiver is
+// owned by exactly one shard, so indexing by receiver is race-free.
+type recoveryCollector struct {
+	primary string
+	truth   []geo.ECEF
+	first   []int // epoch of the first primary fix, -1 until seen
+	sumErr  []float64
+	fixes   []uint64
+}
+
+func newRecoveryCollector(primary string, truth []geo.ECEF) *recoveryCollector {
+	c := &recoveryCollector{
+		primary: primary,
+		truth:   truth,
+		first:   make([]int, len(truth)),
+		sumErr:  make([]float64, len(truth)),
+		fixes:   make([]uint64, len(truth)),
+	}
+	for i := range c.first {
+		c.first[i] = -1
+	}
+	return c
+}
+
+func (c *recoveryCollector) sink(e engine.FixEvent) {
+	if e.Err != nil || e.Coast {
+		return
+	}
+	r := e.Receiver
+	if c.first[r] < 0 && e.Solver == c.primary {
+		c.first[r] = e.Epoch
+	}
+	c.sumErr[r] += e.Sol.Pos.DistanceTo(c.truth[r])
+	c.fixes[r]++
+}
+
+// arm folds the collector into the report form.
+func (c *recoveryCollector) arm(name string, cut int) recoveryArm {
+	a := recoveryArm{Arm: name, FirstPrimaryFix: c.first, RecoveryEpochs: -1}
+	var sum float64
+	worst := -1
+	for r := range c.first {
+		a.Fixes += c.fixes[r]
+		sum += c.sumErr[r]
+		if c.first[r] < 0 {
+			worst = -1
+			break
+		}
+		if d := c.first[r] - cut; d > worst {
+			worst = d
+		}
+	}
+	a.RecoveryEpochs = worst
+	if a.Fixes > 0 {
+		a.MeanErrorM = sum / float64(a.Fixes)
+	}
+	return a
+}
+
+// runRecoveryBench runs the kill-and-restart experiment and prints (and
+// optionally writes) the comparison.
+func runRecoveryBench(cfg recoveryBenchConfig) error {
+	stations := scenario.Table51Stations()
+	truth := make([]geo.ECEF, cfg.receivers)
+	for r := range truth {
+		truth[r] = stations[r%len(stations)].Pos
+	}
+	base := engine.Config{
+		Receivers: cfg.receivers,
+		Solver:    cfg.solver,
+		Seed:      cfg.seed,
+		Stations:  stations,
+	}
+	ctx := context.Background()
+
+	// Serve until the cut, then checkpoint the dying process's state.
+	serving, err := engine.New(base)
+	if err != nil {
+		return err
+	}
+	if err := serving.Run(ctx, cfg.cut); err != nil {
+		return err
+	}
+	state := serving.SnapshotFinal()
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("gpsbench-recovery-%d.ckpt", os.Getpid()))
+	defer os.Remove(path)
+	start := time.Now()
+	if err := checkpoint.Save(path, state); err != nil {
+		return err
+	}
+	saveMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	loaded, err := checkpoint.Load(path)
+	if err != nil {
+		return err
+	}
+	loadMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	primary := primaryName(cfg.solver)
+	runArm := func(name string, restore *checkpoint.State) (recoveryArm, int, error) {
+		col := newRecoveryCollector(primary, truth)
+		c := base
+		c.Sink = col.sink
+		eng, err := engine.New(c)
+		if err != nil {
+			return recoveryArm{}, 0, err
+		}
+		restored := 0
+		if restore != nil {
+			if restored, err = eng.Restore(restore); err != nil {
+				return recoveryArm{}, 0, err
+			}
+		}
+		if err := eng.RunRange(ctx, cfg.cut, cfg.epochs); err != nil {
+			return recoveryArm{}, 0, err
+		}
+		return col.arm(name, cfg.cut), restored, nil
+	}
+	cold, _, err := runArm("cold", nil)
+	if err != nil {
+		return fmt.Errorf("cold arm: %w", err)
+	}
+	restoredArm, nRestored, err := runArm("restored", loaded)
+	if err != nil {
+		return fmt.Errorf("restored arm: %w", err)
+	}
+
+	report := recoveryReport{
+		Benchmark:        "recovery",
+		Solver:           cfg.solver,
+		Receivers:        cfg.receivers,
+		CutEpoch:         cfg.cut,
+		Epochs:           cfg.epochs,
+		Seed:             cfg.seed,
+		CheckpointBytes:  info.Size(),
+		SaveMillis:       saveMs,
+		LoadMillis:       loadMs,
+		RestoredSessions: nRestored,
+		Cold:             cold,
+		Restored:         restoredArm,
+		EtaPct:           eval.AccuracyRate(restoredArm.MeanErrorM, cold.MeanErrorM),
+	}
+	if cold.RecoveryEpochs >= 0 && restoredArm.RecoveryEpochs >= 0 {
+		report.RecoveryAdvantageEpochs = cold.RecoveryEpochs - restoredArm.RecoveryEpochs
+	}
+	fmt.Printf("recovery: solver=%s receivers=%d cut=%d window=[%d,%d) checkpoint=%dB save=%.2fms load=%.2fms\n",
+		cfg.solver, cfg.receivers, cfg.cut, cfg.cut, cfg.epochs, info.Size(), saveMs, loadMs)
+	fmt.Printf("%10s %16s %12s %14s\n", "arm", "recovery_epochs", "fixes", "mean_error_m")
+	for _, a := range []recoveryArm{cold, restoredArm} {
+		fmt.Printf("%10s %16d %12d %14.3f\n", a.Arm, a.RecoveryEpochs, a.Fixes, a.MeanErrorM)
+	}
+	fmt.Printf("eta (restored vs cold, eq. 5-2 scale) = %.1f%%, warm-up saved = %d epochs\n",
+		report.EtaPct, report.RecoveryAdvantageEpochs)
+	if cfg.jsonPath != "" {
+		if err := writeRecoveryJSON(cfg.jsonPath, report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeRecoveryJSON dumps the recovery comparison for EXPERIMENTS.md /
+// regression tracking.
+func writeRecoveryJSON(path string, report recoveryReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

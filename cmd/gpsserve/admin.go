@@ -50,6 +50,13 @@ type health struct {
 	// session-state census so /healthz shows which shards are degraded
 	// or coasting under fault injection.
 	shards func() []engine.ShardHealth
+
+	// ckptPath, when non-empty, surfaces checkpoint liveness on
+	// /healthz: the file path, the epoch of the last successful save,
+	// and its wall-clock age.
+	ckptPath      string
+	lastCkptNanos atomic.Int64 // wall-clock ns of the last save; 0 = none yet
+	lastCkptEpoch atomic.Int64
 }
 
 // newHealth returns a tracker whose instruments are registered in reg
@@ -82,6 +89,25 @@ func (h *health) recordFix(hdop float64) {
 	h.lastFixNanos.Store(time.Now().UnixNano())
 }
 
+// recordCheckpoint notes one successful checkpoint save.
+func (h *health) recordCheckpoint(epoch int) {
+	if h == nil {
+		return
+	}
+	h.lastCkptEpoch.Store(int64(epoch))
+	h.lastCkptNanos.Store(time.Now().UnixNano())
+}
+
+// checkpointStatus is the /healthz checkpoint block (engine mode with
+// -checkpoint only).
+type checkpointStatus struct {
+	Path string `json:"path"`
+	// Epoch is the engine epoch of the last successful save; AgeSeconds
+	// its wall-clock age (-1 before the first save).
+	Epoch      int     `json:"epoch"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
 // healthStatus is the /healthz response body.
 type healthStatus struct {
 	Status            string  `json:"status"` // ok | starting | stalled
@@ -97,9 +123,20 @@ type healthStatus struct {
 	// (healthy / degraded / coasting), absent in single-receiver mode.
 	Shards []engine.ShardHealth `json:"shards,omitempty"`
 	// DegradedSessions and CoastingSessions total the census across
-	// shards, so a load balancer can alert on one number.
-	DegradedSessions uint64 `json:"degraded_sessions,omitempty"`
-	CoastingSessions uint64 `json:"coasting_sessions,omitempty"`
+	// shards, so a load balancer can alert on one number. The
+	// supervision totals below do the same for the isolation machinery:
+	// sessions in backoff quarantine after a panic, sessions whose
+	// restart budget ran out, sessions behind an open circuit breaker,
+	// and the cumulative worker-loop panic / restart counts.
+	DegradedSessions    uint64 `json:"degraded_sessions,omitempty"`
+	CoastingSessions    uint64 `json:"coasting_sessions,omitempty"`
+	QuarantinedSessions uint64 `json:"quarantined_sessions,omitempty"`
+	FailedSessions      uint64 `json:"failed_sessions,omitempty"`
+	BreakerOpenSessions uint64 `json:"breaker_open_sessions,omitempty"`
+	Panics              uint64 `json:"panics,omitempty"`
+	Restarts            uint64 `json:"restarts,omitempty"`
+	// Checkpoint reports checkpoint liveness when -checkpoint is set.
+	Checkpoint *checkpointStatus `json:"checkpoint,omitempty"`
 }
 
 // status snapshots the current liveness verdict.
@@ -124,7 +161,20 @@ func (h *health) status() (healthStatus, int) {
 		for _, sh := range s.Shards {
 			s.DegradedSessions += sh.Degraded
 			s.CoastingSessions += sh.Coasting
+			s.QuarantinedSessions += sh.Quarantined
+			s.FailedSessions += sh.Failed
+			s.BreakerOpenSessions += sh.BreakerOpen
+			s.Panics += sh.Panics
+			s.Restarts += sh.Restarts
 		}
+	}
+	if h.ckptPath != "" {
+		cs := &checkpointStatus{Path: h.ckptPath, AgeSeconds: -1}
+		if last := h.lastCkptNanos.Load(); last != 0 {
+			cs.Epoch = int(h.lastCkptEpoch.Load())
+			cs.AgeSeconds = time.Since(time.Unix(0, last)).Seconds()
+		}
+		s.Checkpoint = cs
 	}
 	last := h.lastFixNanos.Load()
 	if last == 0 {

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpsdl/internal/checkpoint"
+)
+
+// freeAddr reserves an ephemeral port and releases it for run() to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitForListener polls until the server accepts on addr.
+func waitForListener(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeEngineCheckpointKillRestore is the kill-and-restore demo as a
+// test: run the engine with checkpointing, cancel mid-run (the SIGTERM
+// path), verify the shutdown wrote a final checkpoint, then start a new
+// server with -restore and verify it resumed from that epoch rather
+// than re-warming from zero.
+func TestServeEngineCheckpointKillRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network end-to-end")
+	}
+	ckpt := filepath.Join(t.TempDir(), "gps.ckpt")
+	args := func(extra ...string) []string {
+		base := []string{"-rate", "500", "-receivers", "2", "-station", "all",
+			"-solver", "dlg", "-checkpoint", ckpt,
+			"-checkpoint-every", "10", "-checkpoint-interval", "50ms",
+			"-drain-timeout", "500ms"}
+		return append(base, extra...)
+	}
+
+	// Run 1: produce epochs until a periodic checkpoint lands, then cancel.
+	addr := freeAddr(t)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan error, 1)
+	go func() { done1 <- run(ctx1, args("-addr", addr)) }()
+	waitForListener(t, addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, err := checkpoint.Load(ckpt); err == nil && st.Epoch >= 50 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint reached epoch 50")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel1()
+	if err := <-done1; err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	st1, err := checkpoint.Load(ckpt)
+	if err != nil {
+		t.Fatalf("final checkpoint of run 1: %v", err)
+	}
+	if len(st1.Sessions) != 2 {
+		t.Fatalf("final checkpoint has %d sessions, want 2", len(st1.Sessions))
+	}
+
+	// Run 2: restore and run briefly. A successful resume continues from
+	// st1.Epoch, so even this short run checkpoints at or past it; a cold
+	// start in the same wall-clock window could not get close.
+	addr2 := freeAddr(t)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan error, 1)
+	go func() { done2 <- run(ctx2, args("-addr", addr2, "-restore")) }()
+	waitForListener(t, addr2)
+	time.Sleep(100 * time.Millisecond)
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	st2, err := checkpoint.Load(ckpt)
+	if err != nil {
+		t.Fatalf("final checkpoint of run 2: %v", err)
+	}
+	if st2.Epoch < st1.Epoch {
+		t.Errorf("restored run checkpointed epoch %d < %d — it cold-started instead of resuming",
+			st2.Epoch, st1.Epoch)
+	}
+	for _, s := range st2.Sessions {
+		if s.Clock.Kind == "" {
+			t.Errorf("receiver %d checkpoint carries no clock snapshot", s.Receiver)
+		}
+	}
+}
+
+// TestServeEngineCheckpointCorruptFallsBack feeds -restore a corrupt
+// checkpoint file: the server must log a cold start and serve anyway,
+// then overwrite the garbage with a valid checkpoint on shutdown.
+func TestServeEngineCheckpointCorruptFallsBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network end-to-end")
+	}
+	ckpt := filepath.Join(t.TempDir(), "gps.ckpt")
+	if err := os.WriteFile(ckpt, []byte("GPSCKPT 1 deadbeef 9\nnot-json!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", addr, "-rate", "200", "-receivers", "2",
+			"-station", "all", "-checkpoint", ckpt, "-checkpoint-interval", "50ms",
+			"-restore", "-drain-timeout", "200ms"})
+	}()
+	waitForListener(t, addr)
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run with corrupt checkpoint: %v", err)
+	}
+	st, err := checkpoint.Load(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint still unreadable after run: %v", err)
+	}
+	if len(st.Sessions) != 2 {
+		t.Errorf("rewritten checkpoint has %d sessions, want 2", len(st.Sessions))
+	}
+}

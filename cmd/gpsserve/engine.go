@@ -8,11 +8,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
+	"os"
 	"time"
 
+	"gpsdl/internal/checkpoint"
 	"gpsdl/internal/engine"
 	"gpsdl/internal/fault"
 	"gpsdl/internal/scenario"
@@ -21,17 +24,22 @@ import (
 
 // engineParams is the subset of gpsserve flags the engine mode consumes.
 type engineParams struct {
-	receivers int
-	workers   int
-	station   string
-	solver    string
-	addr      string
-	adminAddr string
-	rate      float64
-	seed      int64
-	faults    string // fault-program spec (fault.ParseSpec grammar); "" = none
-	faultSeed int64
-	logs      *telemetry.Logging
+	receivers  int
+	workers    int
+	station    string
+	solver     string
+	addr       string
+	adminAddr  string
+	rate       float64
+	seed       int64
+	faults     string // fault-program spec (fault.ParseSpec grammar); "" = none
+	faultSeed  int64
+	ckptPath   string        // checkpoint file; "" disables checkpointing
+	ckptEvery  int           // epochs between per-session checkpoint refreshes
+	ckptPeriod time.Duration // wall-clock period between file saves
+	restore    bool          // resume from ckptPath at startup
+	drainWait  time.Duration // shutdown budget for flushing client queues
+	logs       *telemetry.Logging
 }
 
 // resolveStations maps the -station flag to receiver templates: a named
@@ -71,15 +79,21 @@ func runEngine(ctx context.Context, p engineParams) error {
 		maxAge = 10 * time.Second
 	}
 	h := newHealth(reg, maxAge, b)
+	h.ckptPath = p.ckptPath
+	ckptEvery := 0
+	if p.ckptPath != "" {
+		ckptEvery = p.ckptEvery
+	}
 	eng, err := engine.New(engine.Config{
-		Receivers: p.receivers,
-		Workers:   p.workers,
-		Solver:    p.solver,
-		Seed:      p.seed,
-		Faults:    prog,
-		FaultSeed: p.faultSeed,
-		Stations:  stations,
-		Registry:  reg,
+		Receivers:       p.receivers,
+		Workers:         p.workers,
+		Solver:          p.solver,
+		Seed:            p.seed,
+		Faults:          prog,
+		FaultSeed:       p.faultSeed,
+		Stations:        stations,
+		Registry:        reg,
+		CheckpointEvery: ckptEvery,
 		// The sink runs on shard goroutines; health counters are atomic
 		// and Broadcast locks internally, so no extra synchronization is
 		// needed. GGA/RMC must be copied (string conversion does) before
@@ -98,6 +112,10 @@ func runEngine(ctx context.Context, p engineParams) error {
 		return err
 	}
 	h.shards = eng.ShardHealth
+	clog := p.logs.Component("checkpoint")
+	if p.restore {
+		restoreCheckpoint(eng, p.ckptPath, clog)
+	}
 	ln, err := net.Listen("tcp", p.addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", p.addr, err)
@@ -107,9 +125,15 @@ func runEngine(ctx context.Context, p engineParams) error {
 	if p.faults != "" {
 		fmt.Printf("gpsserve: fault injection active: %s (seed %d)\n", prog.String(), p.faultSeed)
 	}
+	// The broadcaster and admin endpoint run on their own context so the
+	// SIGTERM drain is ordered: the engine stops first, the final
+	// checkpoint is written, queued sentences flush to well-behaved
+	// clients, and only then do connections (and /healthz) go away.
+	bctx, bcancel := context.WithCancel(context.Background())
+	defer bcancel()
 	if p.adminAddr != "" {
 		tel := &serverTelemetry{reg: reg, health: h}
-		bound, err := listenAdmin(ctx, p.adminAddr, tel, p.logs.Component("admin"))
+		bound, err := listenAdmin(bctx, p.adminAddr, tel, p.logs.Component("admin"))
 		if err != nil {
 			ln.Close()
 			return err
@@ -117,17 +141,92 @@ func runEngine(ctx context.Context, p engineParams) error {
 		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz)\n", bound)
 	}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- b.Serve(ctx, ln) }()
+	go func() { serveErr <- b.Serve(bctx, ln) }()
+
+	// Periodic checkpointing off the engine's lock-free snapshot cells.
+	saverStop := make(chan struct{})
+	saverDone := make(chan struct{})
+	go func() {
+		defer close(saverDone)
+		if p.ckptPath == "" {
+			return
+		}
+		t := time.NewTicker(p.ckptPeriod)
+		defer t.Stop()
+		for {
+			select {
+			case <-saverStop:
+				return
+			case <-t.C:
+				saveCheckpoint(eng.Snapshot(), p.ckptPath, h, clog)
+			}
+		}
+	}()
 
 	err = paceEngine(ctx, eng, p.rate, p.logs.Component("engine"))
+
+	// Ordered drain. The engine is quiescent once RunPaced returns, so
+	// SnapshotFinal reads exact session state for the final checkpoint.
+	close(saverStop)
+	<-saverDone
+	if p.ckptPath != "" {
+		saveCheckpoint(eng.SnapshotFinal(), p.ckptPath, h, clog)
+	}
+	flushed := b.Flush(p.drainWait)
+	bcancel()
 	cancelErr := <-serveErr
+	st := eng.Stats()
+	fmt.Printf("gpsserve: drained: batches enqueued=%d done=%d aborted=%d drained=%d conserved=%v flushed=%v\n",
+		st.BatchesEnqueued, st.BatchesDone, st.BatchesAborted, st.BatchesDrained,
+		st.BatchesConserved(), flushed)
 	if err != nil && ctx.Err() == nil {
 		return err
 	}
-	if cancelErr != nil && ctx.Err() == nil {
+	if cancelErr != nil && !errors.Is(cancelErr, context.Canceled) {
 		return cancelErr
 	}
 	return nil
+}
+
+// restoreCheckpoint resumes eng from the checkpoint at path. Every
+// failure mode — missing file, corrupt or truncated payload,
+// configuration mismatch — degrades to a logged cold start rather than
+// an error: a server that cannot resume should still serve.
+func restoreCheckpoint(eng *engine.Engine, path string, log *slog.Logger) {
+	st, err := checkpoint.Load(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		log.Info("no checkpoint; cold start", "path", path)
+		return
+	case errors.Is(err, checkpoint.ErrCorrupt):
+		log.Warn("checkpoint corrupt; cold start", "path", path, "err", err)
+		return
+	case err != nil:
+		log.Warn("checkpoint unreadable; cold start", "path", path, "err", err)
+		return
+	}
+	n, err := eng.Restore(st)
+	if err != nil {
+		log.Warn("checkpoint rejected; cold start", "path", path, "err", err)
+		return
+	}
+	log.Info("restored from checkpoint", "path", path, "sessions", n, "epoch", st.Epoch)
+	fmt.Printf("gpsserve: restored %d sessions from %s, resuming at epoch %d\n", n, path, st.Epoch)
+}
+
+// saveCheckpoint writes one checkpoint state to path and records it on
+// the health tracker. An empty state (no session has completed a refresh
+// interval yet) is skipped rather than overwriting a previous save.
+func saveCheckpoint(st *checkpoint.State, path string, h *health, log *slog.Logger) {
+	if len(st.Sessions) == 0 {
+		return
+	}
+	if err := checkpoint.Save(path, st); err != nil {
+		log.Warn("checkpoint save failed", "path", path, "err", err)
+		return
+	}
+	h.recordCheckpoint(st.Epoch)
+	log.Debug("checkpoint saved", "path", path, "epoch", st.Epoch, "sessions", len(st.Sessions))
 }
 
 // paceEngine drives RunPaced off a wall-clock ticker and logs a summary
@@ -148,7 +247,14 @@ func paceEngine(ctx context.Context, eng *engine.Engine, rate float64, log *slog
 		"raim_exclusions", st.RAIMExclusions,
 		"batches_done", st.BatchesDone,
 		"batches_aborted", st.BatchesAborted,
-		"skipped_ticks", st.SkippedTicks)
+		"batches_drained", st.BatchesDrained,
+		"batches_conserved", st.BatchesConserved(),
+		"skipped_ticks", st.SkippedTicks,
+		"panics", st.Panics,
+		"restarts", st.Restarts,
+		"quarantined_epochs", st.QuarantinedEpochs,
+		"failed_epochs", st.FailedEpochs,
+		"breaker_opens", st.BreakerOpens)
 	if err != nil && ctx.Err() == nil {
 		return err
 	}

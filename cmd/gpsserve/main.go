@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -69,6 +70,11 @@ func run(ctx context.Context, args []string) error {
 		workers    = fs.Int("workers", 0, "engine shard count when -receivers > 1; 0 means GOMAXPROCS")
 		faults     = fs.String("faults", "", "fault-injection program for engine mode, e.g. 'drop:prn=3,from=10,until=40;burst:sigma=8,from=60' (needs -receivers > 1)")
 		faultSeed  = fs.Int64("fault-seed", 1, "fault-injector seed (burst noise stream) for -faults")
+		ckptPath   = fs.String("checkpoint", "", "engine-mode checkpoint file: clock calibration, health state and last fix per session are saved here periodically and on shutdown (needs -receivers > 1)")
+		ckptEvery  = fs.Int("checkpoint-every", 100, "epochs between per-session checkpoint refreshes (with -checkpoint)")
+		ckptPeriod = fs.Duration("checkpoint-interval", 5*time.Second, "wall-clock period between checkpoint file saves (with -checkpoint)")
+		restore    = fs.Bool("restore", false, "resume from the -checkpoint file at startup; a missing, corrupt, or mismatched checkpoint falls back to a cold start")
+		drainWait  = fs.Duration("drain-timeout", 2*time.Second, "how long shutdown waits for connected clients to drain their queued sentences")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +93,15 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *dataset == "" && strings.TrimSpace(*stationID) == "" {
 		return fmt.Errorf("-station must not be empty (or use -dataset to replay a file)")
+	}
+	if *ckptEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, have %d", *ckptEvery)
+	}
+	if *ckptPeriod <= 0 {
+		return fmt.Errorf("-checkpoint-interval must be positive, have %v", *ckptPeriod)
+	}
+	if *restore && *ckptPath == "" {
+		return fmt.Errorf("-restore needs a -checkpoint file to resume from")
 	}
 	level, err := telemetry.ParseLevel(*logLevel)
 	if err != nil {
@@ -108,21 +123,29 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("-trace-dump supports a single receiver; drop -receivers %d", *receivers)
 		}
 		return runEngine(ctx, engineParams{
-			receivers: *receivers,
-			workers:   *workers,
-			station:   strings.ToUpper(strings.TrimSpace(*stationID)),
-			solver:    strings.ToLower(*solver),
-			addr:      *addr,
-			adminAddr: *adminAddr,
-			rate:      *rate,
-			seed:      *seed,
-			faults:    *faults,
-			faultSeed: *faultSeed,
-			logs:      logs,
+			receivers:  *receivers,
+			workers:    *workers,
+			station:    strings.ToUpper(strings.TrimSpace(*stationID)),
+			solver:     strings.ToLower(*solver),
+			addr:       *addr,
+			adminAddr:  *adminAddr,
+			rate:       *rate,
+			seed:       *seed,
+			faults:     *faults,
+			faultSeed:  *faultSeed,
+			ckptPath:   *ckptPath,
+			ckptEvery:  *ckptEvery,
+			ckptPeriod: *ckptPeriod,
+			restore:    *restore,
+			drainWait:  *drainWait,
+			logs:       logs,
 		})
 	}
 	if *faults != "" {
 		return fmt.Errorf("-faults needs the fix engine's degradation machinery; use -receivers > 1")
+	}
+	if *ckptPath != "" {
+		return fmt.Errorf("-checkpoint snapshots engine sessions; use -receivers > 1")
 	}
 	var (
 		source epochSource
@@ -212,15 +235,22 @@ func run(ctx context.Context, args []string) error {
 		logs.Component("admin").Info("admin endpoint up", "addr", bound.String())
 	}
 
+	// The broadcaster runs on its own context so shutdown is ordered:
+	// the fix loop stops first, queued sentences flush to well-behaved
+	// clients, and only then are connections closed.
+	bctx, bcancel := context.WithCancel(context.Background())
+	defer bcancel()
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- b.Serve(ctx, ln) }()
+	go func() { serveErr <- b.Serve(bctx, ln) }()
 
 	err = streamFixes(ctx, source, tel, pred, b, *rate, logs.Component("solver"))
+	b.Flush(*drainWait)
+	bcancel()
 	cancelErr := <-serveErr
 	if err != nil {
 		return err
 	}
-	if cancelErr != nil && ctx.Err() == nil {
+	if cancelErr != nil && !errors.Is(cancelErr, context.Canceled) {
 		return cancelErr
 	}
 	return nil

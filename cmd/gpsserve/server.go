@@ -14,13 +14,14 @@ import (
 
 // Metric names exported by the gpsserve broadcaster and epoch loop.
 const (
-	metricClients   = "gpsserve_clients"
-	metricConnects  = "gpsserve_connects_total"
-	metricDrops     = "gpsserve_drops_total"
-	metricSentences = "gpsserve_sentences_total"
-	metricEpochs    = "gpsserve_epochs_total"
-	metricFixes     = "gpsserve_fixes_total"
-	metricHDOP      = "gpsserve_hdop"
+	metricClients          = "gpsserve_clients"
+	metricConnects         = "gpsserve_connects_total"
+	metricDrops            = "gpsserve_drops_total"
+	metricSentences        = "gpsserve_sentences_total"
+	metricSentencesDropped = "gpsserve_sentences_dropped_total"
+	metricEpochs           = "gpsserve_epochs_total"
+	metricFixes            = "gpsserve_fixes_total"
+	metricHDOP             = "gpsserve_hdop"
 )
 
 // BroadcasterMetrics instruments the connection lifecycle. The
@@ -43,6 +44,11 @@ type BroadcasterMetrics struct {
 	ShutdownDrops *telemetry.Counter
 	// Sentences counts broadcast NMEA sentences (gpsserve_sentences_total).
 	Sentences *telemetry.Counter
+	// SentencesDropped counts sentences discarded by the per-client
+	// drop-oldest policy (gpsserve_sentences_dropped_total): a stalled
+	// client sheds its backlog one oldest line at a time instead of
+	// back-pressuring the fix loop.
+	SentencesDropped *telemetry.Counter
 }
 
 // NewBroadcasterMetrics registers the broadcaster instruments under
@@ -60,6 +66,8 @@ func NewBroadcasterMetrics(reg *telemetry.Registry) *BroadcasterMetrics {
 		WriteDrops:    reg.Counter(metricDrops, dropHelp, reason("write")),
 		ShutdownDrops: reg.Counter(metricDrops, dropHelp, reason("shutdown")),
 		Sentences:     reg.Counter(metricSentences, "NMEA sentences fanned out to clients."),
+		SentencesDropped: reg.Counter(metricSentencesDropped,
+			"Sentences discarded oldest-first from stalled clients' queues."),
 	}
 }
 
@@ -99,6 +107,12 @@ func (m *BroadcasterMetrics) sentence() {
 	}
 }
 
+func (m *BroadcasterMetrics) sentenceDropped() {
+	if m != nil {
+		m.SentencesDropped.Inc()
+	}
+}
+
 // Drop reasons (the reason label values of gpsserve_drops_total).
 const (
 	dropSlow     = "slow"
@@ -107,13 +121,20 @@ const (
 )
 
 // Broadcaster fans NMEA sentences out to every connected TCP client —
-// the raw-NMEA service gpsd exposes on port 2947. Slow consumers are
-// disconnected rather than allowed to stall the epoch loop: each client
-// gets a bounded queue and a write deadline.
+// the raw-NMEA service gpsd exposes on port 2947. A stalled consumer can
+// never back-pressure the fix loop: its bounded queue sheds the oldest
+// sentence to admit the newest (a late NMEA reader wants current fixes,
+// not a stale backlog), every socket write carries a deadline, and a
+// client that stays saturated for DropBudget consecutive broadcasts is
+// disconnected.
 type Broadcaster struct {
-	// QueueLen is each client's pending-line budget; a client whose
-	// queue overflows is dropped. 0 means 64.
+	// QueueLen is each client's pending-line buffer; when full, the
+	// oldest queued sentence is dropped for the newest. 0 means 64.
 	QueueLen int
+	// DropBudget is how many consecutive overflowing broadcasts a client
+	// survives before it is dropped with reason "slow". Any broadcast
+	// enqueued without shedding resets the streak. 0 means 256.
+	DropBudget int
 	// WriteTimeout bounds each TCP write. 0 means 5 s.
 	WriteTimeout time.Duration
 	// Metrics, when non-nil, tracks connects, drops, and the live
@@ -123,13 +144,20 @@ type Broadcaster struct {
 	Logger *slog.Logger
 
 	mu      sync.Mutex
-	clients map[net.Conn]chan string
+	clients map[net.Conn]*client
 	closed  bool
+}
+
+// client is one connection's send queue plus its consecutive-overflow
+// streak (the drop-budget counter).
+type client struct {
+	ch       chan string
+	overflow int
 }
 
 // NewBroadcaster returns a broadcaster with default limits.
 func NewBroadcaster() *Broadcaster {
-	return &Broadcaster{clients: make(map[net.Conn]chan string)}
+	return &Broadcaster{clients: make(map[net.Conn]*client)}
 }
 
 // Serve accepts clients on the listener until the context is cancelled,
@@ -181,7 +209,7 @@ func (b *Broadcaster) register(conn net.Conn) chan string {
 		qlen = 64
 	}
 	ch := make(chan string, qlen)
-	b.clients[conn] = ch
+	b.clients[conn] = &client{ch: ch}
 	b.Metrics.connect()
 	if b.Logger != nil {
 		b.Logger.Info("client connected", "remote", conn.RemoteAddr().String(), "clients", len(b.clients))
@@ -193,9 +221,9 @@ func (b *Broadcaster) register(conn net.Conn) chan string {
 // idempotent (only the first removal counts).
 func (b *Broadcaster) remove(conn net.Conn, reason string) {
 	b.mu.Lock()
-	if ch, ok := b.clients[conn]; ok {
+	if cl, ok := b.clients[conn]; ok {
 		delete(b.clients, conn)
-		close(ch)
+		close(cl.ch)
 		b.Metrics.drop(reason)
 		if b.Logger != nil {
 			b.Logger.Info("client dropped", "remote", conn.RemoteAddr().String(),
@@ -217,9 +245,9 @@ func (b *Broadcaster) shutdown() {
 	if b.Logger != nil && len(b.clients) > 0 {
 		b.Logger.Info("shutting down", "clients", len(b.clients))
 	}
-	for conn, ch := range b.clients {
+	for conn, cl := range b.clients {
 		delete(b.clients, conn)
-		close(ch)
+		close(cl.ch)
 		conn.Close()
 		b.Metrics.drop(dropShutdown)
 	}
@@ -245,15 +273,39 @@ func (b *Broadcaster) writeLoop(conn net.Conn, ch chan string) {
 	}
 }
 
-// Broadcast enqueues a sentence for every client. Clients whose queue is
-// full are dropped (they cannot keep up with the epoch rate).
+// Broadcast enqueues a sentence for every client. A full queue sheds its
+// oldest sentence to admit this one (counted in sentences_dropped); a
+// client that overflows DropBudget broadcasts in a row is evicted with
+// reason "slow". Broadcast itself never blocks, so a stalled client
+// cannot apply backpressure to the fix loop.
 func (b *Broadcaster) Broadcast(line string) {
 	b.mu.Lock()
+	budget := b.DropBudget
+	if budget <= 0 {
+		budget = 256
+	}
 	var evict []net.Conn
-	for conn, ch := range b.clients {
+	for conn, cl := range b.clients {
 		select {
-		case ch <- line:
+		case cl.ch <- line:
+			cl.overflow = 0
+			continue
 		default:
+		}
+		// Queue full: drop-oldest, then enqueue the fresh line. (The
+		// writeLoop may have drained a slot between the two selects —
+		// then nothing is shed and the enqueue simply succeeds.)
+		select {
+		case <-cl.ch:
+			b.Metrics.sentenceDropped()
+		default:
+		}
+		select {
+		case cl.ch <- line:
+		default:
+		}
+		cl.overflow++
+		if cl.overflow >= budget {
 			evict = append(evict, conn)
 		}
 	}
@@ -261,6 +313,30 @@ func (b *Broadcaster) Broadcast(line string) {
 	b.mu.Unlock()
 	for _, conn := range evict {
 		b.remove(conn, dropSlow)
+	}
+}
+
+// Flush waits until every connected client's queue has drained or the
+// timeout elapses — the graceful-drain path calls it so the final fixes
+// reach well-behaved clients before their connections are closed. It
+// reports whether all queues emptied in time (a stalled client's backlog
+// keeps it false; the shutdown proceeds regardless).
+func (b *Broadcaster) Flush(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		b.mu.Lock()
+		for _, cl := range b.clients {
+			pending += len(cl.ch)
+		}
+		b.mu.Unlock()
+		if pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

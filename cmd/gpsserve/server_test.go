@@ -344,6 +344,10 @@ func TestRunFlagErrors(t *testing.T) {
 		{"engine with trace dump", []string{"-receivers", "2", "-trace", "16", "-trace-dump", "/tmp/engine-trace.json"}},
 		{"engine unknown station", []string{"-receivers", "2", "-station", "NOPE"}},
 		{"engine unknown solver", []string{"-receivers", "2", "-solver", "magic"}},
+		{"restore without checkpoint", []string{"-restore"}},
+		{"checkpoint single receiver", []string{"-checkpoint", "/tmp/gps.ckpt"}},
+		{"zero checkpoint every", []string{"-checkpoint-every", "0"}},
+		{"zero checkpoint interval", []string{"-checkpoint-interval", "0s"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -1,0 +1,165 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpsdl/internal/clock"
+	"gpsdl/internal/geo"
+)
+
+func sampleState() *State {
+	return &State{
+		Solver:    "dlg",
+		Seed:      42,
+		Step:      1,
+		Receivers: 2,
+		Epoch:     360,
+		Sessions: []Session{
+			{
+				Receiver: 0,
+				Station:  "beijing-threshold",
+				State:    "healthy",
+				HaveFix:  true,
+				LastFix:  Fix{T: 359, Pos: geo.ECEF{X: -2.1e6, Y: 4.4e6, Z: 4.0e6}, ClockBias: 91.4},
+				Epoch:    360,
+				Clock: clock.Snapshot{
+					Kind: clock.KindLinear, Calibrated: true,
+					D: 3.05e-7, R: 1.2e-9, LastT: 359,
+					N: 360, ST: 64620, SB: 1.1e-4, STT: 1.55e7, STB: 2.2e-2,
+				},
+			},
+			{
+				Receiver: 1,
+				Station:  "sydney-steering",
+				State:    "coasting",
+				HaveFix:  false,
+				Epoch:    360,
+				Clock:    clock.Snapshot{Kind: clock.KindLinear},
+			},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "engine.ckpt")
+	want := sampleState()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Solver != want.Solver || got.Seed != want.Seed || got.Step != want.Step ||
+		got.Receivers != want.Receivers || got.Epoch != want.Epoch {
+		t.Errorf("header fields differ: got %+v", got)
+	}
+	if len(got.Sessions) != len(want.Sessions) {
+		t.Fatalf("got %d sessions, want %d", len(got.Sessions), len(want.Sessions))
+	}
+	for i := range want.Sessions {
+		if got.Sessions[i] != want.Sessions[i] {
+			t.Errorf("session %d:\n  got  %+v\n  want %+v", i, got.Sessions[i], want.Sessions[i])
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("err = %v, want os.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("missing file reported as corrupt; callers distinguish the two in logs")
+	}
+}
+
+// TestLoadFlippedByte is the acceptance criterion: a single flipped byte
+// anywhere in the file must yield ErrCorrupt, not garbage calibration.
+func TestLoadFlippedByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "engine.ckpt")
+	if err := Save(path, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in each region: magic, version/checksum digits, and a
+	// spread of payload offsets.
+	offsets := []int{0, 8, 10, len(data) / 2, len(data) - 1}
+	for _, off := range offsets {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x20
+		if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at offset %d: err = %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	full, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, 7, len(full) / 2, len(full) - 1} {
+		if _, err := Decode(full[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	// Trailing junk after the declared payload length is also a torn
+	// write, not a valid checkpoint.
+	if _, err := Decode(append(append([]byte(nil), full...), "junk"...)); !errors.Is(err, ErrCorrupt) {
+		t.Error("trailing junk accepted")
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	data, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] = '9' // "GPSCKPT 1 ..." → "GPSCKPT 9 ..."
+	if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("version 9 accepted: err = %v", err)
+	}
+}
+
+// TestSaveAtomicReplace verifies an existing checkpoint is replaced in
+// one step: no moment where the path holds a partial file, and no temp
+// files left behind.
+func TestSaveAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "engine.ckpt")
+	first := sampleState()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleState()
+	second.Epoch = 720
+	second.Sessions[0].Epoch = 720
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 720 {
+		t.Errorf("loaded epoch %d, want 720", got.Epoch)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory holds %v, want only engine.ckpt (temp files must be cleaned up)", names)
+	}
+}

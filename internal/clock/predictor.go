@@ -148,6 +148,9 @@ type LinearPredictor struct {
 	window     []Fix
 	d, r       float64
 	calibrated bool
+	// lastT is the receiver time of the most recent observed fix — the
+	// epoch of fit a checkpoint snapshot extrapolates from.
+	lastT float64
 	// Running least-squares sums over offset-adjusted fixes (Refit mode).
 	n                float64
 	st, sb, stt, stb float64
@@ -170,6 +173,7 @@ func NewLinearPredictor(initWindow int, jumpTol float64) *LinearPredictor {
 
 // Observe feeds one bias fix.
 func (p *LinearPredictor) Observe(fix Fix) {
+	p.lastT = fix.T
 	if !p.calibrated {
 		p.window = append(p.window, fix)
 		if len(p.window) >= p.InitWindow {

@@ -1,0 +1,150 @@
+package clock
+
+import "fmt"
+
+// Snapshot is a flat, comparable export of a predictor's calibration
+// state — the paper's (D, r) fit plus whatever running state the
+// predictor needs to resume exactly where it left off. Every field is a
+// value type, so two snapshots can be compared with ==, which is what
+// the checkpoint round-trip tests rely on.
+//
+// The whole point of checkpointing this state is Section 4.2's cost
+// asymmetry: DLO/DLG only beat Newton–Raphson while Δt̂ = D + r·tₑ
+// (eq. 4-3) stays calibrated, and recalibrating after a restart costs a
+// full NR warm-up window per receiver. A restored snapshot skips that
+// warm-up entirely.
+type Snapshot struct {
+	// Kind names the predictor implementation the snapshot came from
+	// ("linear", "kalman", "constant"); Restore refuses a mismatch.
+	Kind string `json:"kind"`
+	// Calibrated reports whether the predictor had completed its initial
+	// fit. An uncalibrated snapshot restores to a fresh warm-up state.
+	Calibrated bool `json:"calibrated"`
+	// D and R are the fitted clock offset (seconds) and drift (s/s) of
+	// eq. 4-3. For the Kalman predictor D is the filtered bias and R the
+	// filtered drift.
+	D float64 `json:"d"`
+	R float64 `json:"r"`
+	// LastT is the receiver time of the most recent fix the predictor
+	// observed — the epoch of fit the restored model extrapolates from.
+	LastT float64 `json:"last_t"`
+	// CumOffset is the accumulated threshold-reset step (LinearPredictor
+	// Refit mode).
+	CumOffset float64 `json:"cum_offset,omitempty"`
+	// N, ST, SB, STT, STB are the running least-squares sums over
+	// offset-adjusted fixes (LinearPredictor Refit mode).
+	N   float64 `json:"n,omitempty"`
+	ST  float64 `json:"st,omitempty"`
+	SB  float64 `json:"sb,omitempty"`
+	STT float64 `json:"stt,omitempty"`
+	STB float64 `json:"stb,omitempty"`
+	// P00, P01, P11 are the Kalman covariance entries.
+	P00 float64 `json:"p00,omitempty"`
+	P01 float64 `json:"p01,omitempty"`
+	P11 float64 `json:"p11,omitempty"`
+	// Recalibrations is the detected clock-reset count.
+	Recalibrations int `json:"recalibrations,omitempty"`
+}
+
+// Snapshotter is implemented by predictors whose calibration can be
+// exported and restored across process restarts. Restore must leave the
+// predictor in a state where PredictBias behaves exactly as it did when
+// Snapshot was taken.
+type Snapshotter interface {
+	Snapshot() Snapshot
+	Restore(Snapshot) error
+}
+
+// Snapshot-kind names.
+const (
+	KindLinear   = "linear"
+	KindKalman   = "kalman"
+	KindConstant = "constant"
+)
+
+var (
+	_ Snapshotter = (*LinearPredictor)(nil)
+	_ Snapshotter = (*KalmanPredictor)(nil)
+	_ Snapshotter = (*Constant)(nil)
+)
+
+// Snapshot exports the fitted model and running refit sums. The
+// uncalibrated warm-up window is deliberately not exported (it would make
+// the snapshot non-comparable); an uncalibrated predictor restores to an
+// empty warm-up, which merely restarts the short initial fit.
+func (p *LinearPredictor) Snapshot() Snapshot {
+	return Snapshot{
+		Kind:           KindLinear,
+		Calibrated:     p.calibrated,
+		D:              p.d,
+		R:              p.r,
+		LastT:          p.lastT,
+		CumOffset:      p.cumOffset,
+		N:              p.n,
+		ST:             p.st,
+		SB:             p.sb,
+		STT:            p.stt,
+		STB:            p.stb,
+		Recalibrations: p.Recalibrations,
+	}
+}
+
+// Restore loads a snapshot previously taken with Snapshot. Tuning fields
+// (InitWindow, JumpTol, …) are left untouched: they are configuration,
+// not calibration, and the restoring process supplies its own.
+func (p *LinearPredictor) Restore(s Snapshot) error {
+	if s.Kind != KindLinear {
+		return fmt.Errorf("clock: cannot restore %q snapshot into LinearPredictor", s.Kind)
+	}
+	p.calibrated = s.Calibrated
+	p.d, p.r = s.D, s.R
+	p.lastT = s.LastT
+	p.cumOffset = s.CumOffset
+	p.n, p.st, p.sb, p.stt, p.stb = s.N, s.ST, s.SB, s.STT, s.STB
+	p.Recalibrations = s.Recalibrations
+	p.window = p.window[:0]
+	return nil
+}
+
+// Snapshot exports the filtered state and covariance.
+func (k *KalmanPredictor) Snapshot() Snapshot {
+	return Snapshot{
+		Kind:           KindKalman,
+		Calibrated:     k.initialized,
+		D:              k.bias,
+		R:              k.drift,
+		LastT:          k.lastT,
+		P00:            k.p00,
+		P01:            k.p01,
+		P11:            k.p11,
+		Recalibrations: k.Recalibrations,
+	}
+}
+
+// Restore loads a snapshot previously taken with Snapshot. Noise
+// parameters stay as configured on the receiver.
+func (k *KalmanPredictor) Restore(s Snapshot) error {
+	if s.Kind != KindKalman {
+		return fmt.Errorf("clock: cannot restore %q snapshot into KalmanPredictor", s.Kind)
+	}
+	k.initialized = s.Calibrated
+	k.bias, k.drift = s.D, s.R
+	k.lastT = s.LastT
+	k.p00, k.p01, k.p11 = s.P00, s.P01, s.P11
+	k.Recalibrations = s.Recalibrations
+	return nil
+}
+
+// Snapshot exports the pinned bias.
+func (c *Constant) Snapshot() Snapshot {
+	return Snapshot{Kind: KindConstant, Calibrated: true, D: c.Bias}
+}
+
+// Restore loads a pinned-bias snapshot.
+func (c *Constant) Restore(s Snapshot) error {
+	if s.Kind != KindConstant {
+		return fmt.Errorf("clock: cannot restore %q snapshot into Constant", s.Kind)
+	}
+	c.Bias = s.D
+	return nil
+}

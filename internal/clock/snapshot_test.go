@@ -1,0 +1,145 @@
+package clock
+
+import (
+	"math"
+	"testing"
+)
+
+// feedLinear calibrates a threshold-style predictor with a reset and an
+// outlier in the stream, so the snapshot has to carry non-trivial refit
+// sums, a cumulative offset, and a recalibration count.
+func feedLinear(p *LinearPredictor) {
+	truth := &ThresholdModel{Offset: 2e-4, Drift: 4e-7, Threshold: 1e-3}
+	for i := 0; i < 400; i++ {
+		t := float64(i)
+		p.Observe(Fix{T: t, Bias: truth.BiasAt(t)})
+	}
+}
+
+func newThresholdPredictor() *LinearPredictor {
+	p := NewLinearPredictor(60, 1e-4)
+	p.Refit = true
+	p.RoundJumpTo = 1e-3
+	p.OutlierTol = 1e-6
+	return p
+}
+
+// TestLinearSnapshotRoundTrip is the satellite's acceptance check: a
+// snapshot restored into a fresh predictor predicts identically to the
+// original, keeps evolving identically under further fixes, and a
+// re-taken snapshot is ==-equal to the first.
+func TestLinearSnapshotRoundTrip(t *testing.T) {
+	orig := newThresholdPredictor()
+	feedLinear(orig)
+	snap := orig.Snapshot()
+	if !snap.Calibrated || snap.Kind != KindLinear {
+		t.Fatalf("snapshot = %+v, want calibrated linear", snap)
+	}
+	if snap.LastT != 399 {
+		t.Errorf("snapshot LastT = %g, want 399 (epoch of last fit)", snap.LastT)
+	}
+
+	restored := newThresholdPredictor()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots must be equality-checkable: re-taking one from the
+	// restored predictor reproduces the original exactly.
+	if got := restored.Snapshot(); got != snap {
+		t.Errorf("re-taken snapshot differs:\n  got  %+v\n  want %+v", got, snap)
+	}
+	for _, at := range []float64{0, 150, 399, 400, 1000, 86400} {
+		want, err1 := orig.PredictBias(at)
+		got, err2 := restored.PredictBias(at)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("PredictBias(%g): %v / %v", at, err1, err2)
+		}
+		if got != want {
+			t.Errorf("PredictBias(%g) = %g, want %g", at, got, want)
+		}
+	}
+	// Both must evolve identically under further fixes (including a
+	// threshold reset well past the snapshot point).
+	truth := &ThresholdModel{Offset: 2e-4, Drift: 4e-7, Threshold: 1e-3}
+	for i := 400; i < 3000; i++ {
+		at := float64(i)
+		f := Fix{T: at, Bias: truth.BiasAt(at)}
+		orig.Observe(f)
+		restored.Observe(f)
+	}
+	if got, want := restored.Snapshot(), orig.Snapshot(); got != want {
+		t.Errorf("post-restore evolution diverged:\n  got  %+v\n  want %+v", got, want)
+	}
+}
+
+// An uncalibrated snapshot restores to a clean warm-up state rather than
+// a half-calibrated chimera.
+func TestLinearSnapshotUncalibrated(t *testing.T) {
+	p := NewLinearPredictor(60, 0)
+	p.Observe(Fix{T: 0, Bias: 1e-4})
+	snap := p.Snapshot()
+	if snap.Calibrated {
+		t.Fatal("snapshot claims calibration after one fix in a 60-fix window")
+	}
+	q := NewLinearPredictor(60, 0)
+	if err := q.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.PredictBias(10); err != ErrNotCalibrated {
+		t.Errorf("restored uncalibrated predictor returned err = %v, want ErrNotCalibrated", err)
+	}
+}
+
+func TestSnapshotKindMismatch(t *testing.T) {
+	lin := NewLinearPredictor(5, 0)
+	kal := NewKalmanPredictor(1e-4)
+	if err := lin.Restore(kal.Snapshot()); err == nil {
+		t.Error("linear predictor accepted a kalman snapshot")
+	}
+	if err := kal.Restore(lin.Snapshot()); err == nil {
+		t.Error("kalman predictor accepted a linear snapshot")
+	}
+	c := &Constant{}
+	if err := c.Restore(lin.Snapshot()); err == nil {
+		t.Error("constant predictor accepted a linear snapshot")
+	}
+}
+
+func TestKalmanSnapshotRoundTrip(t *testing.T) {
+	orig := NewKalmanPredictor(1e-4)
+	truth := &SteeringModel{Offset: 5e-5, Amplitude: 2e-8, Period: 900}
+	for i := 0; i < 300; i++ {
+		at := float64(i)
+		orig.Observe(Fix{T: at, Bias: truth.BiasAt(at)})
+	}
+	snap := orig.Snapshot()
+	restored := NewKalmanPredictor(1e-4)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Snapshot(); got != snap {
+		t.Errorf("re-taken snapshot differs:\n  got  %+v\n  want %+v", got, snap)
+	}
+	for i := 300; i < 600; i++ {
+		at := float64(i)
+		f := Fix{T: at, Bias: truth.BiasAt(at)}
+		orig.Observe(f)
+		restored.Observe(f)
+	}
+	got, _ := restored.PredictBias(650)
+	want, _ := orig.PredictBias(650)
+	if got != want || math.IsNaN(got) {
+		t.Errorf("post-restore PredictBias = %g, want %g", got, want)
+	}
+}
+
+func TestConstantSnapshotRoundTrip(t *testing.T) {
+	c := &Constant{Bias: 3.25e-4}
+	d := &Constant{}
+	if err := d.Restore(c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Bias != c.Bias {
+		t.Errorf("restored bias = %g, want %g", d.Bias, c.Bias)
+	}
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+
+	"gpsdl/internal/checkpoint"
+)
+
+// header fills the configuration-echo fields of a checkpoint state, so
+// Restore can refuse a checkpoint taken under an incompatible run.
+func (e *Engine) header() *checkpoint.State {
+	return &checkpoint.State{
+		Solver:    e.cfg.Solver,
+		Seed:      e.cfg.Seed,
+		Step:      e.cfg.Step,
+		Receivers: e.cfg.Receivers,
+	}
+}
+
+// Snapshot assembles a checkpoint from the sessions' lock-free cells.
+// Safe to call from any goroutine while a run is in flight; requires
+// Config.CheckpointEvery > 0 (otherwise the cells are never refreshed
+// and the snapshot is empty). Sessions that have not completed a refresh
+// interval yet are omitted — they had nothing worth persisting.
+func (e *Engine) Snapshot() *checkpoint.State {
+	st := e.header()
+	for _, s := range e.sessions {
+		cs := s.ckpt.Load()
+		if cs == nil {
+			continue
+		}
+		st.Sessions = append(st.Sessions, *cs)
+		if cs.Epoch > st.Epoch {
+			st.Epoch = cs.Epoch
+		}
+	}
+	return st
+}
+
+// SnapshotFinal assembles an exact checkpoint by reading session state
+// directly. It must only be called while no run is in flight (before the
+// first run, or after Run/RunPaced has returned) — it takes no locks.
+// The graceful-drain path uses it for the final checkpoint.
+func (e *Engine) SnapshotFinal() *checkpoint.State {
+	st := e.header()
+	for _, s := range e.sessions {
+		cs := s.snapshot(s.nextEpoch)
+		st.Sessions = append(st.Sessions, *cs)
+		if cs.Epoch > st.Epoch {
+			st.Epoch = cs.Epoch
+		}
+	}
+	return st
+}
+
+// Restore loads a checkpoint into a freshly built engine, before any
+// run: per-session clock calibration (skipping the NR warm-up window the
+// paper prices as the expensive recalibration case), last good fix, and
+// health state. RunPaced resumes at the checkpoint epoch; batch mode
+// should use RunRange(ctx, st.Epoch, end). It returns the number of
+// sessions restored. A configuration mismatch returns an error and
+// leaves the engine untouched — callers fall back to a cold start.
+func (e *Engine) Restore(st *checkpoint.State) (int, error) {
+	if st.Solver != e.cfg.Solver || st.Seed != e.cfg.Seed ||
+		st.Step != e.cfg.Step || st.Receivers != e.cfg.Receivers {
+		return 0, fmt.Errorf("engine: checkpoint for (solver=%s seed=%d step=%g receivers=%d), running (solver=%s seed=%d step=%g receivers=%d)",
+			st.Solver, st.Seed, st.Step, st.Receivers,
+			e.cfg.Solver, e.cfg.Seed, e.cfg.Step, e.cfg.Receivers)
+	}
+	restored := 0
+	for i := range st.Sessions {
+		cs := &st.Sessions[i]
+		if cs.Receiver < 0 || cs.Receiver >= len(e.sessions) {
+			continue
+		}
+		if err := e.sessions[cs.Receiver].restore(cs); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	e.resume = st.Epoch
+	return restored, nil
+}
+
+// ResumeEpoch reports the epoch index RunPaced will start from (set by
+// Restore; 0 on a cold engine).
+func (e *Engine) ResumeEpoch() int { return e.resume }

@@ -62,8 +62,8 @@ type FixEvent struct {
 	// State is the session's health state after this epoch.
 	State SessionState
 	// Faults lists the fault-injector events applied to this epoch.
-	Faults []fault.Event
-	Err    error
+	Faults   []fault.Event
+	Err      error
 	GGA, RMC []byte
 }
 
@@ -109,6 +109,27 @@ type Config struct {
 	// FaultSeed+r. The same (Faults, FaultSeed, Seed) triple reproduces
 	// bit-identical fix streams and fault-event logs for any worker count.
 	FaultSeed int64
+	// ReceiverFaults, when non-nil, supplies a per-receiver fault program
+	// that overrides Faults for receivers where it returns a non-nil
+	// program — chaos tests use it to panic one receiver while its shard
+	// neighbours run clean. Must be deterministic in r.
+	ReceiverFaults func(r int) fault.Program
+	// BreakerThreshold is the consecutive-failure count K that opens a
+	// session's circuit breaker; ≤ 0 means 8.
+	BreakerThreshold int
+	// BreakerProbeEvery paces half-open probes while a breaker is open:
+	// every Nth open epoch runs a cheap DLO probe and the full chain,
+	// the rest coast without solving. ≤ 0 means 1 (probe every epoch),
+	// which keeps the fix stream bit-identical to a breaker-free engine.
+	BreakerProbeEvery int
+	// RestartBudget is how many panic restarts a session gets before it
+	// is failed for the rest of the run; ≤ 0 means 8.
+	RestartBudget int
+	// CheckpointEvery refreshes each session's lock-free checkpoint cell
+	// every N epochs, making Engine.Snapshot safe mid-run; 0 disables
+	// (the default: refreshing allocates, and the hot path stays
+	// allocation-free without it).
+	CheckpointEvery int
 }
 
 // job is a half-open range of epoch indices [e0, e1) for one shard.
@@ -132,6 +153,7 @@ type Engine struct {
 	shards   []*shard
 	sessions []*session // all sessions, indexed by receiver
 	cm       *chainMetrics
+	resume   int // first epoch index for RunPaced, set by Restore
 }
 
 // chainMetrics bundles the engine-wide (cross-shard) fallback and RAIM
@@ -166,6 +188,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 8
+	}
+	if cfg.BreakerProbeEvery <= 0 {
+		cfg.BreakerProbeEvery = 1
+	}
+	if cfg.RestartBudget <= 0 {
+		cfg.RestartBudget = 8
 	}
 	if cfg.Stations == nil {
 		cfg.Stations = scenario.Table51Stations()
@@ -215,15 +246,24 @@ func (e *Engine) Pregenerate(n int) error {
 
 // Run processes epochs [0, epochs) on every receiver, returning when all
 // work is done or ctx is canceled (then ctx.Err() is returned). Batches
-// already queued when cancellation hits are drained and counted aborted,
-// so the conservation law enqueued == done + aborted holds on return.
+// cut short by cancellation are counted aborted; batches received after
+// cancellation are returned unprocessed and counted drained, so the
+// conservation law enqueued == done + aborted + drained holds on return.
 func (e *Engine) Run(ctx context.Context, epochs int) error {
+	return e.RunRange(ctx, 0, epochs)
+}
+
+// RunRange is Run over the half-open epoch range [e0, e1). A restored
+// engine resumes with RunRange(ctx, st.Epoch, end) so epoch indices —
+// and therefore epoch times, fault windows, and threshold-clock resets —
+// continue exactly where the checkpointed process stopped.
+func (e *Engine) RunRange(ctx context.Context, e0, e1 int) error {
 	wg := e.start(ctx)
 enqueue:
-	for start := 0; start < epochs; start += e.cfg.BatchSize {
+	for start := e0; start < e1; start += e.cfg.BatchSize {
 		end := start + e.cfg.BatchSize
-		if end > epochs {
-			end = epochs
+		if end > e1 {
+			end = e1
 		}
 		for _, sh := range e.shards {
 			select {
@@ -244,10 +284,11 @@ enqueue:
 // RunPaced processes one epoch per tick on every receiver — the serving
 // mode, where epochs arrive in real time. A shard that is still busy when
 // its next tick lands skips that epoch (counted in skipped_ticks) rather
-// than falling behind. Returns when ticks closes or ctx is canceled.
+// than falling behind. Epoch indices start at the restore point (0 on a
+// cold engine). Returns when ticks closes or ctx is canceled.
 func (e *Engine) RunPaced(ctx context.Context, ticks <-chan time.Time) error {
 	wg := e.start(ctx)
-	i := 0
+	i := e.resume
 loop:
 	for {
 		select {
@@ -291,12 +332,17 @@ func (e *Engine) start(ctx context.Context) *sync.WaitGroup {
 	return wg
 }
 
-// run drains the shard's queue. After cancellation the remaining jobs are
-// received and counted aborted so the dispatcher's close never strands a
-// queued batch.
+// run drains the shard's queue. A batch cut short mid-way by cancellation
+// counts aborted; a batch received after cancellation is returned
+// untouched and counts drained, so the dispatcher's close never strands
+// a queued batch and the drain summary can tell the two apart.
 func (sh *shard) run(ctx context.Context) {
 	for jb := range sh.jobs {
 		sh.m.queueDepth.Set(float64(len(sh.jobs)))
+		if ctx.Err() != nil {
+			sh.m.drained.Inc()
+			continue
+		}
 		aborted := false
 		for i := jb.e0; i < jb.e1; i++ {
 			if ctx.Err() != nil {
@@ -304,7 +350,7 @@ func (sh *shard) run(ctx context.Context) {
 				break
 			}
 			for _, s := range sh.sessions {
-				s.step(i)
+				sh.stepSession(s, i)
 			}
 		}
 		if aborted {
@@ -316,13 +362,83 @@ func (sh *shard) run(ctx context.Context) {
 	sh.m.queueDepth.Set(0)
 }
 
+// stepSession is the per-epoch supervisor around session.step: it skips
+// failed and quarantined sessions (one sink event and one counter each,
+// keeping event conservation exact), recovers panics into isolated
+// session restarts, and refreshes the session's checkpoint cell. One
+// receiver panicking or backing off never disturbs its shard neighbours.
+func (sh *shard) stepSession(s *session, i int) {
+	if s.failed {
+		sh.m.failedEpochs.Inc()
+		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i,
+			T: float64(i) * s.step_, State: s.state, Err: errSessionFailed})
+		return
+	}
+	if s.quarUntil > i {
+		sh.m.quarantinedEpochs.Inc()
+		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i,
+			T: float64(i) * s.step_, State: s.state, Err: errSessionQuarantined})
+		return
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				sh.superviseAfterPanic(s, i, r)
+			}
+		}()
+		s.step(i)
+	}()
+	s.nextEpoch = i + 1
+	if s.ckptEvery > 0 && (i+1)%s.ckptEvery == 0 {
+		s.ckpt.Store(s.snapshot(i + 1))
+	}
+}
+
+// superviseAfterPanic converts a recovered panic into an isolated
+// session failure: exponential epoch-indexed backoff (2, 4, 8, …, capped
+// at maxQuarantineEpochs) while the restart budget lasts, permanent
+// failure after. Backoff is counted in epoch indices, never wall-clock,
+// so supervision is deterministic for any worker count.
+func (sh *shard) superviseAfterPanic(s *session, i int, r any) {
+	sh.m.panics.Inc()
+	s.restarts++
+	if s.restarts > s.restartBudget {
+		s.failed = true
+		s.setState(StateFailed)
+	} else {
+		backoff := 1 << s.restarts
+		if backoff > maxQuarantineEpochs {
+			backoff = maxQuarantineEpochs
+		}
+		s.quarUntil = i + 1 + backoff
+		s.setState(StateQuarantined)
+		s.restart()
+		sh.m.restarts.Inc()
+	}
+	err := fmt.Errorf("engine: receiver %d panicked at epoch %d: %v", s.recv, i, r)
+	func() {
+		// A panicking sink must not take the supervisor down with it.
+		defer func() { _ = recover() }()
+		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i,
+			T: float64(i) * s.step_, State: s.state, Err: err})
+	}()
+}
+
+// maxQuarantineEpochs caps post-panic backoff so a long-lived session
+// with a mid-life panic streak still gets probed regularly.
+const maxQuarantineEpochs = 256
+
 // Stats is an engine-wide snapshot summed over shards.
 type Stats struct {
 	Fixes, CoastFixes, SolveFailures, EpochErrors uint64
 	BatchesEnqueued, BatchesDone, BatchesAborted  uint64
+	BatchesDrained                                uint64
 	SkippedTicks                                  uint64
 	FaultEvents                                   uint64
 	Fallbacks, SuspectFixes, RAIMExclusions       uint64
+	Panics, Restarts                              uint64
+	QuarantinedEpochs, FailedEpochs               uint64
+	BreakerOpens, BreakerProbes, BreakerSkips     uint64
 }
 
 // Stats sums the per-shard counters. Safe to call at any time; exact once
@@ -337,8 +453,16 @@ func (e *Engine) Stats() Stats {
 		st.BatchesEnqueued += sh.m.enqueued.Value()
 		st.BatchesDone += sh.m.done.Value()
 		st.BatchesAborted += sh.m.aborted.Value()
+		st.BatchesDrained += sh.m.drained.Value()
 		st.SkippedTicks += sh.m.skippedTicks.Value()
 		st.FaultEvents += sh.m.faultEvents.Value()
+		st.Panics += sh.m.panics.Value()
+		st.Restarts += sh.m.restarts.Value()
+		st.QuarantinedEpochs += sh.m.quarantinedEpochs.Value()
+		st.FailedEpochs += sh.m.failedEpochs.Value()
+		st.BreakerOpens += sh.m.breakerOpens.Value()
+		st.BreakerProbes += sh.m.breakerProbes.Value()
+		st.BreakerSkips += sh.m.breakerSkips.Value()
 	}
 	st.Fallbacks = e.cm.fallback.Fallbacks.Value()
 	st.SuspectFixes = e.cm.fallback.Suspects.Value()
@@ -346,25 +470,43 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// ShardHealth is one shard's session-state census, for /healthz.
-type ShardHealth struct {
-	Shard    int    `json:"shard"`
-	Healthy  uint64 `json:"healthy"`
-	Degraded uint64 `json:"degraded"`
-	Coasting uint64 `json:"coasting"`
+// BatchesConserved reports the drain conservation law the graceful
+// shutdown path asserts: every enqueued batch was processed, cut short,
+// or drained — none stranded.
+func (st Stats) BatchesConserved() bool {
+	return st.BatchesEnqueued == st.BatchesDone+st.BatchesAborted+st.BatchesDrained
 }
 
-// ShardHealth reports how many of each shard's sessions are currently
-// healthy, degraded, or coasting. The gauges are updated atomically at
-// state transitions, so this is safe to call while a run is in flight.
+// ShardHealth is one shard's session-state census, for /healthz.
+type ShardHealth struct {
+	Shard       int    `json:"shard"`
+	Healthy     uint64 `json:"healthy"`
+	Degraded    uint64 `json:"degraded"`
+	Coasting    uint64 `json:"coasting"`
+	Quarantined uint64 `json:"quarantined,omitempty"`
+	Failed      uint64 `json:"failed,omitempty"`
+	BreakerOpen uint64 `json:"breaker_open,omitempty"`
+	Panics      uint64 `json:"panics,omitempty"`
+	Restarts    uint64 `json:"restarts,omitempty"`
+}
+
+// ShardHealth reports how many of each shard's sessions are currently in
+// each health state, plus the shard's supervision counters. The gauges
+// are updated atomically at state transitions, so this is safe to call
+// while a run is in flight.
 func (e *Engine) ShardHealth() []ShardHealth {
 	out := make([]ShardHealth, len(e.shards))
 	for i, sh := range e.shards {
 		out[i] = ShardHealth{
-			Shard:    sh.id,
-			Healthy:  uint64(sh.m.healthySessions.Value()),
-			Degraded: uint64(sh.m.degradedSessions.Value()),
-			Coasting: uint64(sh.m.coastingSessions.Value()),
+			Shard:       sh.id,
+			Healthy:     uint64(sh.m.healthySessions.Value()),
+			Degraded:    uint64(sh.m.degradedSessions.Value()),
+			Coasting:    uint64(sh.m.coastingSessions.Value()),
+			Quarantined: uint64(sh.m.quarantinedSessions.Value()),
+			Failed:      uint64(sh.m.failedSessions.Value()),
+			BreakerOpen: uint64(sh.m.breakerOpenSessions.Value()),
+			Panics:      sh.m.panics.Value(),
+			Restarts:    sh.m.restarts.Value(),
 		}
 	}
 	return out

@@ -103,9 +103,9 @@ func TestEngineShutdown(t *testing.T) {
 		t.Fatalf("Run returned %v, want context.Canceled", runErr)
 	}
 	st := eng.Stats()
-	if st.BatchesEnqueued != st.BatchesDone+st.BatchesAborted {
-		t.Errorf("batch conservation violated: enqueued %d != done %d + aborted %d",
-			st.BatchesEnqueued, st.BatchesDone, st.BatchesAborted)
+	if !st.BatchesConserved() {
+		t.Errorf("batch conservation violated: enqueued %d != done %d + aborted %d + drained %d",
+			st.BatchesEnqueued, st.BatchesDone, st.BatchesAborted, st.BatchesDrained)
 	}
 	if st.BatchesAborted == 0 {
 		t.Error("cancellation mid-run aborted no batches")

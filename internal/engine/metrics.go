@@ -21,6 +21,19 @@ type shardMetrics struct {
 	healthySessions  *telemetry.Gauge
 	degradedSessions *telemetry.Gauge
 	coastingSessions *telemetry.Gauge
+
+	// Supervision instruments (PR 5).
+	drained             *telemetry.Counter
+	panics              *telemetry.Counter
+	restarts            *telemetry.Counter
+	quarantinedEpochs   *telemetry.Counter
+	failedEpochs        *telemetry.Counter
+	breakerOpens        *telemetry.Counter
+	breakerProbes       *telemetry.Counter
+	breakerSkips        *telemetry.Counter
+	quarantinedSessions *telemetry.Gauge
+	failedSessions      *telemetry.Gauge
+	breakerOpenSessions *telemetry.Gauge
 }
 
 func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
@@ -55,6 +68,28 @@ func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
 			"Sessions on a fallback solver, post-exclusion, or suspect fix", l),
 		coastingSessions: reg.Gauge("engine_sessions_coasting",
 			"Sessions holding position on the clock model", l),
+		drained: reg.Counter("engine_batches_drained_total",
+			"Batches received after cancellation and returned unprocessed", l),
+		panics: reg.Counter("engine_session_panics_total",
+			"Panics recovered by the shard supervisor", l),
+		restarts: reg.Counter("engine_session_restarts_total",
+			"Session restarts performed by the supervisor after a panic", l),
+		quarantinedEpochs: reg.Counter("engine_quarantined_epochs_total",
+			"Epochs skipped while a session sat in post-panic backoff", l),
+		failedEpochs: reg.Counter("engine_failed_epochs_total",
+			"Epochs skipped on sessions whose restart budget is exhausted", l),
+		breakerOpens: reg.Counter("engine_breaker_opens_total",
+			"Circuit-breaker open transitions (K consecutive chain failures)", l),
+		breakerProbes: reg.Counter("engine_breaker_probes_total",
+			"Half-open probe solves attempted while a breaker was open", l),
+		breakerSkips: reg.Counter("engine_breaker_skipped_solves_total",
+			"Open-breaker epochs that coasted without attempting a solve", l),
+		quarantinedSessions: reg.Gauge("engine_sessions_quarantined",
+			"Sessions in post-panic backoff", l),
+		failedSessions: reg.Gauge("engine_sessions_failed",
+			"Sessions permanently failed after exhausting the restart budget", l),
+		breakerOpenSessions: reg.Gauge("engine_breaker_open_sessions",
+			"Sessions whose circuit breaker is currently open", l),
 	}
 }
 
@@ -65,6 +100,10 @@ func (m *shardMetrics) stateGauge(st SessionState) *telemetry.Gauge {
 		return m.degradedSessions
 	case StateCoasting:
 		return m.coastingSessions
+	case StateQuarantined:
+		return m.quarantinedSessions
+	case StateFailed:
+		return m.failedSessions
 	default:
 		return m.healthySessions
 	}

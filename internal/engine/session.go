@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"gpsdl/internal/checkpoint"
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
 	"gpsdl/internal/eval"
@@ -17,7 +19,10 @@ import (
 // primary solve; Degraded fixes needed a fallback solver, a RAIM
 // exclusion, or carry an unresolved integrity fault; Coasting fixes hold
 // the last good position on the clock model because the sky (fewer than
-// 4 satellites, or no solver converging) cannot support a solve.
+// 4 satellites, or no solver converging) cannot support a solve;
+// Quarantined sessions panicked and sit in exponential backoff before
+// the supervisor restarts them; Failed sessions exhausted their restart
+// budget and are skipped for the rest of the run.
 type SessionState uint8
 
 // Session health states, in order of increasing trouble.
@@ -25,6 +30,8 @@ const (
 	StateHealthy SessionState = iota
 	StateDegraded
 	StateCoasting
+	StateQuarantined
+	StateFailed
 )
 
 // String returns the state's /healthz name.
@@ -36,8 +43,26 @@ func (st SessionState) String() string {
 		return "degraded"
 	case StateCoasting:
 		return "coasting"
+	case StateQuarantined:
+		return "quarantined"
+	case StateFailed:
+		return "failed"
 	default:
 		return "unknown"
+	}
+}
+
+// stateFromName is String's inverse, for checkpoint restore. Unknown
+// names (and the transient supervision states, which do not survive a
+// restart) map to StateHealthy.
+func stateFromName(name string) SessionState {
+	switch name {
+	case "degraded":
+		return StateDegraded
+	case "coasting":
+		return StateCoasting
+	default:
+		return StateHealthy
 	}
 }
 
@@ -54,21 +79,57 @@ const (
 // reusable buffers that keep the steady-state step allocation-free. A
 // session is owned by exactly one shard and never touched concurrently.
 type session struct {
-	recv  int
-	shard int
-	step_ float64 // epoch spacing (cfg.Step); step is the method
+	recv    int
+	shard   int
+	step_   float64 // epoch spacing (cfg.Step); step is the method
+	station string  // scenario station ID, echoed into checkpoints
 
-	gen   *scenario.Generator
-	inj   *fault.Injector // nil when the run is fault-free
-	pred  clock.Predictor
-	warm  *core.NRSolver // feeds the predictor, gpsserve-style
-	chain *core.FallbackChain
-	sink  FixSink
-	m     *shardMetrics
+	gen    *scenario.Generator
+	inj    *fault.Injector // nil when the run is fault-free
+	pred   clock.Predictor
+	warm   *core.NRSolver // feeds the predictor, gpsserve-style
+	chain  *core.FallbackChain
+	probe  core.Solver // cheap DLO used for half-open breaker probes
+	solver string      // primary solver name, kept for restart
+	cm     *chainMetrics
+	sink   FixSink
+	m      *shardMetrics
 
-	state    SessionState
-	lastGood core.Solution // most recent non-suspect fix, for coasting
-	haveGood bool
+	state     SessionState
+	lastGood  core.Solution // most recent non-suspect fix, for coasting
+	lastGoodT float64       // receiver time of lastGood
+	haveGood  bool
+
+	// Circuit breaker: consecFails counts consecutive full-chain
+	// failures; at breakerK the breaker opens. While open, every
+	// probeEvery-th epoch runs a cheap DLO probe (and still falls through
+	// to the full chain, so default-tuned output is bit-identical to an
+	// engine without a breaker); the other open epochs coast without
+	// solving. Any successful solve or probe closes the breaker. All
+	// bookkeeping is epoch-indexed, never wall-clock, so it is
+	// deterministic for any worker count.
+	breakerK   int
+	probeEvery int
+	consecFail int
+	brkOpen    bool
+	openEpochs int
+
+	// Supervisor state: after a recovered panic the session is
+	// quarantined until epoch quarUntil (exponential backoff in epochs),
+	// then restarted; after restartBudget restarts it is failed for the
+	// rest of the run.
+	restartBudget int
+	restarts      int
+	quarUntil     int
+	failed        bool
+
+	// Checkpoint cell: refreshed by the owning shard every ckptEvery
+	// epochs (0 = off) and read lock-free by Engine.Snapshot from any
+	// goroutine. nextEpoch is shard-private bookkeeping for the exact
+	// final snapshot.
+	ckptEvery int
+	ckpt      atomic.Pointer[checkpoint.Session]
+	nextEpoch int
 
 	obs  []core.Observation // reused epoch conversion buffer
 	fobs []scenario.SatObs  // reused faulted-observation buffer
@@ -91,29 +152,71 @@ func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics) (
 		opts = cfg.SessionOptions(r)
 	}
 	s := &session{
-		recv:  r,
-		shard: shardID,
-		step_: cfg.Step,
-		gen:   scenario.NewGenerator(st, gcfg, opts...),
-		pred:  eval.DefaultPredictor(st.Clock),
-		sink:  cfg.Sink,
-		m:     m,
-		state: StateHealthy,
+		recv:          r,
+		shard:         shardID,
+		step_:         cfg.Step,
+		station:       st.ID,
+		gen:           scenario.NewGenerator(st, gcfg, opts...),
+		pred:          eval.DefaultPredictor(st.Clock),
+		solver:        cfg.Solver,
+		cm:            cm,
+		sink:          cfg.Sink,
+		m:             m,
+		state:         StateHealthy,
+		breakerK:      cfg.BreakerThreshold,
+		probeEvery:    cfg.BreakerProbeEvery,
+		restartBudget: cfg.RestartBudget,
+		ckptEvery:     cfg.CheckpointEvery,
 	}
-	if len(cfg.Faults) > 0 {
-		s.inj = fault.NewInjector(cfg.Faults, cfg.FaultSeed+int64(r))
+	prog := cfg.Faults
+	if cfg.ReceiverFaults != nil {
+		if p := cfg.ReceiverFaults(r); p != nil {
+			prog = p
+		}
 	}
-	sc := &core.Scratch{}
-	s.warm = &core.NRSolver{Scratch: sc}
-	chain, err := newChain(cfg.Solver, s.pred, sc)
-	if err != nil {
+	if len(prog) > 0 {
+		s.inj = fault.NewInjector(prog, cfg.FaultSeed+int64(r))
+	}
+	if err := s.buildSolvers(); err != nil {
 		return nil, err
 	}
-	chain.EnableRAIM(0, cm.raim)
-	chain.SetMetrics(cm.fallback)
-	s.chain = chain
 	m.stateGauge(StateHealthy).Inc()
 	return s, nil
+}
+
+// buildSolvers wires a fresh scratch, warm-start NR, fallback chain and
+// breaker probe. newSession calls it once; restart calls it again after
+// a panic, discarding any solver state the panic may have poisoned while
+// keeping the expensive-to-recalibrate predictor.
+func (s *session) buildSolvers() error {
+	sc := &core.Scratch{}
+	s.warm = &core.NRSolver{Scratch: sc}
+	chain, err := newChain(s.solver, s.pred, sc)
+	if err != nil {
+		return err
+	}
+	chain.EnableRAIM(0, s.cm.raim)
+	chain.SetMetrics(s.cm.fallback)
+	s.chain = chain
+	dlo := core.NewDLOSolver(s.pred)
+	dlo.Scratch = sc
+	s.probe = dlo
+	return nil
+}
+
+// restart rebuilds the session after a recovered panic. Solver state and
+// reusable buffers are discarded (the panic may have left them torn);
+// the clock predictor, generator, injector and last good fix carry over —
+// losing the predictor would force exactly the NR re-warm-up the paper's
+// Section 4.2 prices as the expensive case.
+func (s *session) restart() {
+	s.buildSolvers() // error impossible: the solver name was validated at construction
+	s.obs, s.fobs, s.fev, s.buf = nil, nil, nil, nil
+	s.consecFail = 0
+	if s.brkOpen {
+		s.brkOpen = false
+		s.m.breakerOpenSessions.Dec()
+	}
 }
 
 // pregenerate caches epochs [0, n) so step skips scenario generation.
@@ -177,14 +280,45 @@ func (s *session) step(i int) {
 		}
 	}
 	start := time.Now()
+	if s.brkOpen {
+		s.openEpochs++
+		if s.probeEvery > 1 && s.openEpochs%s.probeEvery != 0 {
+			// Open breaker, not a probe epoch: coast without burning a
+			// full fallback-chain attempt on a session that has failed
+			// breakerK times in a row.
+			s.m.breakerSkips.Inc()
+			s.coastOrFail(i, ep.T, len(obs), fev, errBreakerOpen)
+			return
+		}
+		// Half-open probe: one cheap DLO solve. Success closes the
+		// breaker; either way the epoch falls through to the full chain,
+		// so with the default probeEvery=1 the fix stream is bit-identical
+		// to an engine without a breaker.
+		s.m.breakerProbes.Inc()
+		if _, perr := s.probe.Solve(ep.T, obs); perr == nil {
+			s.closeBreaker()
+		}
+	}
 	res, err := s.chain.Solve(ep.T, obs)
 	s.m.solveSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
+		s.consecFail++
+		if !s.brkOpen && s.consecFail >= s.breakerK {
+			s.brkOpen = true
+			s.openEpochs = 0
+			s.m.breakerOpens.Inc()
+			s.m.breakerOpenSessions.Inc()
+		}
 		s.coastOrFail(i, ep.T, len(obs), fev, err)
 		return
 	}
+	s.consecFail = 0
+	if s.brkOpen {
+		s.closeBreaker()
+	}
 	if !res.Suspect {
 		s.lastGood = res.Solution
+		s.lastGoodT = ep.T
 		s.haveGood = true
 	}
 	if res.Degraded() {
@@ -267,10 +401,68 @@ func (s *session) setState(next SessionState) {
 	s.state = next
 }
 
+// closeBreaker returns the circuit breaker to closed.
+func (s *session) closeBreaker() {
+	s.brkOpen = false
+	s.consecFail = 0
+	s.m.breakerOpenSessions.Dec()
+}
+
 func (s *session) emit(e FixEvent) {
 	if s.sink != nil {
 		s.sink(e)
 	}
 }
 
-var errPastPregenerated = fmt.Errorf("engine: epoch index past pregenerated range")
+// snapshot builds this session's checkpoint record with next as the
+// resume epoch. Only the owning shard (or a quiescent engine) may call
+// it: it reads predictor and fix state without locks.
+func (s *session) snapshot(next int) *checkpoint.Session {
+	cs := &checkpoint.Session{
+		Receiver: s.recv,
+		Station:  s.station,
+		State:    s.state.String(),
+		HaveFix:  s.haveGood,
+		Epoch:    next,
+	}
+	if s.haveGood {
+		cs.LastFix = checkpoint.Fix{T: s.lastGoodT, Pos: s.lastGood.Pos, ClockBias: s.lastGood.ClockBias}
+	}
+	if sn, ok := s.pred.(clock.Snapshotter); ok {
+		cs.Clock = sn.Snapshot()
+	}
+	return cs
+}
+
+// restore loads a checkpoint record: predictor calibration, last good
+// fix, and health state. The transient supervision states are not
+// restored — a fresh process gets a fresh restart budget.
+func (s *session) restore(cs *checkpoint.Session) error {
+	if cs.Station != s.station {
+		return fmt.Errorf("engine: receiver %d checkpoint is for station %q, running %q", s.recv, cs.Station, s.station)
+	}
+	if cs.Clock.Kind != "" {
+		sn, ok := s.pred.(clock.Snapshotter)
+		if !ok {
+			return fmt.Errorf("engine: receiver %d predictor %T cannot restore a clock snapshot", s.recv, s.pred)
+		}
+		if err := sn.Restore(cs.Clock); err != nil {
+			return fmt.Errorf("engine: receiver %d: %w", s.recv, err)
+		}
+	}
+	s.haveGood = cs.HaveFix
+	if cs.HaveFix {
+		s.lastGood = core.Solution{Pos: cs.LastFix.Pos, ClockBias: cs.LastFix.ClockBias}
+		s.lastGoodT = cs.LastFix.T
+	}
+	s.setState(stateFromName(cs.State))
+	s.nextEpoch = cs.Epoch
+	return nil
+}
+
+var (
+	errPastPregenerated   = fmt.Errorf("engine: epoch index past pregenerated range")
+	errBreakerOpen        = fmt.Errorf("engine: circuit breaker open, solve skipped")
+	errSessionQuarantined = fmt.Errorf("engine: session quarantined after panic")
+	errSessionFailed      = fmt.Errorf("engine: session failed, restart budget exhausted")
+)

@@ -18,6 +18,7 @@
 package fault
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -51,6 +52,13 @@ const (
 	// satellites during the window (an occlusion shrinking the visible
 	// constellation, possibly below the 4 a solver needs).
 	KindShrink
+	// KindPanic panics (with an InjectedPanic value) on every epoch in
+	// the window, before any observation is produced. It models a
+	// software fault in the per-receiver pipeline rather than a signal
+	// fault, and exists so the engine supervisor's panic isolation can be
+	// driven through the same deterministic spec grammar as every other
+	// fault. Outside a supervised engine the panic propagates.
+	KindPanic
 )
 
 // String returns the spec keyword for the kind.
@@ -68,6 +76,8 @@ func (k Kind) String() string {
 		return "clockjump"
 	case KindShrink:
 		return "shrink"
+	case KindPanic:
+		return "panic"
 	default:
 		return "unknown"
 	}
@@ -126,7 +136,7 @@ func (p Program) Scale(s float64) Program {
 			c.Rate *= s
 		case KindBurst:
 			c.Sigma *= s
-		case KindDrop, KindShrink:
+		case KindDrop, KindShrink, KindPanic:
 			if !math.IsInf(c.Until, 1) {
 				c.Until = c.From + (c.Until-c.From)*s
 			}
@@ -177,6 +187,14 @@ func (in *Injector) Program() Program {
 // deterministic: survivors in input order for drops and shrink, then
 // clause order × observation order for the bias terms.
 func (in *Injector) Apply(t float64, obs []scenario.SatObs, dst []scenario.SatObs, ev []Event) ([]scenario.SatObs, []Event) {
+	// Pass 0: injected software faults. These abort the step before any
+	// observation is produced, so they log no Event here — the recovering
+	// supervisor accounts for them instead.
+	for _, c := range in.prog {
+		if c.Kind == KindPanic && c.active(t) {
+			panic(InjectedPanic{T: t})
+		}
+	}
 	// Pass 1: dropouts.
 	for i := range obs {
 		dropped := false
@@ -265,6 +283,19 @@ func ApplyDataset(ds *scenario.Dataset, prog Program, seed int64) (*scenario.Dat
 func applyAppend(in *Injector, ep scenario.Epoch, log []Event) (scenario.Epoch, []Event) {
 	obs, log := in.Apply(ep.T, ep.Obs, make([]scenario.SatObs, 0, len(ep.Obs)), log)
 	return scenario.Epoch{T: ep.T, Obs: obs}, log
+}
+
+// InjectedPanic is the value a KindPanic clause panics with. It
+// implements error so recovered values format cleanly in supervisor
+// logs and health reports.
+type InjectedPanic struct {
+	// T is the epoch time the panic fired at.
+	T float64
+}
+
+// Error implements error.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("fault: injected panic at t=%g", p.T)
 }
 
 // gauss returns a standard normal draw that is a pure function of

@@ -65,17 +65,17 @@ func TestSpecAtAlias(t *testing.T) {
 
 func TestSpecErrors(t *testing.T) {
 	bad := []string{
-		"warp:prn=1",                    // unknown kind
-		"drop:prn",                      // not key=value
-		"drop:satellite=1",              // unknown key
-		"drop:prn=x",                    // bad int
-		"step:prn=1",                    // step without bias
-		"ramp:prn=1",                    // ramp without rate
-		"burst:sigma=0",                 // burst without positive sigma
-		"clockjump:at=5",                // clockjump without bias
-		"shrink:from=1",                 // shrink without n
-		"drop:prn=1,from=100,until=50",  // inverted window
-		"burst:sigma=nan,from=0",        // NaN rejected
+		"warp:prn=1",                   // unknown kind
+		"drop:prn",                     // not key=value
+		"drop:satellite=1",             // unknown key
+		"drop:prn=x",                   // bad int
+		"step:prn=1",                   // step without bias
+		"ramp:prn=1",                   // ramp without rate
+		"burst:sigma=0",                // burst without positive sigma
+		"clockjump:at=5",               // clockjump without bias
+		"shrink:from=1",                // shrink without n
+		"drop:prn=1,from=100,until=50", // inverted window
+		"burst:sigma=nan,from=0",       // NaN rejected
 	}
 	for _, spec := range bad {
 		if _, err := ParseSpec(spec); err == nil {

@@ -12,7 +12,7 @@ import (
 //	spec    = clause *( ";" clause )
 //	clause  = kind ":" field *( "," field )   |   kind
 //	field   = key "=" value
-//	kind    = "drop" | "step" | "ramp" | "burst" | "clockjump" | "shrink"
+//	kind    = "drop" | "step" | "ramp" | "burst" | "clockjump" | "shrink" | "panic"
 //	key     = "prn" | "from" | "until" | "at" | "bias" | "rate" | "sigma" | "n"
 //
 // Examples:
@@ -23,6 +23,7 @@ import (
 //	burst:sigma=15,from=400,until=460
 //	clockjump:at=500,bias=0.001
 //	shrink:n=3,from=600,until=700
+//	panic:at=50,until=53
 //
 // "at" is an alias for "from" (natural for clock jumps). A missing
 // "until" means +Inf (for the rest of the run); a missing "from" means 0.
@@ -66,8 +67,10 @@ func parseClause(raw string) (Clause, error) {
 		c.Kind = KindClockJump
 	case "shrink":
 		c.Kind = KindShrink
+	case "panic":
+		c.Kind = KindPanic
 	default:
-		return Clause{}, fmt.Errorf("fault: unknown kind %q in clause %q (want drop, step, ramp, burst, clockjump or shrink)", kindStr, raw)
+		return Clause{}, fmt.Errorf("fault: unknown kind %q in clause %q (want drop, step, ramp, burst, clockjump, shrink or panic)", kindStr, raw)
 	}
 	c.N = -1
 	for _, f := range strings.Split(rest, ",") {
