@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (Go -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race bench bench-json bench-faults bench-recovery determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke chaos-smoke clean
+.PHONY: all build vet lint test race bench bench-json bench-quality bench-faults bench-recovery bench-gate determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke chaos-smoke slo-smoke clean
 
-all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke chaos-smoke bench-json
+all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke chaos-smoke slo-smoke bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,18 @@ bench:
 # count); the series EXPERIMENTS.md tracks.
 bench-json:
 	$(GO) run ./cmd/gpsbench -engine -engine-receivers 1,2,4,8 -engine-json BENCH_engine.json
+
+# Solution-quality sweep: each solver through the canonical degradation
+# scenarios (clean/burst/step/shrink/clockjump) with the quality layer
+# and default SLOs enabled, written to BENCH_quality.json.
+bench-quality:
+	$(GO) run ./cmd/gpsbench -quality -quality-json BENCH_quality.json
+
+# Throughput regression gate: re-runs the engine sweep and fails if any
+# receiver count lands more than 15% below the committed
+# BENCH_engine.json baseline (override with TOLERANCE_PCT).
+bench-gate:
+	GO="$(GO)" ./scripts/bench_gate.sh
 
 # Degradation curve under the composite fault program: accuracy rate η
 # and availability vs fault intensity, written to BENCH_faults.json.
@@ -104,6 +116,12 @@ trace-smoke:
 # cold-start fallback.
 chaos-smoke:
 	GO="$(GO)" ./scripts/chaos_smoke.sh
+
+# End-to-end check of the quality/SLO surface (race-built gpsserve): a
+# scheduled noise burst must flip the /debug/status fleet verdict from
+# ok to page, spend the error budget, and force health downgrades.
+slo-smoke:
+	GO="$(GO)" ./scripts/slo_smoke.sh
 
 clean:
 	$(GO) clean ./...

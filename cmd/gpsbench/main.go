@@ -82,6 +82,12 @@ func run(args []string) error {
 		faultsEpochs    = fs.Int("faults-epochs", 600, "epochs per receiver for -faults")
 		faultsSeed      = fs.Int64("fault-seed", 1, "fault-injector seed for -faults")
 		faultsJSON      = fs.String("faults-json", "BENCH_faults.json", "write the -faults degradation series as JSON to this file (empty disables)")
+		qualityOn       = fs.Bool("quality", false, "run the solution-quality sweep (quality digests and SLO verdicts per solver across degradation scenarios)")
+		qualityRecv     = fs.Int("quality-receivers", 4, "receiver sessions for -quality (round-robin over the Table 5.1 stations)")
+		qualityEpochs   = fs.Int("quality-epochs", 600, "epochs per receiver for -quality")
+		qualitySolvers  = fs.String("quality-solvers", "nr,dlg", "comma-separated solvers for -quality")
+		qualityWorkers  = fs.Int("quality-workers", 0, "engine shard count for -quality (0 = GOMAXPROCS)")
+		qualityJSON     = fs.String("quality-json", "BENCH_quality.json", "write the -quality sweep as JSON to this file (empty disables)")
 		recoveryOn      = fs.Bool("recovery", false, "run the checkpoint-recovery benchmark (cold NR re-warm-up vs restored clock calibration)")
 		recoveryRecv    = fs.Int("recovery-receivers", 4, "receiver sessions for -recovery (round-robin over the Table 5.1 stations)")
 		recoveryCut     = fs.Int("recovery-cut", 300, "epoch the serving engine is killed (and checkpointed) at for -recovery")
@@ -136,6 +142,29 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *qualityOn {
+		if *qualityEpochs < 60 {
+			return fmt.Errorf("-quality-epochs must be >= 60, have %d", *qualityEpochs)
+		}
+		if *qualityRecv < 1 {
+			return fmt.Errorf("-quality-receivers must be positive, have %d", *qualityRecv)
+		}
+		solvers, err := parseSolverList(*qualitySolvers)
+		if err != nil {
+			return fmt.Errorf("-quality-solvers: %w", err)
+		}
+		if err := runQualityBench(qualityBenchConfig{
+			receivers: *qualityRecv,
+			epochs:    *qualityEpochs,
+			solvers:   solvers,
+			workers:   *qualityWorkers,
+			seed:      *seed,
+			faultSeed: *faultsSeed,
+			jsonPath:  *qualityJSON,
+		}); err != nil {
+			return err
+		}
+	}
 	if *recoveryOn {
 		if *recoveryRecv < 1 {
 			return fmt.Errorf("-recovery-receivers must be positive, have %d", *recoveryRecv)
@@ -157,7 +186,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn && !*recoveryOn {
+	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn && !*recoveryOn && !*qualityOn {
 		*fig = "all"
 	}
 	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}

@@ -57,6 +57,11 @@ type health struct {
 	ckptPath      string
 	lastCkptNanos atomic.Int64 // wall-clock ns of the last save; 0 = none yet
 	lastCkptEpoch atomic.Int64
+
+	// draining flips once shutdown starts flushing client queues, so
+	// /healthz and /debug/status distinguish a deliberate drain from a
+	// stall during the grace window.
+	draining atomic.Bool
 }
 
 // newHealth returns a tracker whose instruments are registered in reg
@@ -89,6 +94,13 @@ func (h *health) recordFix(hdop float64) {
 	h.lastFixNanos.Store(time.Now().UnixNano())
 }
 
+// startDrain marks the server as draining (shutdown flush in progress).
+func (h *health) startDrain() {
+	if h != nil {
+		h.draining.Store(true)
+	}
+}
+
 // recordCheckpoint notes one successful checkpoint save.
 func (h *health) recordCheckpoint(epoch int) {
 	if h == nil {
@@ -119,6 +131,9 @@ type healthStatus struct {
 	// clients right now, and cumulative disconnections for any reason.
 	Clients int    `json:"clients"`
 	Drops   uint64 `json:"drops"`
+	// Draining reports that shutdown is flushing client queues; the
+	// server is going away on purpose, not stalled.
+	Draining bool `json:"draining,omitempty"`
 	// Shards is the engine mode's per-shard session-state census
 	// (healthy / degraded / coasting), absent in single-receiver mode.
 	Shards []engine.ShardHealth `json:"shards,omitempty"`
@@ -150,6 +165,7 @@ func (h *health) status() (healthStatus, int) {
 		Epochs:            h.epochs.Value(),
 		Fixes:             h.fixes.Value(),
 		LastFixAgeSeconds: -1,
+		Draining:          h.draining.Load(),
 	}
 	if h.b != nil {
 		// One locked snapshot keeps clients and drops mutually
@@ -199,15 +215,18 @@ func (h *health) handler(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-// newAdminMux wires the admin routes. rec may be nil (tracing disabled:
-// the /debug/trace routes answer 404).
-func newAdminMux(reg *telemetry.Registry, h *health, rec *trace.Recorder) *http.ServeMux {
+// newAdminMux wires the admin routes. st.rec may be nil (tracing
+// disabled: the /debug/trace routes answer 404); st.eng may be nil
+// (single-receiver mode: /debug/status serves liveness without the
+// quality/SLO block).
+func newAdminMux(st *serverTelemetry) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.Handler(reg))
-	mux.HandleFunc("/healthz", h.handler)
-	mux.Handle("/debug/trace", trace.Handler(rec))
-	mux.Handle("/debug/trace/chrome", trace.ChromeHandler(rec))
-	mux.Handle("/debug/trace/exemplars", trace.ExemplarsHandler(rec))
+	mux.Handle("/metrics", telemetry.Handler(st.reg))
+	mux.HandleFunc("/healthz", st.health.handler)
+	mux.HandleFunc("/debug/status", st.statusHandler)
+	mux.Handle("/debug/trace", trace.Handler(st.rec))
+	mux.Handle("/debug/trace/chrome", trace.ChromeHandler(st.rec))
+	mux.Handle("/debug/trace/exemplars", trace.ExemplarsHandler(st.rec))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -240,6 +259,7 @@ type serverTelemetry struct {
 	rec     *trace.Recorder
 	station scenario.Station // ground truth for exemplar residuals
 	health  *health
+	eng     *engine.Engine // engine mode only; nil for the single-receiver loop
 }
 
 // wireTelemetry instruments the server around registry reg. logs may be
@@ -247,6 +267,7 @@ type serverTelemetry struct {
 func wireTelemetry(reg *telemetry.Registry, solver core.Solver, pred clock.Predictor,
 	b *Broadcaster, logs *telemetry.Logging, fixMaxAge time.Duration,
 	rec *trace.Recorder, withRAIM bool, st scenario.Station) *serverTelemetry {
+	telemetry.RegisterBuildInfo(reg)
 	if lp, ok := pred.(*clock.LinearPredictor); ok {
 		lp.Metrics = clock.NewMetrics(reg)
 	} else if reg != nil {
@@ -319,7 +340,7 @@ func listenAdmin(ctx context.Context, addr string, st *serverTelemetry, log *slo
 	if err != nil {
 		return nil, fmt.Errorf("admin listen %s: %w", addr, err)
 	}
-	mux := newAdminMux(st.reg, st.health, st.rec)
+	mux := newAdminMux(st)
 	go serveAdmin(ctx, ln, mux, log)
 	return ln.Addr(), nil
 }

@@ -42,8 +42,8 @@ func newTestTelemetry(t *testing.T, maxAge time.Duration, rec *trace.Recorder) (
 // The acceptance criterion: /metrics must serve Prometheus text format
 // containing every key metric family from startup, before any traffic.
 func TestAdminMetricsEndpoint(t *testing.T) {
-	reg, tel := newTestTelemetry(t, 0, nil)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	_, tel := newTestTelemetry(t, 0, nil)
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -93,14 +93,14 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 
 // /metrics must reflect recorded activity.
 func TestAdminMetricsReflectActivity(t *testing.T) {
-	reg, tel := newTestTelemetry(t, 0, nil)
+	_, tel := newTestTelemetry(t, 0, nil)
 	// Fail one solve (too few satellites) and record a fix.
 	if _, err := tel.solver.Solve(0, nil); err == nil {
 		t.Fatal("empty solve succeeded")
 	}
 	tel.health.recordEpoch()
 	tel.health.recordFix(1.25)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -122,8 +122,8 @@ func TestAdminMetricsReflectActivity(t *testing.T) {
 }
 
 func TestHealthzLifecycle(t *testing.T) {
-	reg, tel := newTestTelemetry(t, time.Hour, nil)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	_, tel := newTestTelemetry(t, time.Hour, nil)
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 
 	get := func() (healthStatus, int) {
@@ -165,10 +165,10 @@ func TestHealthzLifecycle(t *testing.T) {
 }
 
 func TestHealthzStalled(t *testing.T) {
-	reg, tel := newTestTelemetry(t, time.Nanosecond, nil)
+	_, tel := newTestTelemetry(t, time.Nanosecond, nil)
 	tel.health.recordFix(1)
 	time.Sleep(2 * time.Millisecond)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -187,8 +187,8 @@ func TestHealthzStalled(t *testing.T) {
 // Every mounted pprof route must answer 200 with a non-empty body —
 // including the named profiles the index handler dispatches to.
 func TestAdminPprofRoutes(t *testing.T) {
-	reg, tel := newTestTelemetry(t, 0, nil)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	_, tel := newTestTelemetry(t, 0, nil)
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 	for _, path := range []string{
 		"/debug/pprof/",
@@ -234,7 +234,7 @@ func TestHealthzBackpressure(t *testing.T) {
 	b.Metrics.ShutdownDrops.Inc()
 	tel.health.recordEpoch()
 	tel.health.recordFix(1)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -257,12 +257,12 @@ func TestHealthzBackpressure(t *testing.T) {
 // retained traces, the Chrome export, and the exemplar tail.
 func TestAdminTraceRoutes(t *testing.T) {
 	rec := trace.New(trace.Config{Capacity: 8})
-	reg, tel := newTestTelemetry(t, 0, rec)
+	_, tel := newTestTelemetry(t, 0, rec)
 	tb := rec.StartEpoch(3, 1.5)
 	sp := tb.Start("solve/dlg")
 	sp.End()
 	tb.Finish()
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -306,8 +306,8 @@ func TestAdminTraceRoutes(t *testing.T) {
 // Without a recorder the trace routes answer 404, distinguishing
 // "tracing disabled" from "no traces yet".
 func TestAdminTraceDisabled(t *testing.T) {
-	reg, tel := newTestTelemetry(t, 0, nil)
-	srv := httptest.NewServer(newAdminMux(reg, tel.health, tel.rec))
+	_, tel := newTestTelemetry(t, 0, nil)
+	srv := httptest.NewServer(newAdminMux(tel))
 	defer srv.Close()
 	for _, path := range []string{"/debug/trace", "/debug/trace/chrome", "/debug/trace/exemplars"} {
 		resp, err := http.Get(srv.URL + path)

@@ -19,6 +19,7 @@ import (
 	"gpsdl/internal/engine"
 	"gpsdl/internal/fault"
 	"gpsdl/internal/scenario"
+	"gpsdl/internal/slo"
 	"gpsdl/internal/telemetry"
 )
 
@@ -39,6 +40,9 @@ type engineParams struct {
 	ckptPeriod time.Duration // wall-clock period between file saves
 	restore    bool          // resume from ckptPath at startup
 	drainWait  time.Duration // shutdown budget for flushing client queues
+	quality    bool          // enable quality windows + SLO evaluation
+	qualityWin int           // quality sliding-window span in epochs
+	sloSpec    string        // slo.ParseObjectives grammar; "" = defaults
 	logs       *telemetry.Logging
 }
 
@@ -70,7 +74,16 @@ func runEngine(ctx context.Context, p engineParams) error {
 			return fmt.Errorf("-faults: %w", err)
 		}
 	}
+	var qcfg *engine.QualityConfig
+	if p.quality {
+		objs, err := slo.ParseObjectives(p.sloSpec)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		qcfg = &engine.QualityConfig{Window: p.qualityWin, Objectives: objs}
+	}
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg)
 	b := NewBroadcaster()
 	b.Metrics = NewBroadcasterMetrics(reg)
 	b.Logger = p.logs.Component("broadcaster")
@@ -94,6 +107,7 @@ func runEngine(ctx context.Context, p engineParams) error {
 		Stations:        stations,
 		Registry:        reg,
 		CheckpointEvery: ckptEvery,
+		Quality:         qcfg,
 		// The sink runs on shard goroutines; health counters are atomic
 		// and Broadcast locks internally, so no extra synchronization is
 		// needed. GGA/RMC must be copied (string conversion does) before
@@ -132,13 +146,13 @@ func runEngine(ctx context.Context, p engineParams) error {
 	bctx, bcancel := context.WithCancel(context.Background())
 	defer bcancel()
 	if p.adminAddr != "" {
-		tel := &serverTelemetry{reg: reg, health: h}
+		tel := &serverTelemetry{reg: reg, health: h, eng: eng}
 		bound, err := listenAdmin(bctx, p.adminAddr, tel, p.logs.Component("admin"))
 		if err != nil {
 			ln.Close()
 			return err
 		}
-		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz)\n", bound)
+		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/status)\n", bound)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- b.Serve(bctx, ln) }()
@@ -172,6 +186,7 @@ func runEngine(ctx context.Context, p engineParams) error {
 	if p.ckptPath != "" {
 		saveCheckpoint(eng.SnapshotFinal(), p.ckptPath, h, clog)
 	}
+	h.startDrain()
 	flushed := b.Flush(p.drainWait)
 	bcancel()
 	cancelErr := <-serveErr

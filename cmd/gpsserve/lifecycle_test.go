@@ -68,7 +68,7 @@ func TestBroadcasterClientLifecycle(t *testing.T) {
 
 	h := newHealth(reg, 0, b)
 	h.recordFix(1.0) // healthz "ok" needs a recent fix
-	admin := httptest.NewServer(newAdminMux(reg, h, nil))
+	admin := httptest.NewServer(newAdminMux(&serverTelemetry{reg: reg, health: h}))
 
 	// Stage 1: connect and receive normally.
 	conn, err := net.Dial("tcp", ln.Addr().String())

@@ -75,10 +75,15 @@ func run(ctx context.Context, args []string) error {
 		ckptPeriod = fs.Duration("checkpoint-interval", 5*time.Second, "wall-clock period between checkpoint file saves (with -checkpoint)")
 		restore    = fs.Bool("restore", false, "resume from the -checkpoint file at startup; a missing, corrupt, or mismatched checkpoint falls back to a cold start")
 		drainWait  = fs.Duration("drain-timeout", 2*time.Second, "how long shutdown waits for connected clients to drain their queued sentences")
+		qualityOn  = fs.Bool("quality", true, "engine-mode solution-quality windows and SLO/error-budget evaluation, surfaced on /debug/status (needs -receivers > 1)")
+		qualityWin = fs.Int("quality-window", 600, "quality sliding-window span in epochs (with -quality)")
+		sloSpec    = fs.String("slo", "", "SLO objectives for -quality, e.g. 'availability>=99.9@600,p99_rms<=13@600,chi2>=95@600' (empty uses those defaults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	if *rate <= 0 {
 		return fmt.Errorf("-rate must be positive, have %g", *rate)
 	}
@@ -122,6 +127,9 @@ func run(ctx context.Context, args []string) error {
 		case *traceDump != "":
 			return fmt.Errorf("-trace-dump supports a single receiver; drop -receivers %d", *receivers)
 		}
+		if *qualityWin < 10 {
+			return fmt.Errorf("-quality-window must be >= 10 epochs, have %d", *qualityWin)
+		}
 		return runEngine(ctx, engineParams{
 			receivers:  *receivers,
 			workers:    *workers,
@@ -138,6 +146,9 @@ func run(ctx context.Context, args []string) error {
 			ckptPeriod: *ckptPeriod,
 			restore:    *restore,
 			drainWait:  *drainWait,
+			quality:    *qualityOn,
+			qualityWin: *qualityWin,
+			sloSpec:    *sloSpec,
 			logs:       logs,
 		})
 	}
@@ -146,6 +157,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *ckptPath != "" {
 		return fmt.Errorf("-checkpoint snapshots engine sessions; use -receivers > 1")
+	}
+	if setFlags["quality"] || setFlags["quality-window"] || setFlags["slo"] {
+		return fmt.Errorf("-quality/-quality-window/-slo configure the fix engine's quality layer; use -receivers > 1")
 	}
 	var (
 		source epochSource
@@ -231,7 +245,7 @@ func run(ctx context.Context, args []string) error {
 			ln.Close()
 			return err
 		}
-		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/trace /debug/pprof)\n", bound)
+		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/status /debug/trace /debug/pprof)\n", bound)
 		logs.Component("admin").Info("admin endpoint up", "addr", bound.String())
 	}
 
@@ -244,6 +258,7 @@ func run(ctx context.Context, args []string) error {
 	go func() { serveErr <- b.Serve(bctx, ln) }()
 
 	err = streamFixes(ctx, source, tel, pred, b, *rate, logs.Component("solver"))
+	tel.health.startDrain()
 	b.Flush(*drainWait)
 	bcancel()
 	cancelErr := <-serveErr

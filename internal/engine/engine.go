@@ -29,12 +29,15 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
 	"gpsdl/internal/fault"
+	"gpsdl/internal/quality"
 	"gpsdl/internal/scenario"
+	"gpsdl/internal/slo"
 	"gpsdl/internal/telemetry"
 )
 
@@ -61,6 +64,10 @@ type FixEvent struct {
 	Coast bool
 	// State is the session's health state after this epoch.
 	State SessionState
+	// Quality is the per-fix quality evidence (residual RMS, χ² test).
+	// Populated only when Config.Quality is set and the epoch solved;
+	// zero otherwise.
+	Quality core.FixQuality
 	// Faults lists the fault-injector events applied to this epoch.
 	Faults   []fault.Event
 	Err      error
@@ -130,6 +137,10 @@ type Config struct {
 	// (the default: refreshing allocates, and the hot path stays
 	// allocation-free without it).
 	CheckpointEvery int
+	// Quality enables the solution-quality observability layer (sliding
+	// quality windows, SLO/error-budget evaluation, /debug/status data).
+	// Nil disables it and the fix path pays nothing for it.
+	Quality *QualityConfig
 }
 
 // job is a half-open range of epoch indices [e0, e1) for one shard.
@@ -143,6 +154,16 @@ type shard struct {
 	sessions []*session
 	jobs     chan job
 	m        *shardMetrics
+
+	// Shard-level quality window (nil when the quality layer is off).
+	// It slides over the last Window epochs of every session on the
+	// shard, keyed by the synthetic index epoch*len(sessions)+pos so
+	// each (epoch, session) pair owns a distinct ring slot. Only the
+	// shard goroutine touches qwin; qpub is its lock-free published
+	// snapshot, refreshed at EvalEvery boundaries.
+	qwin      *quality.Window
+	qpub      atomic.Pointer[quality.Snapshot]
+	evalEvery int
 }
 
 // Engine is a sharded multi-receiver fix engine. Create with New; run
@@ -154,6 +175,10 @@ type Engine struct {
 	sessions []*session // all sessions, indexed by receiver
 	cm       *chainMetrics
 	resume   int // first epoch index for RunPaced, set by Restore
+
+	// Quality layer (nil when Config.Quality is nil).
+	qcfg *QualityConfig
+	qm   *qualityMetrics
 }
 
 // chainMetrics bundles the engine-wide (cross-shard) fallback and RAIM
@@ -226,8 +251,30 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.posInShard = len(sh.sessions)
 		e.sessions[r] = s
 		sh.sessions = append(sh.sessions, s)
+	}
+	if cfg.Quality != nil {
+		qc := cfg.Quality.withDefaults()
+		e.qcfg = &qc
+		for _, s := range e.sessions {
+			ev, err := slo.NewEvaluator(qc.Objectives)
+			if err != nil {
+				return nil, err
+			}
+			s.qual = &sessionQuality{
+				sigma:     qc.Sigma,
+				evalEvery: uint64(qc.EvalEvery),
+				win:       quality.NewWindow(qc.Window),
+				eval:      ev,
+			}
+		}
+		for _, sh := range e.shards {
+			sh.qwin = quality.NewWindow(qc.Window * len(sh.sessions))
+			sh.evalEvery = qc.EvalEvery
+		}
+		e.qm = newQualityMetrics(cfg.Registry, qc.Objectives)
 	}
 	return e, nil
 }
@@ -352,6 +399,11 @@ func (sh *shard) run(ctx context.Context) {
 			for _, s := range sh.sessions {
 				sh.stepSession(s, i)
 			}
+			if sh.qwin != nil && (i+1)%sh.evalEvery == 0 {
+				snap := &quality.Snapshot{}
+				sh.qwin.SnapshotInto(snap)
+				sh.qpub.Store(snap)
+			}
 		}
 		if aborted {
 			sh.m.aborted.Inc()
@@ -370,12 +422,16 @@ func (sh *shard) run(ctx context.Context) {
 func (sh *shard) stepSession(s *session, i int) {
 	if s.failed {
 		sh.m.failedEpochs.Inc()
+		s.observeQuality(quality.Sample{Epoch: uint64(i)})
+		sh.observeQuality(s, i)
 		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i,
 			T: float64(i) * s.step_, State: s.state, Err: errSessionFailed})
 		return
 	}
 	if s.quarUntil > i {
 		sh.m.quarantinedEpochs.Inc()
+		s.observeQuality(quality.Sample{Epoch: uint64(i)})
+		sh.observeQuality(s, i)
 		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i,
 			T: float64(i) * s.step_, State: s.state, Err: errSessionQuarantined})
 		return
@@ -388,10 +444,24 @@ func (sh *shard) stepSession(s *session, i int) {
 		}()
 		s.step(i)
 	}()
+	sh.observeQuality(s, i)
 	s.nextEpoch = i + 1
 	if s.ckptEvery > 0 && (i+1)%s.ckptEvery == 0 {
 		s.ckpt.Store(s.snapshot(i + 1))
 	}
+}
+
+// observeQuality folds the session's last sample into the shard-level
+// window under the synthetic per-(epoch, session) key. Runs on the
+// shard goroutine, after the session has recorded its own sample for
+// epoch i.
+func (sh *shard) observeQuality(s *session, i int) {
+	if sh.qwin == nil {
+		return
+	}
+	smp := s.qual.last
+	smp.Epoch = uint64(i)*uint64(len(sh.sessions)) + uint64(s.posInShard)
+	sh.qwin.Observe(smp)
 }
 
 // superviseAfterPanic converts a recovered panic into an isolated
@@ -415,6 +485,11 @@ func (sh *shard) superviseAfterPanic(s *session, i int, r any) {
 		s.restart()
 		sh.m.restarts.Inc()
 	}
+	// The panicked epoch produced no fix; record it in the quality
+	// stream so availability accounting never loses an epoch. Observing
+	// the same epoch twice (if the panic struck after the session's own
+	// observe) just replaces the ring slot, so this is safe either way.
+	s.observeQuality(quality.Sample{Epoch: uint64(i)})
 	err := fmt.Errorf("engine: receiver %d panicked at epoch %d: %v", s.recv, i, r)
 	func() {
 		// A panicking sink must not take the supervisor down with it.
@@ -439,6 +514,7 @@ type Stats struct {
 	Panics, Restarts                              uint64
 	QuarantinedEpochs, FailedEpochs               uint64
 	BreakerOpens, BreakerProbes, BreakerSkips     uint64
+	SLODowngrades                                 uint64
 }
 
 // Stats sums the per-shard counters. Safe to call at any time; exact once
@@ -463,6 +539,7 @@ func (e *Engine) Stats() Stats {
 		st.BreakerOpens += sh.m.breakerOpens.Value()
 		st.BreakerProbes += sh.m.breakerProbes.Value()
 		st.BreakerSkips += sh.m.breakerSkips.Value()
+		st.SLODowngrades += sh.m.sloDowngrades.Value()
 	}
 	st.Fallbacks = e.cm.fallback.Fallbacks.Value()
 	st.SuspectFixes = e.cm.fallback.Suspects.Value()

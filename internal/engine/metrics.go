@@ -34,6 +34,9 @@ type shardMetrics struct {
 	quarantinedSessions *telemetry.Gauge
 	failedSessions      *telemetry.Gauge
 	breakerOpenSessions *telemetry.Gauge
+
+	// Quality/SLO instruments (PR 6).
+	sloDowngrades *telemetry.Counter
 }
 
 func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
@@ -90,6 +93,8 @@ func newShardMetrics(reg *telemetry.Registry, shard string) *shardMetrics {
 			"Sessions permanently failed after exhausting the restart budget", l),
 		breakerOpenSessions: reg.Gauge("engine_breaker_open_sessions",
 			"Sessions whose circuit breaker is currently open", l),
+		sloDowngrades: reg.Counter("engine_slo_downgrades_total",
+			"Healthy→degraded session transitions forced by a paging SLO", l),
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"gpsdl/internal/fault"
 	"gpsdl/internal/geo"
 	"gpsdl/internal/nmea"
+	"gpsdl/internal/quality"
 	"gpsdl/internal/scenario"
 )
 
@@ -79,10 +80,11 @@ const (
 // reusable buffers that keep the steady-state step allocation-free. A
 // session is owned by exactly one shard and never touched concurrently.
 type session struct {
-	recv    int
-	shard   int
-	step_   float64 // epoch spacing (cfg.Step); step is the method
-	station string  // scenario station ID, echoed into checkpoints
+	recv       int
+	shard      int
+	posInShard int     // index within the owning shard's session slice
+	step_      float64 // epoch spacing (cfg.Step); step is the method
+	station    string  // scenario station ID, echoed into checkpoints
 
 	gen    *scenario.Generator
 	inj    *fault.Injector // nil when the run is fault-free
@@ -130,6 +132,11 @@ type session struct {
 	ckptEvery int
 	ckpt      atomic.Pointer[checkpoint.Session]
 	nextEpoch int
+
+	// Quality/SLO layer (nil when Config.Quality is nil): sliding
+	// window, objective evaluator and publication cell, all owned by
+	// the shard goroutine that steps this session.
+	qual *sessionQuality
 
 	obs  []core.Observation // reused epoch conversion buffer
 	fobs []scenario.SatObs  // reused faulted-observation buffer
@@ -244,6 +251,7 @@ func (s *session) step(i int) {
 	if s.pre != nil {
 		if i >= len(s.pre) {
 			s.m.epochErrors.Inc()
+			s.observeQuality(quality.Sample{Epoch: uint64(i)})
 			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, State: s.state, Err: errPastPregenerated})
 			return
 		}
@@ -253,6 +261,7 @@ func (s *session) step(i int) {
 		ep, err = s.gen.EpochAt(float64(i) * s.step_)
 		if err != nil {
 			s.m.epochErrors.Inc()
+			s.observeQuality(quality.Sample{Epoch: uint64(i)})
 			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, State: s.state, Err: err})
 			return
 		}
@@ -326,9 +335,34 @@ func (s *session) step(i int) {
 	} else {
 		s.setState(StateHealthy)
 	}
-	hdop := 0.0
+	hdop, pdop, dopOK := 0.0, 0.0, false
 	if dop, derr := core.DOPFromObs(res.Solution.Pos, obs); derr == nil {
-		hdop = dop.HDOP
+		hdop, pdop, dopOK = dop.HDOP, dop.PDOP, true
+	}
+	var fq core.FixQuality
+	if s.qual != nil {
+		// Residuals are evaluated against the set the solver actually
+		// used: RAIM's excluded satellite (if any) is skipped.
+		fq = core.AssessFixExcluding(res.Solution, obs, res.Excluded, s.qual.sigma)
+		sample := quality.Sample{
+			Epoch: uint64(i), FixOK: true,
+			RMS: fq.ResidualRMS, RMSValid: fq.RMSValid,
+			Chi2Pass: fq.Chi2Pass, Chi2Valid: fq.Chi2Valid,
+			PDOP: pdop, HDOP: hdop, DOPValid: dopOK,
+			ChainIndex: res.Index,
+			Excluded:   res.Excluded >= 0,
+		}
+		// Clock innovation: how far the solved clock bias sits from the
+		// predictor's model (both in meters). A drifting predictor shows
+		// up here long before it breaks the coasting path.
+		if bias, perr := s.pred.PredictBias(ep.T); perr == nil {
+			innov := res.Solution.ClockBias - bias*geo.SpeedOfLight
+			if innov < 0 {
+				innov = -innov
+			}
+			sample.ClockInnov, sample.ClockValid = innov, true
+		}
+		s.observeQuality(sample)
 	}
 	fix := nmea.Fix{
 		TimeOfDay: ep.T,
@@ -346,7 +380,7 @@ func (s *session) step(i int) {
 		Receiver: s.recv, Shard: s.shard, Epoch: i, T: ep.T,
 		Sol: res.Solution, HDOP: hdop, Sats: len(obs),
 		Solver: res.Solver, Excluded: res.Excluded, Suspect: res.Suspect,
-		State: s.state, Faults: fev,
+		State: s.state, Quality: fq, Faults: fev,
 		GGA: buf[:ggaLen], RMC: buf[ggaLen:],
 	})
 }
@@ -358,6 +392,9 @@ func (s *session) step(i int) {
 // silence or garbage. Without one (cold start under fault) the epoch is
 // reported failed.
 func (s *session) coastOrFail(i int, t float64, sats int, fev []fault.Event, err error) {
+	// Quality accounting: neither a coast nor a failure is a solved fix,
+	// so both burn the availability budget and contribute no residuals.
+	s.observeQuality(quality.Sample{Epoch: uint64(i)})
 	if !s.haveGood {
 		s.setState(StateCoasting)
 		s.m.solveFailures.Inc()

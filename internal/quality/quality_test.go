@@ -1,0 +1,188 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func fixSample(epoch uint64, rms float64) Sample {
+	return Sample{
+		Epoch: epoch, FixOK: true,
+		RMS: rms, RMSValid: true,
+		Chi2Pass: rms < 10, Chi2Valid: true,
+		PDOP: 2.5, HDOP: 1.2, DOPValid: true,
+		ClockInnov: rms / 10, ClockValid: true,
+	}
+}
+
+func TestWindowBasicAggregates(t *testing.T) {
+	w := NewWindow(10)
+	for e := uint64(0); e < 5; e++ {
+		w.Observe(fixSample(e, float64(e+1)))
+	}
+	w.Observe(Sample{Epoch: 5}) // no-fix epoch
+	s := w.Snapshot()
+	if s.Count != 6 || s.Fixes != 5 {
+		t.Fatalf("count=%d fixes=%d, want 6/5", s.Count, s.Fixes)
+	}
+	if s.Chi2Checked != 5 || s.Chi2Passed != 5 {
+		t.Errorf("chi2 %d/%d, want 5/5", s.Chi2Passed, s.Chi2Checked)
+	}
+	if s.RMSCount != 5 || math.Abs(s.RMSSum-15) > 1e-12 {
+		t.Errorf("rms count=%d sum=%g, want 5/15", s.RMSCount, s.RMSSum)
+	}
+	d := s.Digest()
+	if math.Abs(float64(d.Availability)-5.0/6.0) > 1e-12 {
+		t.Errorf("availability = %g", d.Availability)
+	}
+	if math.Abs(float64(d.RMSMean)-3) > 1e-12 {
+		t.Errorf("rms mean = %g, want 3", d.RMSMean)
+	}
+	if d.Chi2PassRate != 1 {
+		t.Errorf("chi2 pass rate = %g, want 1", d.Chi2PassRate)
+	}
+	if math.Abs(float64(d.ClockMax)-0.5) > 1e-12 {
+		t.Errorf("clock max = %g, want 0.5", d.ClockMax)
+	}
+}
+
+// Sliding eviction: after observing 2×size epochs the window must hold
+// exactly the newest size, with aggregates matching a freshly-built
+// window over the same tail — the subtract-on-evict bookkeeping cannot
+// drift.
+func TestWindowEviction(t *testing.T) {
+	const size = 16
+	w := NewWindow(size)
+	for e := uint64(0); e < 2*size; e++ {
+		w.Observe(fixSample(e, float64(e%7)+0.5))
+	}
+	fresh := NewWindow(size)
+	for e := uint64(size); e < 2*size; e++ {
+		fresh.Observe(fixSample(e, float64(e%7)+0.5))
+	}
+	a, b := w.Snapshot(), fresh.Snapshot()
+	if a.Count != size {
+		t.Fatalf("count = %d, want %d", a.Count, size)
+	}
+	if a != b {
+		t.Errorf("evicted window diverged from fresh window:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestWindowObserveZeroAlloc(t *testing.T) {
+	w := NewWindow(64)
+	var e uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Observe(fixSample(e, 2.5))
+		e++
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %.1f/op, want 0", allocs)
+	}
+	var snap Snapshot
+	allocs = testing.AllocsPerRun(100, func() {
+		w.SnapshotInto(&snap)
+	})
+	if allocs != 0 {
+		t.Errorf("SnapshotInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// Merging per-session snapshots must equal one window fed the union of
+// the streams (for the count fields; float sums merge exactly here
+// because the values are dyadic rationals).
+func TestSnapshotMerge(t *testing.T) {
+	w1, w2 := NewWindow(32), NewWindow(32)
+	for e := uint64(0); e < 20; e++ {
+		w1.Observe(fixSample(e, 1.5))
+		w2.Observe(fixSample(e, 4.0))
+	}
+	var merged Snapshot
+	s1, s2 := w1.Snapshot(), w2.Snapshot()
+	merged.Merge(&s1)
+	merged.Merge(&s2)
+	if merged.Count != 40 || merged.Fixes != 40 {
+		t.Fatalf("merged count=%d fixes=%d, want 40/40", merged.Count, merged.Fixes)
+	}
+	if merged.RMSSum != 20*1.5+20*4.0 {
+		t.Errorf("merged rms sum = %g", merged.RMSSum)
+	}
+	if merged.WindowSize != 32 {
+		t.Errorf("merged window size = %d", merged.WindowSize)
+	}
+	if merged.ClockMax != 0.4 {
+		t.Errorf("merged clock max = %g, want 0.4", merged.ClockMax)
+	}
+	d := merged.Digest()
+	// 20 samples at 1.5 (bucket le=1.5), 20 at 4.0 (le=4): p50 must sit
+	// at the le=1.5 edge, p99 within the le=4 bucket.
+	if d.RMSP50 > 1.5+1e-9 {
+		t.Errorf("merged p50 = %g, want ≤ 1.5", d.RMSP50)
+	}
+	if d.RMSP99 < 3 || d.RMSP99 > 4 {
+		t.Errorf("merged p99 = %g, want in (3,4]", d.RMSP99)
+	}
+	// Merge must not disturb LastEpoch maximality.
+	if merged.LastEpoch != 19 {
+		t.Errorf("merged last epoch = %d", merged.LastEpoch)
+	}
+}
+
+func TestDigestEmptyAndNaN(t *testing.T) {
+	var s Snapshot
+	d := s.Digest()
+	if d.Availability != 0 || d.Chi2PassRate != 0 {
+		t.Errorf("empty digest rates nonzero: %+v", d)
+	}
+	if !math.IsNaN(float64(d.RMSMean)) || !math.IsNaN(float64(d.RMSP99)) || !math.IsNaN(float64(d.PDOPMean)) || !math.IsNaN(float64(d.ClockMean)) {
+		t.Errorf("empty digest means/quantiles must be NaN: %+v", d)
+	}
+	// NaN samples are dropped from the RMS/clock aggregates, not folded.
+	w := NewWindow(4)
+	w.Observe(Sample{Epoch: 0, FixOK: true, RMS: math.NaN(), RMSValid: true, ClockInnov: math.NaN(), ClockValid: true})
+	snap := w.Snapshot()
+	if snap.RMSCount != 0 || snap.ClockCount != 0 {
+		t.Errorf("NaN sample entered aggregates: %+v", snap)
+	}
+	if snap.Count != 1 || snap.Fixes != 1 {
+		t.Errorf("NaN sample must still count as an epoch: %+v", snap)
+	}
+}
+
+func TestChainDepthClamp(t *testing.T) {
+	w := NewWindow(8)
+	w.Observe(Sample{Epoch: 0, FixOK: true, ChainIndex: -5})
+	w.Observe(Sample{Epoch: 1, FixOK: true, ChainIndex: 3})
+	w.Observe(Sample{Epoch: 2, FixOK: true, ChainIndex: 99})
+	s := w.Snapshot()
+	if s.Chain[0] != 1 || s.Chain[3] != 1 || s.Chain[MaxChainDepth-1] != 1 {
+		t.Errorf("chain counts misclamped: %v", s.Chain)
+	}
+	d := s.Digest()
+	if math.Abs(float64(d.DegradedRate)-2.0/3.0) > 1e-12 {
+		t.Errorf("degraded rate = %g, want 2/3", d.DegradedRate)
+	}
+}
+
+// Two windows fed the identical sample stream must produce
+// byte-identical snapshots — the property the engine's determinism
+// test leans on.
+func TestWindowDeterminism(t *testing.T) {
+	build := func() Snapshot {
+		w := NewWindow(600)
+		for e := uint64(0); e < 2000; e++ {
+			s := fixSample(e, math.Sqrt(float64(e%13))+0.1)
+			s.Chi2Pass = e%17 != 0
+			s.Excluded = e%29 == 0
+			s.ChainIndex = int(e % 3)
+			if e%41 == 0 {
+				s = Sample{Epoch: e}
+			}
+			w.Observe(s)
+		}
+		return w.Snapshot()
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("identical streams produced different snapshots:\n%+v\n%+v", a, b)
+	}
+}

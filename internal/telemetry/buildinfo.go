@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Build-info metric names.
+const (
+	// MetricBuildInfo is the constant-1 gauge whose labels carry the
+	// binary's version metadata — the Prometheus idiom for detecting
+	// mixed-version fleets (count by(version)(gps_build_info)).
+	MetricBuildInfo = "gps_build_info"
+	// MetricProcessStartEpoch is the process start time as a Unix epoch
+	// gauge, so dashboards can detect restarts (resets of the value) and
+	// compute uptime without scraping logs.
+	MetricProcessStartEpoch = "gps_process_start_epoch"
+)
+
+// RegisterBuildInfo registers the gps_build_info gauge (value 1, labels
+// version/goversion/revision from runtime/debug.ReadBuildInfo) and the
+// gps_process_start_epoch gauge (Unix seconds, set once at registration)
+// in reg. Safe on a nil registry (no-op) and idempotent: repeat calls
+// return the same instruments.
+//
+// Version metadata degrades gracefully: binaries built outside module
+// mode (or from a dirty tree without stamping) report "unknown" rather
+// than omitting the family, so the series always exists for joins.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	version, revision := "unknown", "unknown"
+	goVersion := runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		} else if bi.Main.Version == "(devel)" {
+			version = "devel"
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	reg.Gauge(MetricBuildInfo,
+		"Build metadata as labels on a constant-1 gauge (mixed-version fleet detection).",
+		Label{Key: "version", Value: version},
+		Label{Key: "goversion", Value: goVersion},
+		Label{Key: "revision", Value: revision},
+	).Set(1)
+	start := reg.Gauge(MetricProcessStartEpoch,
+		"Process start time as Unix seconds (restart detection).")
+	// Only stamp the first registration: a re-register must not move the
+	// start time the dashboards diff against.
+	if start.Value() == 0 {
+		start.Set(float64(time.Now().Unix()))
+	}
+}

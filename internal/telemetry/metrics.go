@@ -157,6 +157,71 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the bucket that contains
+// the target rank — the same estimate Prometheus' histogram_quantile()
+// computes server-side, available here without a scrape round-trip.
+//
+// Values in the +Inf overflow bucket have no upper bound to interpolate
+// against, so a quantile landing there returns the highest finite bound
+// (again matching histogram_quantile). The first bucket interpolates
+// from 0 when its bound is positive, else from the bound itself.
+// Returns NaN on a nil or empty histogram or a NaN q; q outside [0, 1]
+// is clamped.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || math.IsNaN(q) {
+		return math.NaN()
+	}
+	cum, count, _ := h.snapshot()
+	return BucketQuantile(h.bounds, cum, count, q)
+}
+
+// BucketQuantile is the interpolation core of Histogram.Quantile,
+// exported so other fixed-bucket aggregates (e.g. quality windows) can
+// reuse the exact same estimate: bounds are sorted inclusive upper
+// bounds, cum the cumulative counts aligned with bounds plus a final
+// +Inf entry, count the total. Returns NaN when count is 0.
+func BucketQuantile(bounds []float64, cum []uint64, count uint64, q float64) float64 {
+	if count == 0 || len(cum) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the sample whose value we estimate.
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	i := 0
+	for i < len(cum) && cum[i] < rank {
+		i++
+	}
+	if i >= len(bounds) {
+		// Overflow bucket: no finite upper edge to interpolate toward.
+		if len(bounds) == 0 {
+			return math.NaN()
+		}
+		return bounds[len(bounds)-1]
+	}
+	lower := 0.0
+	var below uint64
+	if i > 0 {
+		lower = bounds[i-1]
+		below = cum[i-1]
+	} else if bounds[0] <= 0 {
+		lower = bounds[0]
+	}
+	in := cum[i] - below
+	if in == 0 {
+		return bounds[i]
+	}
+	frac := float64(rank-below) / float64(in)
+	return lower + (bounds[i]-lower)*frac
+}
+
 // snapshot returns cumulative bucket counts aligned with bounds plus
 // the +Inf total, consistent enough for scraping (buckets are read in
 // order, so a racing Observe can at worst undercount the tail).

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get serves one request against h and returns the recorder.
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+// All three handlers must answer 404 with a nil recorder so probes can
+// tell "tracing disabled" from "no traces yet".
+func TestHandlersNilRecorder(t *testing.T) {
+	for name, h := range map[string]http.Handler{
+		"traces":    Handler(nil),
+		"chrome":    ChromeHandler(nil),
+		"exemplars": ExemplarsHandler(nil),
+	} {
+		rr := get(t, h, "/")
+		if rr.Code != http.StatusNotFound {
+			t.Errorf("%s nil recorder status = %d, want 404", name, rr.Code)
+		}
+	}
+}
+
+// An empty (but live) recorder must answer 200 with empty collections —
+// the "no traces yet" half of the distinction.
+func TestHandlersEmptyRecorder(t *testing.T) {
+	rec := New(Config{Capacity: 4})
+	rr := get(t, Handler(rec), "/debug/trace")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var body struct {
+		Count  uint64   `json:"count"`
+		Traces []*Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Count != 0 || len(body.Traces) != 0 {
+		t.Errorf("empty recorder body = %+v", body)
+	}
+
+	rr = get(t, ExemplarsHandler(rec), "/debug/trace/exemplars")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("exemplars status = %d", rr.Code)
+	}
+	var ex struct {
+		Exemplars []*Exemplar `json:"exemplars"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Exemplars) != 0 {
+		t.Errorf("empty recorder exemplars = %+v", ex.Exemplars)
+	}
+}
+
+// Handler must serve retained traces as indented JSON with the declared
+// content type, most recent first.
+func TestHandlerServesTraces(t *testing.T) {
+	rec := New(Config{Capacity: 8})
+	for i := 0; i < 3; i++ {
+		tb := rec.StartEpoch(i, float64(i))
+		sp := tb.Start("solve/nr")
+		sp.End()
+		tb.Finish()
+	}
+	rr := get(t, Handler(rec), "/debug/trace")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var body struct {
+		Count  uint64   `json:"count"`
+		Traces []*Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Count != 3 || len(body.Traces) != 3 {
+		t.Fatalf("count = %d traces = %d, want 3/3", body.Count, len(body.Traces))
+	}
+	if body.Traces[0].Epoch != 2 {
+		t.Errorf("first trace epoch = %d, want most recent (2)", body.Traces[0].Epoch)
+	}
+	if body.Traces[0].Span("solve/nr") == nil {
+		t.Error("trace lost its span through the handler")
+	}
+}
+
+// ChromeHandler must emit a valid trace_event document with a download
+// disposition.
+func TestChromeHandlerFormat(t *testing.T) {
+	rec := New(Config{Capacity: 4})
+	tb := rec.StartEpoch(7, 1.5)
+	sp := tb.Start("epoch/generate")
+	sp.End()
+	tb.Finish()
+	rr := get(t, ChromeHandler(rec), "/debug/trace/chrome")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if cd := rr.Header().Get("Content-Disposition"); !strings.Contains(cd, "gps_trace.json") {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome body not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "epoch/generate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("span epoch/generate missing from the Chrome export")
+	}
+}
+
+// ExemplarsHandler output must round-trip through DecodeExemplars — the
+// contract that lets a scrape feed gpsrun -replay directly.
+func TestExemplarsHandlerRoundTrip(t *testing.T) {
+	rec := New(Config{Capacity: 4, SlowThreshold: time.Millisecond})
+	if got := rec.ExemplarReason(2*time.Millisecond, 0); got != ReasonSlow {
+		t.Fatalf("ExemplarReason = %q, want %q", got, ReasonSlow)
+	}
+	rec.AddExemplar(&Exemplar{
+		CapturedAt: time.Unix(100, 0).UTC(),
+		Reason:     ReasonSlow,
+		SolveNanos: int64(2 * time.Millisecond),
+		Input:      json.RawMessage(`{"solver":"NR"}`),
+	})
+	rr := get(t, ExemplarsHandler(rec), "/debug/trace/exemplars")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	exs, err := DecodeExemplars(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 1 {
+		t.Fatalf("%d exemplars, want 1", len(exs))
+	}
+	if exs[0].Reason != ReasonSlow {
+		t.Errorf("round-tripped reason = %q", exs[0].Reason)
+	}
+	// The indenting encoder reformats raw JSON; the content must survive.
+	var in struct {
+		Solver string `json:"solver"`
+	}
+	if err := json.Unmarshal(exs[0].Input, &in); err != nil || in.Solver != "NR" {
+		t.Errorf("round-tripped input = %s (err %v)", exs[0].Input, err)
+	}
+}

@@ -1,0 +1,49 @@
+#!/bin/bash
+# Throughput regression gate: re-runs the fix-engine benchmark sweep and
+# compares fixes/sec per receiver count against the committed baseline
+# (BENCH_engine.json). A fresh point more than TOLERANCE_PCT below its
+# baseline fails the gate; faster is always fine. The committed file is
+# refreshed by `make bench-json` — run that (on the reference machine)
+# after a deliberate perf change, and commit the delta alongside it.
+set -eu
+
+GO=${GO:-go}
+TOLERANCE_PCT=${TOLERANCE_PCT:-15}
+baseline=${BASELINE:-BENCH_engine.json}
+
+[ -f "$baseline" ] || { echo "FAIL: baseline $baseline missing (run: make bench-json)"; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+fresh="$workdir/fresh.json"
+
+# Mirror the baseline's sweep so the points line up.
+receivers=$(grep -o '"receivers": [0-9]*' "$baseline" | awk '{print $2}' | paste -sd, -)
+[ -n "$receivers" ] || { echo "FAIL: no series points in $baseline"; exit 1; }
+
+"$GO" run ./cmd/gpsbench -engine -engine-receivers "$receivers" -engine-json "$fresh" >"$workdir/bench.out" 2>&1 ||
+    { echo "FAIL: benchmark run failed"; cat "$workdir/bench.out"; exit 1; }
+
+# extract FILE: one "receivers fixes_per_sec" pair per line, series order.
+extract() {
+    paste -d' ' \
+        <(grep -o '"receivers": [0-9]*' "$1" | awk '{print $2}') \
+        <(grep -o '"fixes_per_sec": [0-9.]*' "$1" | awk '{print $2}')
+}
+
+status=0
+while read -r recv base fresh_rate; do
+    verdict=$(awk -v b="$base" -v f="$fresh_rate" -v tol="$TOLERANCE_PCT" 'BEGIN {
+        floor = b * (1 - tol / 100)
+        printf "%s %.0f", (f >= floor) ? "ok" : "REGRESSED", floor
+    }')
+    printf 'receivers=%-3s baseline=%-10.0f fresh=%-10.0f floor=%s -> %s\n' \
+        "$recv" "$base" "$fresh_rate" "${verdict#* }" "${verdict% *}"
+    [ "${verdict% *}" = ok ] || status=1
+done < <(join <(extract "$baseline") <(extract "$fresh"))
+
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: engine throughput regressed more than ${TOLERANCE_PCT}% below $baseline"
+    exit 1
+fi
+echo "bench gate OK (within ${TOLERANCE_PCT}% of $baseline)"

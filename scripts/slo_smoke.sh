@@ -1,0 +1,101 @@
+#!/bin/bash
+# SLO smoke test for the quality/error-budget surface: boots gpsserve
+# (built with -race) in engine mode with a wideband noise burst scheduled
+# mid-run, and asserts the observability contract end to end:
+#   - /debug/status reports the fleet SLO verdict "ok" while the sky is
+#     clean and the windows are filling
+#   - once the burst lands, the verdict flips to "page" and the paging
+#     objective's error budget is spent
+#   - the SLO engine forced session health downgrades
+#     (engine_slo_downgrades_total > 0 on /metrics, worst-state gauge
+#     at page level)
+#   - the ?format=text rendering carries the objective table
+# Needs curl.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+log="$workdir/gpsserve.log"
+bin="$workdir/gpsserve"
+
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1"
+    echo "--- server log ---"
+    cat "$log"
+    exit 1
+}
+
+# wait_grep FILE PATTERN DESC: poll up to 15 s for PATTERN in FILE.
+wait_grep() {
+    for _ in $(seq 1 150); do
+        grep -q "$2" "$1" 2>/dev/null && return 0
+        [ -n "${pid:-}" ] && ! kill -0 "$pid" 2>/dev/null && fail "server exited early waiting for $3"
+        sleep 0.1
+    done
+    fail "$3 never appeared"
+}
+
+# verdict: the fleet SLO verdict from /debug/status (first "worst" key is
+# the fleet-level one; sessions follow).
+verdict() {
+    curl -sS "http://$admin/debug/status" |
+        grep -o '"worst": "[a-z]*"' | head -1 | cut -d'"' -f4
+}
+
+# wait_verdict STATE: poll up to 15 s for the fleet verdict to read STATE.
+wait_verdict() {
+    for _ in $(seq 1 150); do
+        v=$(verdict || true)
+        [ "$v" = "$1" ] && return 0
+        [ -n "${pid:-}" ] && ! kill -0 "$pid" 2>/dev/null && fail "server exited early waiting for verdict $1"
+        sleep 0.1
+    done
+    fail "fleet verdict never reached $1 (last: ${v:-none})"
+}
+
+"$GO" build -race -o "$bin" ./cmd/gpsserve
+
+# Short windows so budgets fill and burn within seconds: 300-epoch SLO
+# windows at 200 epochs/s, with a sigma=10 burst landing at epoch 900 —
+# well past the window span, so the clean verdict is observed first.
+"$bin" -receivers 2 -station all -rate 200 -seed 7 \
+    -faults 'burst:sigma=10,from=900,until=1000000' -fault-seed 99 \
+    -quality-window 300 -slo 'availability>=99@300,p99_rms<=13@300,chi2>=95@300' \
+    -addr 127.0.0.1:0 -admin 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+wait_grep "$log" '^gpsserve: admin on' "admin banner"
+admin=$(sed -n 's|^gpsserve: admin on http://\([^ ]*\).*|\1|p' "$log")
+[ -n "$admin" ] || fail "could not parse admin address"
+
+# Clean phase: the fleet verdict must read ok before the burst lands.
+wait_verdict ok
+
+# Degraded phase: the burst must page within the fast-burn horizon.
+wait_verdict page
+
+# The page must be visible across the whole surface: worst-state gauge,
+# spent error budget, and forced health downgrades.
+status=$(curl -sS "http://$admin/debug/status")
+printf '%s\n' "$status" | grep -q '"enabled": true' || fail "quality block missing from /debug/status"
+metrics=$(curl -fsS "http://$admin/metrics")
+printf '%s\n' "$metrics" | grep -q '^engine_slo_worst_state 2$' ||
+    fail "engine_slo_worst_state gauge is not at page level"
+printf '%s\n' "$metrics" | grep 'engine_slo_downgrades_total' | grep -qv ' 0$' ||
+    fail "SLO page forced no session health downgrades"
+
+# The operator rendering must carry the objective table and the verdict.
+text=$(curl -sS "http://$admin/debug/status?format=text")
+printf '%s\n' "$text" | grep -q 'OBJECTIVE' || fail "text rendering lost the objective table"
+printf '%s\n' "$text" | grep -q 'slo verdict[[:space:]]*page' || fail "text rendering lost the page verdict"
+
+kill -TERM "$pid"
+wait "$pid" || fail "server exited non-zero on SIGTERM"
+pid=
+
+echo "slo smoke OK (clean verdict ok, burst paged, budgets spent, downgrades forced, text surface intact)"
