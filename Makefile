@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (Go -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race bench bench-json bench-quality bench-faults bench-recovery bench-gate determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke chaos-smoke slo-smoke clean
+.PHONY: all build vet lint test race bench bench-json bench-quality bench-faults bench-recovery bench-gate bench-journal determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke chaos-smoke slo-smoke incident-smoke clean
 
-all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke chaos-smoke slo-smoke bench-json bench-gate
+all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke chaos-smoke slo-smoke incident-smoke bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,11 @@ bench-quality:
 bench-gate:
 	GO="$(GO)" ./scripts/bench_gate.sh
 
+# Flight-journal overhead: paired journal-off/on engine runs (median of
+# interleaved trials), written to BENCH_journal.json. Budget: < 5%.
+bench-journal:
+	$(GO) run ./cmd/gpsbench -journal -journal-json BENCH_journal.json
+
 # Degradation curve under the composite fault program: accuracy rate η
 # and availability vs fault intensity, written to BENCH_faults.json.
 bench-faults:
@@ -80,6 +85,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadYuma -fuzztime=$(FUZZTIME) ./internal/orbit/
 	$(GO) test -fuzz=FuzzValidate -fuzztime=$(FUZZTIME) ./internal/nmea/
 	$(GO) test -fuzz=FuzzParseGGA -fuzztime=$(FUZZTIME) ./internal/nmea/
+	$(GO) test -fuzz=FuzzFrameReader -fuzztime=$(FUZZTIME) ./internal/journal/
 
 # Regenerate every table and figure of the paper at full 24 h × 1 Hz
 # scale (a few minutes), plus the ablations.
@@ -122,6 +128,13 @@ chaos-smoke:
 # ok to page, spend the error budget, and force health downgrades.
 slo-smoke:
 	GO="$(GO)" ./scripts/slo_smoke.sh
+
+# End-to-end check of the black-box forensics loop (race-built gpsserve):
+# a RAIM-evading step fault must page, capture a self-contained incident
+# bundle, and the bundle must replay bit-for-bit and attribute the burn
+# to the faulted satellite through gpsinspect.
+incident-smoke:
+	GO="$(GO)" ./scripts/incident_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -94,6 +94,15 @@ func run(args []string) error {
 		recoveryEpochs  = fs.Int("recovery-epochs", 600, "total epochs for -recovery; [cut, epochs) is the measured restart window")
 		recoverySolver  = fs.String("recovery-solver", "dlg", "primary solver for -recovery: nr, dlo, dlg or bancroft")
 		recoveryJSON    = fs.String("recovery-json", "BENCH_recovery.json", "write the -recovery comparison as JSON to this file (empty disables)")
+		journalOn       = fs.Bool("journal", false, "run the flight-journal overhead benchmark (engine throughput with journaling off vs on)")
+		journalRecv     = fs.Int("journal-receivers", 8, "receiver sessions for -journal")
+		journalEpochs   = fs.Int("journal-epochs", 2000, "timed epochs per receiver for -journal")
+		journalWarmup   = fs.Int("journal-warmup", 300, "warm-up epochs before timing for -journal")
+		journalSolver   = fs.String("journal-solver", "dlg", "solver for -journal: nr, dlo, dlg or bancroft")
+		journalWorkers  = fs.Int("journal-workers", 0, "engine shard count for -journal (0 = GOMAXPROCS)")
+		journalSync     = fs.Int("journal-sync", 0, "record frames between journal sync points for -journal (0 = default, negative disables fsync)")
+		journalTrials   = fs.Int("journal-trials", 5, "interleaved trials per arm for -journal; the fastest run of each arm is compared")
+		journalJSON     = fs.String("journal-json", "BENCH_journal.json", "write the -journal overhead comparison as JSON to this file (empty disables)")
 		metricsOut      = fs.String("metrics-out", "", "write a final Prometheus-format metrics snapshot to this file")
 		traceOut        = fs.String("trace-out", "", "write the figure sweeps' epoch traces as a Chrome trace_event file (open in Perfetto)")
 		traceN          = fs.Int("trace", 4096, "epoch traces retained for -trace-out")
@@ -186,7 +195,31 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn && !*recoveryOn && !*qualityOn {
+	if *journalOn {
+		if *journalRecv < 1 {
+			return fmt.Errorf("-journal-receivers must be positive, have %d", *journalRecv)
+		}
+		if *journalEpochs < 1 {
+			return fmt.Errorf("-journal-epochs must be positive, have %d", *journalEpochs)
+		}
+		if *journalWarmup < 0 {
+			return fmt.Errorf("-journal-warmup must be non-negative, have %d", *journalWarmup)
+		}
+		if err := runJournalBench(journalBenchConfig{
+			receivers: *journalRecv,
+			epochs:    *journalEpochs,
+			warmup:    *journalWarmup,
+			solver:    *journalSolver,
+			workers:   *journalWorkers,
+			syncEvery: *journalSync,
+			trials:    *journalTrials,
+			seed:      *seed,
+			jsonPath:  *journalJSON,
+		}); err != nil {
+			return err
+		}
+	}
+	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn && !*recoveryOn && !*qualityOn && !*journalOn {
 		*fig = "all"
 	}
 	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}

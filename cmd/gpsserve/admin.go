@@ -210,7 +210,7 @@ func (h *health) status() (healthStatus, int) {
 // handler serves /healthz.
 func (h *health) handler(w http.ResponseWriter, _ *http.Request) {
 	body, code := h.status()
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(body)
 }
@@ -224,6 +224,7 @@ func newAdminMux(st *serverTelemetry) *http.ServeMux {
 	mux.Handle("/metrics", telemetry.Handler(st.reg))
 	mux.HandleFunc("/healthz", st.health.handler)
 	mux.HandleFunc("/debug/status", st.statusHandler)
+	mux.HandleFunc("/debug/incidents", st.incidentsHandler)
 	mux.Handle("/debug/trace", trace.Handler(st.rec))
 	mux.Handle("/debug/trace/chrome", trace.ChromeHandler(st.rec))
 	mux.Handle("/debug/trace/exemplars", trace.ExemplarsHandler(st.rec))
@@ -259,7 +260,8 @@ type serverTelemetry struct {
 	rec     *trace.Recorder
 	station scenario.Station // ground truth for exemplar residuals
 	health  *health
-	eng     *engine.Engine // engine mode only; nil for the single-receiver loop
+	eng     *engine.Engine    // engine mode only; nil for the single-receiver loop
+	inc     *incidentCapturer // engine mode with -incident-dir; nil otherwise
 }
 
 // wireTelemetry instruments the server around registry reg. logs may be

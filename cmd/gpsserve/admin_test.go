@@ -54,8 +54,8 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/metrics status = %d", resp.StatusCode)
 	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Errorf("Content-Type = %q, want text/plain", ct)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want text/plain; version=0.0.4; charset=utf-8", ct)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -133,6 +133,9 @@ func TestHealthzLifecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("/healthz Content-Type = %q, want application/json; charset=utf-8", ct)
+		}
 		var hs healthStatus
 		if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
 			t.Fatal(err)
@@ -275,8 +278,8 @@ func TestAdminTraceRoutes(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s = %d", path, resp.StatusCode)
 		}
-		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
-			t.Errorf("GET %s Content-Type = %q", path, ct)
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("GET %s Content-Type = %q, want application/json; charset=utf-8", path, ct)
 		}
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -18,6 +19,7 @@ import (
 	"gpsdl/internal/checkpoint"
 	"gpsdl/internal/engine"
 	"gpsdl/internal/fault"
+	"gpsdl/internal/journal"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/slo"
 	"gpsdl/internal/telemetry"
@@ -43,7 +45,60 @@ type engineParams struct {
 	quality    bool          // enable quality windows + SLO evaluation
 	qualityWin int           // quality sliding-window span in epochs
 	sloSpec    string        // slo.ParseObjectives grammar; "" = defaults
-	logs       *telemetry.Logging
+
+	journalPath string        // flight-journal file; "" disables journaling
+	journalSync int           // record frames between journal sync points
+	incidentDir string        // incident bundle directory; "" disables capture
+	incidentGap time.Duration // minimum wall-clock spacing between bundles
+
+	logs *telemetry.Logging
+}
+
+// servingConfig is the config.json snapshot written into every
+// incident bundle: the flags that shaped this serving process, so a
+// bundle is interpretable without the launch command line.
+type servingConfig struct {
+	Receivers     int     `json:"receivers"`
+	Workers       int     `json:"workers"`
+	Station       string  `json:"station"`
+	Solver        string  `json:"solver"`
+	Rate          float64 `json:"rate"`
+	Seed          int64   `json:"seed"`
+	Faults        string  `json:"faults,omitempty"`
+	FaultSeed     int64   `json:"fault_seed,omitempty"`
+	Checkpoint    string  `json:"checkpoint,omitempty"`
+	Quality       bool    `json:"quality"`
+	QualityWindow int     `json:"quality_window,omitempty"`
+	SLO           string  `json:"slo,omitempty"`
+	Journal       string  `json:"journal,omitempty"`
+	JournalSync   int     `json:"journal_sync,omitempty"`
+	IncidentDir   string  `json:"incident_dir,omitempty"`
+}
+
+// configSnapshot marshals the bundle config block (errors degrade to
+// an empty object; capture must not fail over provenance).
+func configSnapshot(p engineParams) json.RawMessage {
+	raw, err := json.Marshal(servingConfig{
+		Receivers:     p.receivers,
+		Workers:       p.workers,
+		Station:       p.station,
+		Solver:        p.solver,
+		Rate:          p.rate,
+		Seed:          p.seed,
+		Faults:        p.faults,
+		FaultSeed:     p.faultSeed,
+		Checkpoint:    p.ckptPath,
+		Quality:       p.quality,
+		QualityWindow: p.qualityWin,
+		SLO:           p.sloSpec,
+		Journal:       p.journalPath,
+		JournalSync:   p.journalSync,
+		IncidentDir:   p.incidentDir,
+	})
+	if err != nil {
+		return json.RawMessage("{}")
+	}
+	return raw
 }
 
 // resolveStations maps the -station flag to receiver templates: a named
@@ -97,7 +152,29 @@ func runEngine(ctx context.Context, p engineParams) error {
 	if p.ckptPath != "" {
 		ckptEvery = p.ckptEvery
 	}
-	eng, err := engine.New(engine.Config{
+	if p.incidentDir != "" && ckptEvery == 0 {
+		// Incident bundles embed a live snapshot; the lock-free
+		// checkpoint cells must refresh even without -checkpoint.
+		ckptEvery = p.ckptEvery
+	}
+	var jfile *os.File
+	if p.journalPath != "" {
+		jfile, err = os.Create(p.journalPath)
+		if err != nil {
+			return fmt.Errorf("-journal: %w", err)
+		}
+		defer jfile.Close()
+	}
+	var capturer *incidentCapturer
+	var onIncident func(engine.Incident)
+	if p.incidentDir != "" {
+		capturer, err = newIncidentCapturer(p.incidentDir, p.incidentGap, reg, p.logs.Component("incident"))
+		if err != nil {
+			return fmt.Errorf("-incident-dir: %w", err)
+		}
+		onIncident = capturer.handle
+	}
+	ecfg := engine.Config{
 		Receivers:       p.receivers,
 		Workers:         p.workers,
 		Solver:          p.solver,
@@ -108,6 +185,7 @@ func runEngine(ctx context.Context, p engineParams) error {
 		Registry:        reg,
 		CheckpointEvery: ckptEvery,
 		Quality:         qcfg,
+		OnIncident:      onIncident,
 		// The sink runs on shard goroutines; health counters are atomic
 		// and Broadcast locks internally, so no extra synchronization is
 		// needed. GGA/RMC must be copied (string conversion does) before
@@ -121,11 +199,19 @@ func runEngine(ctx context.Context, p engineParams) error {
 			b.Broadcast(string(e.GGA))
 			b.Broadcast(string(e.RMC))
 		},
-	})
+	}
+	if jfile != nil {
+		ecfg.JournalSink = jfile
+		ecfg.JournalOptions = journal.Options{SyncEvery: p.journalSync}
+	}
+	eng, err := engine.New(ecfg)
 	if err != nil {
 		return err
 	}
 	h.shards = eng.ShardHealth
+	if capturer != nil {
+		capturer.start(eng, h, configSnapshot(p))
+	}
 	clog := p.logs.Component("checkpoint")
 	if p.restore {
 		restoreCheckpoint(eng, p.ckptPath, clog)
@@ -139,6 +225,12 @@ func runEngine(ctx context.Context, p engineParams) error {
 	if p.faults != "" {
 		fmt.Printf("gpsserve: fault injection active: %s (seed %d)\n", prog.String(), p.faultSeed)
 	}
+	if p.journalPath != "" {
+		fmt.Printf("gpsserve: flight journal -> %s\n", p.journalPath)
+	}
+	if p.incidentDir != "" {
+		fmt.Printf("gpsserve: incident capture -> %s\n", p.incidentDir)
+	}
 	// The broadcaster and admin endpoint run on their own context so the
 	// SIGTERM drain is ordered: the engine stops first, the final
 	// checkpoint is written, queued sentences flush to well-behaved
@@ -146,13 +238,13 @@ func runEngine(ctx context.Context, p engineParams) error {
 	bctx, bcancel := context.WithCancel(context.Background())
 	defer bcancel()
 	if p.adminAddr != "" {
-		tel := &serverTelemetry{reg: reg, health: h, eng: eng}
+		tel := &serverTelemetry{reg: reg, health: h, eng: eng, inc: capturer}
 		bound, err := listenAdmin(bctx, p.adminAddr, tel, p.logs.Component("admin"))
 		if err != nil {
 			ln.Close()
 			return err
 		}
-		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/status)\n", bound)
+		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/status /debug/incidents)\n", bound)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- b.Serve(bctx, ln) }()
@@ -185,6 +277,20 @@ func runEngine(ctx context.Context, p engineParams) error {
 	<-saverDone
 	if p.ckptPath != "" {
 		saveCheckpoint(eng.SnapshotFinal(), p.ckptPath, h, clog)
+	}
+	// The engine is quiescent: no further incidents will be delivered,
+	// so the capturer can drain its queue and the journal take its final
+	// sync frame.
+	if capturer != nil {
+		capturer.close()
+	}
+	if jw := eng.Journal(); jw != nil {
+		if cerr := jw.Close(); cerr != nil {
+			p.logs.Component("journal").Warn("journal close failed", "err", cerr)
+		} else {
+			frames, records, bytes := jw.Stats()
+			fmt.Printf("gpsserve: journal closed: %d frames, %d records, %d bytes\n", frames, records, bytes)
+		}
 	}
 	h.startDrain()
 	flushed := b.Flush(p.drainWait)

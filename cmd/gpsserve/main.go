@@ -78,6 +78,10 @@ func run(ctx context.Context, args []string) error {
 		qualityOn  = fs.Bool("quality", true, "engine-mode solution-quality windows and SLO/error-budget evaluation, surfaced on /debug/status (needs -receivers > 1)")
 		qualityWin = fs.Int("quality-window", 600, "quality sliding-window span in epochs (with -quality)")
 		sloSpec    = fs.String("slo", "", "SLO objectives for -quality, e.g. 'availability>=99.9@600,p99_rms<=13@600,chi2>=95@600' (empty uses those defaults)")
+		jrnlPath   = fs.String("journal", "", "engine-mode black-box flight journal file: every session-epoch is appended as a CRC-framed binary record for offline forensics with gpsinspect (needs -receivers > 1)")
+		jrnlSync   = fs.Int("journal-sync", 0, "record frames between journal sync points / fsyncs (with -journal; 0 uses the default, negative disables)")
+		incDir     = fs.String("incident-dir", "", "engine-mode incident bundle directory: SLO pages, recovered panics and failed sessions are captured here as self-contained forensics bundles (needs -receivers > 1)")
+		incGap     = fs.Duration("incident-interval", 30*time.Second, "minimum wall-clock spacing between incident bundles (with -incident-dir; 0 disables rate limiting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,25 +135,29 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("-quality-window must be >= 10 epochs, have %d", *qualityWin)
 		}
 		return runEngine(ctx, engineParams{
-			receivers:  *receivers,
-			workers:    *workers,
-			station:    strings.ToUpper(strings.TrimSpace(*stationID)),
-			solver:     strings.ToLower(*solver),
-			addr:       *addr,
-			adminAddr:  *adminAddr,
-			rate:       *rate,
-			seed:       *seed,
-			faults:     *faults,
-			faultSeed:  *faultSeed,
-			ckptPath:   *ckptPath,
-			ckptEvery:  *ckptEvery,
-			ckptPeriod: *ckptPeriod,
-			restore:    *restore,
-			drainWait:  *drainWait,
-			quality:    *qualityOn,
-			qualityWin: *qualityWin,
-			sloSpec:    *sloSpec,
-			logs:       logs,
+			receivers:   *receivers,
+			workers:     *workers,
+			station:     strings.ToUpper(strings.TrimSpace(*stationID)),
+			solver:      strings.ToLower(*solver),
+			addr:        *addr,
+			adminAddr:   *adminAddr,
+			rate:        *rate,
+			seed:        *seed,
+			faults:      *faults,
+			faultSeed:   *faultSeed,
+			ckptPath:    *ckptPath,
+			ckptEvery:   *ckptEvery,
+			ckptPeriod:  *ckptPeriod,
+			restore:     *restore,
+			drainWait:   *drainWait,
+			quality:     *qualityOn,
+			qualityWin:  *qualityWin,
+			sloSpec:     *sloSpec,
+			journalPath: *jrnlPath,
+			journalSync: *jrnlSync,
+			incidentDir: *incDir,
+			incidentGap: *incGap,
+			logs:        logs,
 		})
 	}
 	if *faults != "" {
@@ -160,6 +168,12 @@ func run(ctx context.Context, args []string) error {
 	}
 	if setFlags["quality"] || setFlags["quality-window"] || setFlags["slo"] {
 		return fmt.Errorf("-quality/-quality-window/-slo configure the fix engine's quality layer; use -receivers > 1")
+	}
+	if *jrnlPath != "" || setFlags["journal-sync"] {
+		return fmt.Errorf("-journal records the fix engine's flight journal; use -receivers > 1")
+	}
+	if *incDir != "" || setFlags["incident-interval"] {
+		return fmt.Errorf("-incident-dir captures fix-engine incidents; use -receivers > 1")
 	}
 	var (
 		source epochSource

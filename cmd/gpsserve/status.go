@@ -54,7 +54,7 @@ func (st *serverTelemetry) statusHandler(w http.ResponseWriter, r *http.Request)
 		writeStatusText(w, &resp)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)

@@ -32,8 +32,8 @@ func TestStatusSingleMode(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/status = %d", resp.StatusCode)
 	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
-		t.Errorf("Content-Type = %q", ct)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want application/json; charset=utf-8", ct)
 	}
 	var sr statusResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
@@ -51,8 +51,8 @@ func TestStatusSingleMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer text.Body.Close()
-	if ct := text.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Errorf("text Content-Type = %q", ct)
+	if ct := text.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("text Content-Type = %q, want text/plain; charset=utf-8", ct)
 	}
 	body, _ := io.ReadAll(text.Body)
 	for _, want := range []string{"status", "ok", "quality", "disabled"} {

@@ -26,6 +26,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"strconv"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
 	"gpsdl/internal/fault"
+	"gpsdl/internal/journal"
 	"gpsdl/internal/quality"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/slo"
@@ -141,6 +143,26 @@ type Config struct {
 	// quality windows, SLO/error-budget evaluation, /debug/status data).
 	// Nil disables it and the fix path pays nothing for it.
 	Quality *QualityConfig
+	// JournalSink, when non-nil, enables the black-box flight journal:
+	// every session-epoch is recorded (see internal/journal), encoded
+	// off the solve path and framed to the sink at shard batch
+	// boundaries. Typically an *os.File; the engine writes the header
+	// in New and a caller retrieves the writer via Journal() for tail
+	// segments and the final Close.
+	JournalSink io.Writer
+	// JournalOptions tunes the journal writer (sync cadence, tail-ring
+	// depth). A nil Registry inside is replaced with Config.Registry so
+	// the gps_journal_* counters land in the engine's registry.
+	JournalOptions journal.Options
+	// JournalCaptureEvery is the per-session cadence (in epochs) of
+	// full observation-set captures for offline replay; flagged epochs
+	// (χ² failure, RAIM exclusion, suspect fix) are always captured.
+	// ≤ 0 means 64.
+	JournalCaptureEvery int
+	// OnIncident, when non-nil, receives incident events (SLO page
+	// transitions, recovered panics, exhausted restart budgets). See
+	// Incident for the delivery contract.
+	OnIncident func(Incident)
 }
 
 // job is a half-open range of epoch indices [e0, e1) for one shard.
@@ -164,6 +186,16 @@ type shard struct {
 	qwin      *quality.Window
 	qpub      atomic.Pointer[quality.Snapshot]
 	evalEvery int
+
+	// Flight journal (nil when Config.JournalSink is nil): the shard's
+	// batch encoder, the shared writer it flushes to at batch
+	// boundaries, and the shared write-error counter.
+	jenc  *journal.Encoder
+	jw    *journal.Writer
+	jerrs *telemetry.Counter
+
+	// onIncident forwards supervision incidents (nil when unset).
+	onIncident func(Incident)
 }
 
 // Engine is a sharded multi-receiver fix engine. Create with New; run
@@ -179,6 +211,9 @@ type Engine struct {
 	// Quality layer (nil when Config.Quality is nil).
 	qcfg *QualityConfig
 	qm   *qualityMetrics
+
+	// Flight journal (nil when Config.JournalSink is nil).
+	jw *journal.Writer
 }
 
 // chainMetrics bundles the engine-wide (cross-shard) fallback and RAIM
@@ -222,6 +257,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.RestartBudget <= 0 {
 		cfg.RestartBudget = 8
+	}
+	if cfg.JournalCaptureEvery <= 0 {
+		cfg.JournalCaptureEvery = 64
 	}
 	if cfg.Stations == nil {
 		cfg.Stations = scenario.Table51Stations()
@@ -269,12 +307,44 @@ func New(cfg Config) (*Engine, error) {
 				win:       quality.NewWindow(qc.Window),
 				eval:      ev,
 			}
+			if cfg.OnIncident != nil {
+				wireIncidents(s, ev, cfg.OnIncident)
+			}
 		}
 		for _, sh := range e.shards {
 			sh.qwin = quality.NewWindow(qc.Window * len(sh.sessions))
 			sh.evalEvery = qc.EvalEvery
 		}
 		e.qm = newQualityMetrics(cfg.Registry, qc.Objectives)
+	}
+	if cfg.OnIncident != nil {
+		for _, sh := range e.shards {
+			sh.onIncident = cfg.OnIncident
+		}
+	}
+	if cfg.JournalSink != nil {
+		opt := cfg.JournalOptions
+		if opt.Registry == nil {
+			opt.Registry = cfg.Registry
+		}
+		jw, err := journal.NewWriter(cfg.JournalSink, e.journalMeta(), opt)
+		if err != nil {
+			return nil, fmt.Errorf("engine: journal: %w", err)
+		}
+		e.jw = jw
+		jerrs := cfg.Registry.Counter("engine_journal_write_errors_total",
+			"Journal frame writes that failed (records dropped)")
+		for _, sh := range e.shards {
+			sh.jw = jw
+			sh.jerrs = jerrs
+			sh.jenc = &journal.Encoder{}
+		}
+		for _, s := range e.sessions {
+			s.jq = &sessionJournal{
+				enc:          e.shards[s.shard].jenc,
+				captureEvery: uint64(cfg.JournalCaptureEvery),
+			}
+		}
 	}
 	return e, nil
 }
@@ -391,6 +461,9 @@ func (sh *shard) run(ctx context.Context) {
 			continue
 		}
 		aborted := false
+		if sh.jenc != nil {
+			sh.jenc.Begin(sh.id, uint64(jb.e0))
+		}
 		for i := jb.e0; i < jb.e1; i++ {
 			if ctx.Err() != nil {
 				aborted = true
@@ -405,6 +478,7 @@ func (sh *shard) run(ctx context.Context) {
 				sh.qpub.Store(snap)
 			}
 		}
+		sh.flushJournal(uint64(jb.e1 - 1))
 		if aborted {
 			sh.m.aborted.Inc()
 		} else {
@@ -424,6 +498,7 @@ func (sh *shard) stepSession(s *session, i int) {
 		sh.m.failedEpochs.Inc()
 		s.observeQuality(quality.Sample{Epoch: uint64(i)})
 		sh.observeQuality(s, i)
+		s.journalMiss(i)
 		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i,
 			T: float64(i) * s.step_, State: s.state, Err: errSessionFailed})
 		return
@@ -432,6 +507,7 @@ func (sh *shard) stepSession(s *session, i int) {
 		sh.m.quarantinedEpochs.Inc()
 		s.observeQuality(quality.Sample{Epoch: uint64(i)})
 		sh.observeQuality(s, i)
+		s.journalMiss(i)
 		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i,
 			T: float64(i) * s.step_, State: s.state, Err: errSessionQuarantined})
 		return
@@ -490,6 +566,15 @@ func (sh *shard) superviseAfterPanic(s *session, i int, r any) {
 	// the same epoch twice (if the panic struck after the session's own
 	// observe) just replaces the ring slot, so this is safe either way.
 	s.observeQuality(quality.Sample{Epoch: uint64(i)})
+	s.journalMiss(i)
+	if sh.onIncident != nil {
+		kind := IncidentPanic
+		if s.failed {
+			kind = IncidentSessionFailed
+		}
+		sh.onIncident(Incident{Kind: kind, Receiver: s.recv, Shard: s.shard,
+			Epoch: uint64(i), Detail: fmt.Sprint(r)})
+	}
 	err := fmt.Errorf("engine: receiver %d panicked at epoch %d: %v", s.recv, i, r)
 	func() {
 		// A panicking sink must not take the supervisor down with it.

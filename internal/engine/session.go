@@ -75,6 +75,11 @@ const (
 	maxPlausibleNorm = 7.4e6
 )
 
+// defaultJournalSigma is the χ² measurement sigma the flight journal
+// assumes when the quality layer is off (matches QualityConfig.Sigma's
+// default).
+const defaultJournalSigma = 5.0
+
 // session is one receiver's complete state: scenario generator, fault
 // injector, clock predictor, solver fallback chain, health state, and the
 // reusable buffers that keep the steady-state step allocation-free. A
@@ -137,6 +142,10 @@ type session struct {
 	// window, objective evaluator and publication cell, all owned by
 	// the shard goroutine that steps this session.
 	qual *sessionQuality
+
+	// Flight-journal state (nil when Config.JournalSink is nil),
+	// owned by the shard goroutine.
+	jq *sessionJournal
 
 	obs  []core.Observation // reused epoch conversion buffer
 	fobs []scenario.SatObs  // reused faulted-observation buffer
@@ -252,6 +261,7 @@ func (s *session) step(i int) {
 		if i >= len(s.pre) {
 			s.m.epochErrors.Inc()
 			s.observeQuality(quality.Sample{Epoch: uint64(i)})
+			s.journalMiss(i)
 			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, State: s.state, Err: errPastPregenerated})
 			return
 		}
@@ -262,6 +272,7 @@ func (s *session) step(i int) {
 		if err != nil {
 			s.m.epochErrors.Inc()
 			s.observeQuality(quality.Sample{Epoch: uint64(i)})
+			s.journalMiss(i)
 			s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, State: s.state, Err: err})
 			return
 		}
@@ -340,18 +351,18 @@ func (s *session) step(i int) {
 		hdop, pdop, dopOK = dop.HDOP, dop.PDOP, true
 	}
 	var fq core.FixQuality
-	if s.qual != nil {
+	var clockInnov float64
+	var clockOK bool
+	if s.qual != nil || s.jq != nil {
 		// Residuals are evaluated against the set the solver actually
-		// used: RAIM's excluded satellite (if any) is skipped.
-		fq = core.AssessFixExcluding(res.Solution, obs, res.Excluded, s.qual.sigma)
-		sample := quality.Sample{
-			Epoch: uint64(i), FixOK: true,
-			RMS: fq.ResidualRMS, RMSValid: fq.RMSValid,
-			Chi2Pass: fq.Chi2Pass, Chi2Valid: fq.Chi2Valid,
-			PDOP: pdop, HDOP: hdop, DOPValid: dopOK,
-			ChainIndex: res.Index,
-			Excluded:   res.Excluded >= 0,
+		// used: RAIM's excluded satellite (if any) is skipped. The
+		// journal wants the same evidence, so it shares this assessment
+		// even when the quality layer is off (default sigma then).
+		sigma := defaultJournalSigma
+		if s.qual != nil {
+			sigma = s.qual.sigma
 		}
+		fq = core.AssessFixExcluding(res.Solution, obs, res.Excluded, sigma)
 		// Clock innovation: how far the solved clock bias sits from the
 		// predictor's model (both in meters). A drifting predictor shows
 		// up here long before it breaks the coasting path.
@@ -360,10 +371,22 @@ func (s *session) step(i int) {
 			if innov < 0 {
 				innov = -innov
 			}
-			sample.ClockInnov, sample.ClockValid = innov, true
+			clockInnov, clockOK = innov, true
+		}
+	}
+	if s.qual != nil {
+		sample := quality.Sample{
+			Epoch: uint64(i), FixOK: true,
+			RMS: fq.ResidualRMS, RMSValid: fq.RMSValid,
+			Chi2Pass: fq.Chi2Pass, Chi2Valid: fq.Chi2Valid,
+			PDOP: pdop, HDOP: hdop, DOPValid: dopOK,
+			ChainIndex: res.Index,
+			Excluded:   res.Excluded >= 0,
+			ClockInnov: clockInnov, ClockValid: clockOK,
 		}
 		s.observeQuality(sample)
 	}
+	s.journalFix(i, ep.T, &res, &fq, pdop, hdop, dopOK, clockInnov, clockOK, satObs)
 	fix := nmea.Fix{
 		TimeOfDay: ep.T,
 		Pos:       res.Solution.Pos.ToLLA(),
@@ -398,6 +421,7 @@ func (s *session) coastOrFail(i int, t float64, sats int, fev []fault.Event, err
 	if !s.haveGood {
 		s.setState(StateCoasting)
 		s.m.solveFailures.Inc()
+		s.journalMiss(i)
 		s.emit(FixEvent{Receiver: s.recv, Shard: s.shard, Epoch: i, T: t,
 			Sats: sats, State: s.state, Faults: fev, Err: err})
 		return
@@ -418,6 +442,7 @@ func (s *session) coastOrFail(i int, t float64, sats int, fev []fault.Event, err
 	buf = nmea.AppendRMC(buf, fix)
 	s.buf = buf
 	s.m.coastFixes.Inc()
+	s.journalCoast(i, sol)
 	s.emit(FixEvent{
 		Receiver: s.recv, Shard: s.shard, Epoch: i, T: t,
 		Sol: sol, Sats: sats, Coast: true,

@@ -1,0 +1,323 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"io"
+	"sync"
+	"time"
+
+	"gpsdl/internal/telemetry"
+)
+
+// Options tunes a Writer. The zero value selects the defaults.
+type Options struct {
+	// SyncEvery emits a sync frame after every N record frames and
+	// schedules an asynchronous fsync when the sink supports it, so
+	// stable-storage flushes never stall the write path. 0 selects
+	// DefaultSyncEvery; negative disables sync frames entirely.
+	// Explicit Sync and Close always flush synchronously.
+	SyncEvery int
+
+	// SyncInterval rate-limits background fsyncs: consecutive flushes
+	// are at least this far apart, with kicks coalescing in between.
+	// This bounds the durability window by time — a crash loses at
+	// most roughly the last SyncInterval of records — instead of
+	// letting a high-throughput burst burn a flush per SyncEvery
+	// frames. 0 selects DefaultSyncInterval; negative flushes on
+	// every sync point.
+	SyncInterval time.Duration
+
+	// TailFrames is how many recent frames the in-memory tail ring
+	// retains for incident segments. 0 selects DefaultTailFrames;
+	// negative disables the ring.
+	TailFrames int
+
+	// Registry, when non-nil, registers and feeds the
+	// gps_journal_bytes_written_total and gps_journal_fsyncs_total
+	// counters.
+	Registry *telemetry.Registry
+}
+
+const (
+	DefaultSyncEvery    = 16
+	DefaultTailFrames   = 256
+	DefaultSyncInterval = 250 * time.Millisecond
+)
+
+type syncer interface{ Sync() error }
+
+// Writer appends CRC-framed payloads to an underlying sink. All
+// methods are safe for concurrent use; each frame is assembled into a
+// reusable scratch buffer and handed to the sink as a single Write so
+// torn writes land mid-frame at worst, never interleaved.
+type Writer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	syncer  syncer // non-nil when the sink supports fsync (e.g. *os.File)
+	header  []byte // encoded file header, retained for TailSegment
+	scratch []byte // frame assembly buffer, reused
+
+	syncEvery  int
+	sinceSync  int
+	frames     uint64 // record frames written
+	records    uint64
+	bytes      uint64
+	syncFrames uint64
+	maxEpoch   uint64
+
+	tail    [][]byte // ring of framed bytes (marker..crc), slots reused
+	tailPos int
+	tailLen int
+
+	// Background fsync: periodic sync points kick this channel and the
+	// syncLoop goroutine flushes without holding mu, so a slow disk
+	// never blocks WriteRecords. Kicks coalesce while a flush is in
+	// flight; the first fsync failure is latched in syncErr and
+	// surfaced by the next write.
+	kick         chan struct{}
+	done         chan struct{}
+	syncErr      error
+	syncInterval time.Duration
+
+	bytesTotal *telemetry.Counter
+	fsyncTotal *telemetry.Counter
+
+	closed bool
+}
+
+// NewWriter writes the file header for meta to w and returns a Writer.
+// If w implements Sync() error (as *os.File does), sync points fsync.
+func NewWriter(w io.Writer, meta Meta, opt Options) (*Writer, error) {
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, len(mj)+16)
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, Version)
+	hdr = binary.AppendUvarint(hdr, uint64(len(mj)))
+	hdr = append(hdr, mj...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(mj))
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	jw := &Writer{w: w, header: hdr, bytes: uint64(len(hdr))}
+	jw.syncer, _ = w.(syncer)
+	jw.syncEvery = opt.SyncEvery
+	if jw.syncEvery == 0 {
+		jw.syncEvery = DefaultSyncEvery
+	}
+	tf := opt.TailFrames
+	if tf == 0 {
+		tf = DefaultTailFrames
+	}
+	if tf > 0 {
+		jw.tail = make([][]byte, tf)
+	}
+	if opt.Registry != nil {
+		jw.bytesTotal = opt.Registry.Counter("gps_journal_bytes_written_total",
+			"Bytes appended to the flight journal, framing included.")
+		jw.fsyncTotal = opt.Registry.Counter("gps_journal_fsyncs_total",
+			"Journal sync points flushed to stable storage.")
+		jw.bytesTotal.Add(uint64(len(hdr)))
+	}
+	if jw.syncer != nil {
+		jw.syncInterval = opt.SyncInterval
+		if jw.syncInterval == 0 {
+			jw.syncInterval = DefaultSyncInterval
+		}
+		jw.kick = make(chan struct{}, 1)
+		jw.done = make(chan struct{})
+		go jw.syncLoop()
+	}
+	return jw, nil
+}
+
+// syncLoop flushes the sink to stable storage whenever a sync point
+// kicks it, off the write path. Flushes are spaced at least
+// syncInterval apart; the single-slot kick channel coalesces sync
+// points arriving while a flush (or the spacing sleep) is in
+// progress, so a throughput burst costs one fsync per interval, not
+// one per SyncEvery frames.
+func (w *Writer) syncLoop() {
+	defer close(w.done)
+	var last time.Time
+	for range w.kick {
+		if w.syncInterval > 0 && !last.IsZero() {
+			if d := w.syncInterval - time.Since(last); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		err := w.syncer.Sync()
+		last = time.Now()
+		if w.fsyncTotal != nil {
+			w.fsyncTotal.Inc()
+		}
+		if err != nil {
+			w.mu.Lock()
+			if w.syncErr == nil {
+				w.syncErr = err
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// WriteRecords frames and appends one record-batch payload (as built
+// by Encoder.Payload). count is the number of records in the payload
+// and maxEpoch the highest epoch it contains; both feed sync frames
+// and Stats. A nil/empty payload is a no-op.
+func (w *Writer) WriteRecords(payload []byte, count int, maxEpoch uint64) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("journal: writer closed")
+	}
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	if err := w.writeFrameLocked(payload); err != nil {
+		return err
+	}
+	w.frames++
+	w.records += uint64(count)
+	if maxEpoch > w.maxEpoch {
+		w.maxEpoch = maxEpoch
+	}
+	w.sinceSync++
+	if w.syncEvery > 0 && w.sinceSync >= w.syncEvery {
+		return w.syncLocked(false)
+	}
+	return nil
+}
+
+// Sync writes a sync frame and flushes it to stable storage before
+// returning.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("journal: writer closed")
+	}
+	return w.syncLocked(true)
+}
+
+// syncLocked writes a sync frame. With flush it fsyncs inline;
+// otherwise it kicks the background syncLoop and returns immediately
+// (coalescing with any flush already in flight).
+func (w *Writer) syncLocked(flush bool) error {
+	w.sinceSync = 0
+	var p [1 + 3*binary.MaxVarintLen64]byte
+	sp := p[:0]
+	sp = append(sp, FrameSync)
+	sp = binary.AppendUvarint(sp, w.maxEpoch)
+	sp = binary.AppendUvarint(sp, w.frames)
+	sp = binary.AppendUvarint(sp, w.records)
+	if err := w.writeFrameLocked(sp); err != nil {
+		return err
+	}
+	w.syncFrames++
+	if w.syncer == nil {
+		if w.fsyncTotal != nil {
+			w.fsyncTotal.Inc()
+		}
+		return nil
+	}
+	if !flush {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+		return w.syncErr
+	}
+	if err := w.syncer.Sync(); err != nil {
+		return err
+	}
+	if w.fsyncTotal != nil {
+		w.fsyncTotal.Inc()
+	}
+	return w.syncErr
+}
+
+func (w *Writer) writeFrameLocked(payload []byte) error {
+	b := w.scratch[:0]
+	b = append(b, FrameMarker)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	w.scratch = b
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.bytes += uint64(len(b))
+	if w.bytesTotal != nil {
+		w.bytesTotal.Add(uint64(len(b)))
+	}
+	if w.tail != nil {
+		slot := w.tail[w.tailPos]
+		w.tail[w.tailPos] = append(slot[:0], b...)
+		w.tailPos = (w.tailPos + 1) % len(w.tail)
+		if w.tailLen < len(w.tail) {
+			w.tailLen++
+		}
+	}
+	return nil
+}
+
+// TailSegment returns a self-contained journal (header plus the most
+// recent frames from the tail ring) suitable for embedding in an
+// incident bundle. The returned slice is freshly allocated.
+func (w *Writer) TailSegment() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.header)
+	for i := 0; i < w.tailLen; i++ {
+		n += len(w.tail[(w.tailPos-w.tailLen+i+len(w.tail))%len(w.tail)])
+	}
+	seg := make([]byte, 0, n)
+	seg = append(seg, w.header...)
+	for i := 0; i < w.tailLen; i++ {
+		seg = append(seg, w.tail[(w.tailPos-w.tailLen+i+len(w.tail))%len(w.tail)]...)
+	}
+	return seg
+}
+
+// Stats reports cumulative frames (record frames only), records, and
+// bytes written (header and framing included).
+func (w *Writer) Stats() (frames, records, bytes uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.frames, w.records, w.bytes
+}
+
+// Close writes a final sync frame, flushes synchronously, stops the
+// background syncer, and marks the writer closed. It does not close
+// the underlying sink.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.syncLocked(true)
+	kick := w.kick
+	w.mu.Unlock()
+	if kick != nil {
+		// closed is set, so no further kicks can race this close.
+		close(kick)
+		<-w.done
+		w.mu.Lock()
+		if err == nil {
+			err = w.syncErr
+		}
+		w.mu.Unlock()
+	}
+	return err
+}

@@ -2,7 +2,9 @@ package quality
 
 import (
 	"math"
+	"math/rand"
 	"testing"
+	"testing/quick"
 )
 
 func fixSample(epoch uint64, rms float64) Sample {
@@ -184,5 +186,75 @@ func TestWindowDeterminism(t *testing.T) {
 	}
 	if a, b := build(), build(); a != b {
 		t.Errorf("identical streams produced different snapshots:\n%+v\n%+v", a, b)
+	}
+}
+
+// Merge must behave as a commutative, associative fold over per-session
+// evidence (for same-sized windows), and merging per-session snapshots
+// must be indistinguishable from one window that observed the whole
+// stream. Sample values are dyadic rationals (multiples of 1/64), so
+// every float sum is exact and the comparisons can demand bit equality
+// rather than tolerances.
+func TestPropMergeCommutativeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dyadic := func(n int) float64 { return float64(r.Intn(n*64)) / 64 }
+		sample := func(epoch uint64) Sample {
+			if r.Intn(8) == 0 {
+				return Sample{Epoch: epoch} // lost epoch
+			}
+			return Sample{
+				Epoch: epoch, FixOK: true,
+				RMS: dyadic(12), RMSValid: r.Intn(4) != 0,
+				Chi2Pass: r.Intn(5) != 0, Chi2Valid: r.Intn(3) != 0,
+				PDOP: dyadic(6), HDOP: dyadic(3), DOPValid: r.Intn(2) == 0,
+				ChainIndex: r.Intn(MaxChainDepth),
+				Excluded:   r.Intn(7) == 0,
+				ClockInnov: dyadic(2), ClockValid: r.Intn(2) == 0,
+			}
+		}
+
+		const size = 256
+		n := 30 + r.Intn(200)
+		windows := [3]*Window{NewWindow(size), NewWindow(size), NewWindow(size)}
+		union := NewWindow(size)
+		// Partition one stream across three sessions; each window sees
+		// its own epochs, the union window sees every sample.
+		for e := uint64(0); e < uint64(n); e++ {
+			s := sample(e)
+			windows[r.Intn(3)].Observe(s)
+			union.Observe(s)
+		}
+		a, b, c := windows[0].Snapshot(), windows[1].Snapshot(), windows[2].Snapshot()
+
+		var ab, ba Snapshot
+		ab.Merge(&a)
+		ab.Merge(&b)
+		ba.Merge(&b)
+		ba.Merge(&a)
+		if ab != ba {
+			t.Logf("commutativity: a⊕b != b⊕a\n%+v\n%+v", ab, ba)
+			return false
+		}
+
+		abC := ab // (a⊕b)⊕c
+		abC.Merge(&c)
+		bc := b // a⊕(b⊕c)
+		bc.Merge(&c)
+		aBC := a
+		aBC.Merge(&bc)
+		if abC != aBC {
+			t.Logf("associativity: (a⊕b)⊕c != a⊕(b⊕c)\n%+v\n%+v", abC, aBC)
+			return false
+		}
+
+		if got, want := abC, union.Snapshot(); got != want {
+			t.Logf("merged sessions != union window\n%+v\n%+v", got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
 	}
 }

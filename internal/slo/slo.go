@@ -300,6 +300,14 @@ type objState struct {
 type Evaluator struct {
 	objs   []Objective
 	states []objState
+
+	// OnTransition, when non-nil, is invoked from Observe whenever
+	// an objective's alert state changes (both escalations and
+	// de-escalations), after the new state is committed. It runs on
+	// the observing goroutine; implementations must be cheap and
+	// must not call back into the evaluator. Incident capture hooks
+	// on page transitions here.
+	OnTransition func(name string, from, to State)
 }
 
 // NewEvaluator validates the objectives and builds their windows.
@@ -360,6 +368,7 @@ func (e *Evaluator) Observe(s *quality.Sample) {
 		if clear <= 0 {
 			clear = DefaultClear
 		}
+		prev := st.state
 		switch {
 		case want >= st.state:
 			st.state = want
@@ -370,6 +379,9 @@ func (e *Evaluator) Observe(s *quality.Sample) {
 				st.state--
 				st.calm = 0
 			}
+		}
+		if st.state != prev && e.OnTransition != nil {
+			e.OnTransition(o.Name, prev, st.state)
 		}
 	}
 }

@@ -286,3 +286,62 @@ func TestEvaluatorDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// The OnTransition hook must fire once per state change, with matching
+// from/to pairs, covering both the escalation to page and the stepped
+// de-escalation back to ok.
+func TestOnTransitionHook(t *testing.T) {
+	e, err := NewEvaluator(testObjectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tr struct {
+		name     string
+		from, to State
+	}
+	var got []tr
+	e.OnTransition = func(name string, from, to State) {
+		got = append(got, tr{name, from, to})
+	}
+	ep := uint64(0)
+	for ; ep < 1000; ep++ {
+		s := goodSample(ep)
+		e.Observe(&s)
+	}
+	if len(got) != 0 {
+		t.Fatalf("transitions on a clean stream: %+v", got)
+	}
+	for i := 0; i < 300; i++ {
+		s := badSample(ep)
+		e.Observe(&s)
+		ep++
+	}
+	paged := false
+	for _, g := range got {
+		if g.to == StatePage {
+			paged = true
+		}
+		if g.from == g.to {
+			t.Fatalf("no-op transition reported: %+v", g)
+		}
+	}
+	if !paged {
+		t.Fatalf("no page transition reported; got %+v", got)
+	}
+	// Recover and verify de-escalations are reported too.
+	mark := len(got)
+	for i := 0; i < 5000 && e.Worst() != StateOK; i++ {
+		s := goodSample(ep)
+		e.Observe(&s)
+		ep++
+	}
+	down := 0
+	for _, g := range got[mark:] {
+		if g.to < g.from {
+			down++
+		}
+	}
+	if down == 0 {
+		t.Fatalf("no de-escalation transitions reported; got %+v", got[mark:])
+	}
+}

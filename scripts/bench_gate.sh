@@ -5,7 +5,7 @@
 # baseline fails the gate; faster is always fine. The committed file is
 # refreshed by `make bench-json` — run that (on the reference machine)
 # after a deliberate perf change, and commit the delta alongside it.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 TOLERANCE_PCT=${TOLERANCE_PCT:-15}

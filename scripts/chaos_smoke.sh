@@ -12,7 +12,7 @@
 #   - a flipped checkpoint byte degrades -restore to a logged cold
 #     start, not a crash
 # Needs bash (the stalled client is a /dev/tcp redirection) and curl.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 workdir=$(mktemp -d)
@@ -55,8 +55,10 @@ start_server() {
     [ -n "$admin" ] && [ -n "$serve" ] || fail "could not parse listen addresses"
 }
 
+# healthz_field NAME: numeric field from /healthz; empty (not a pipefail
+# abort) while the server is still coming up or the field is absent.
 healthz_field() {
-    curl -sS "http://$admin/healthz" | grep -o "\"$1\":[0-9.-]*" | head -1 | cut -d: -f2
+    { curl -sS "http://$admin/healthz" | grep -o "\"$1\":[0-9.-]*" | head -1 | cut -d: -f2; } || true
 }
 
 "$GO" build -race -o "$bin" ./cmd/gpsserve

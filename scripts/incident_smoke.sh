@@ -1,0 +1,110 @@
+#!/bin/bash
+# End-to-end smoke test for the black-box flight journal and automatic
+# incident capture: boots gpsserve (built with -race) in engine mode
+# with -journal and -incident-dir, schedules a RAIM-evading step fault
+# on PRN 14 that burns the chi-square SLO budget, and asserts the
+# forensics contract:
+#   - an SLO page produces a self-contained incident bundle on disk
+#   - /debug/incidents lists it and /metrics carries the journal and
+#     incident counters
+#   - gpsinspect replay reproduces every captured epoch in the bundle
+#     bit-for-bit from the journal alone
+#   - gpsinspect attribute names PRN 14 as the dominant budget burner
+# Needs curl.
+set -euo pipefail
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+log="$workdir/gpsserve.log"
+serve="$workdir/gpsserve"
+inspect="$workdir/gpsinspect"
+incidents="$workdir/incidents"
+
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1"
+    echo "--- server log ---"
+    cat "$log"
+    exit 1
+}
+
+# wait_grep FILE PATTERN DESC: poll up to 15 s for PATTERN in FILE.
+wait_grep() {
+    for _ in $(seq 1 150); do
+        grep -q "$2" "$1" 2>/dev/null && return 0
+        [ -n "${pid:-}" ] && ! kill -0 "$pid" 2>/dev/null && fail "server exited early waiting for $3"
+        sleep 0.1
+    done
+    fail "$3 never appeared"
+}
+
+"$GO" build -race -o "$serve" ./cmd/gpsserve
+"$GO" build -o "$inspect" ./cmd/gpsinspect
+mkdir -p "$incidents"
+
+# Short SLO windows at 200 epochs/s so the budget burns within seconds;
+# the step fault lands at epoch 900, past the first clean window span.
+"$serve" -receivers 2 -station all -rate 200 -seed 7 \
+    -faults 'step:prn=14,bias=30,from=900,until=1000000' -fault-seed 99 \
+    -quality-window 300 -slo 'chi2>=95@300' \
+    -journal "$workdir/flight.gpsj" \
+    -incident-dir "$incidents" -incident-interval 5s \
+    -addr 127.0.0.1:0 -admin 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+wait_grep "$log" '^gpsserve: admin on' "admin banner"
+admin=$(sed -n 's|^gpsserve: admin on http://\([^ ]*\).*|\1|p' "$log")
+[ -n "$admin" ] || fail "could not parse admin address"
+
+# The page must capture a bundle. Poll the incident dir for it.
+bundle=""
+for _ in $(seq 1 300); do
+    bundle=$(find "$incidents" -mindepth 1 -maxdepth 1 -type d ! -name '.*' | head -1)
+    [ -n "$bundle" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "server exited before capturing an incident"
+    sleep 0.1
+done
+[ -n "$bundle" ] || fail "no incident bundle appeared in $incidents"
+
+# The bundle must be self-contained.
+for f in incident.json journal.gpsj checkpoint.ckpt status.json config.json; do
+    [ -s "$bundle/$f" ] || fail "bundle missing $f"
+done
+grep -q '"slo_page"' "$bundle/incident.json" || fail "incident.json is not an slo_page"
+
+# The admin surface must list the bundle and export the counters.
+listing=$(curl -fsS "http://$admin/debug/incidents")
+printf '%s\n' "$listing" | grep -q '"enabled": true' || fail "/debug/incidents reports capture disabled"
+printf '%s\n' "$listing" | grep -q "$(basename "$bundle")" || fail "/debug/incidents does not list $(basename "$bundle")"
+metrics=$(curl -fsS "http://$admin/metrics")
+for name in gps_journal_bytes_written_total gps_journal_fsyncs_total engine_incidents_captured_total; do
+    printf '%s\n' "$metrics" | grep -q "^$name" || fail "/metrics missing $name"
+done
+printf '%s\n' "$metrics" | grep '^gps_journal_bytes_written_total' | grep -qv ' 0$' ||
+    fail "journal wrote no bytes"
+printf '%s\n' "$metrics" | grep '^engine_incidents_captured_total' | grep -qv ' 0$' ||
+    fail "incident capture counter still zero"
+
+kill -TERM "$pid"
+wait "$pid" || fail "server exited non-zero on SIGTERM"
+pid=
+grep -q '^gpsserve: journal closed:' "$log" || fail "journal was not closed on drain"
+
+# Offline forensics on the bundle: every captured epoch must replay
+# bit-for-bit, and the faulted satellite must own the budget burn.
+"$inspect" info "$bundle" >"$workdir/info.log" 2>&1 || { cat "$workdir/info.log"; fail "gpsinspect info failed on the bundle"; }
+grep -q 'torn tail' "$workdir/info.log" && fail "bundle journal reported torn"
+"$inspect" replay "$bundle" >"$workdir/replay.log" 2>&1 || { cat "$workdir/replay.log"; fail "bundle exemplar epochs did not replay"; }
+grep -q 'replayed bit-identically' "$workdir/replay.log" || fail "replay verdict missing"
+"$inspect" attribute "$bundle" >"$workdir/attr.log" 2>&1 || { cat "$workdir/attr.log"; fail "gpsinspect attribute failed"; }
+grep -q '^PRN 14 contributed' "$workdir/attr.log" || { cat "$workdir/attr.log"; fail "attribution did not name PRN 14"; }
+
+# The full on-disk journal must also be inspectable after shutdown.
+"$inspect" info "$workdir/flight.gpsj" >"$workdir/full.log" 2>&1 || { cat "$workdir/full.log"; fail "gpsinspect info failed on the full journal"; }
+grep -q 'torn tail' "$workdir/full.log" && fail "cleanly closed journal reported torn"
+
+echo "incident smoke OK ($(basename "$bundle"): $(tail -1 "$workdir/replay.log"); $(grep '^PRN 14' "$workdir/attr.log"))"

@@ -11,7 +11,7 @@
 #     at page level)
 #   - the ?format=text rendering carries the objective table
 # Needs curl.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 workdir=$(mktemp -d)
@@ -44,8 +44,8 @@ wait_grep() {
 # verdict: the fleet SLO verdict from /debug/status (first "worst" key is
 # the fleet-level one; sessions follow).
 verdict() {
-    curl -sS "http://$admin/debug/status" |
-        grep -o '"worst": "[a-z]*"' | head -1 | cut -d'"' -f4
+    { curl -sS "http://$admin/debug/status" |
+        grep -o '"worst": "[a-z]*"' | head -1 | cut -d'"' -f4; } || true
 }
 
 # wait_verdict STATE: poll up to 15 s for the fleet verdict to read STATE.

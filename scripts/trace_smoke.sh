@@ -1,10 +1,10 @@
-#!/bin/sh
+#!/bin/bash
 # Smoke test for the gpsserve flight recorder: start the server with
 # tracing and a 1 ns exemplar threshold, scrape /debug/trace (expecting
 # the pipeline span names), /debug/trace/chrome (expecting a loadable
 # trace_event document), and /debug/trace/exemplars, then replay the
 # captured exemplars through gpsrun -replay. Exits non-zero on any miss.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 workdir=$(mktemp -d)
