@@ -29,12 +29,36 @@ type engineBenchConfig struct {
 	workers   int
 	seed      int64
 	jsonPath  string
+
+	// Live-generation arms: epochs synthesized during the timed run
+	// (no pregeneration), with the shared epoch cache off and on, at
+	// GOMAXPROCS 1 and 4.
+	live          bool
+	liveReceivers int
+	liveEpochs    int
 }
 
 // engineBenchPoint is one receiver-count measurement in the JSON series.
 type engineBenchPoint struct {
 	Receivers     int     `json:"receivers"`
 	Workers       int     `json:"workers"`
+	Fixes         uint64  `json:"fixes"`
+	SolveFailures uint64  `json:"solve_failures"`
+	EpochErrors   uint64  `json:"epoch_errors"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	FixesPerSec   float64 `json:"fixes_per_sec"`
+}
+
+// engineLivePoint is one live-generation arm: scenario synthesis runs
+// inside the timed loop, isolating the epoch cache's effect on serving
+// throughput. Arm is the first field on purpose — scripts/bench_gate.sh
+// keys points by the "arm" value preceding their metrics.
+type engineLivePoint struct {
+	Arm           string  `json:"arm"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Receivers     int     `json:"receivers"`
+	Workers       int     `json:"workers"`
+	EpochCache    bool    `json:"epoch_cache"`
 	Fixes         uint64  `json:"fixes"`
 	SolveFailures uint64  `json:"solve_failures"`
 	EpochErrors   uint64  `json:"epoch_errors"`
@@ -50,6 +74,9 @@ type engineBenchReport struct {
 	Warmup     int                `json:"warmup_epochs"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Series     []engineBenchPoint `json:"series"`
+	// LiveSeries must stay after Series: the bench gate treats points
+	// before the first "arm" key as the pregenerated sweep.
+	LiveSeries []engineLivePoint `json:"live_series,omitempty"`
 }
 
 // parseReceiverList parses a comma-separated list of receiver counts.
@@ -95,12 +122,81 @@ func runEngineBench(cfg engineBenchConfig) error {
 		fmt.Printf("%10d %8d %12d %9.3fs %14.0f\n",
 			pt.Receivers, pt.Workers, pt.Fixes, pt.ElapsedSec, pt.FixesPerSec)
 	}
+	if cfg.live {
+		fmt.Printf("live generation: receivers=%d epochs/receiver=%d (no pregeneration)\n",
+			cfg.liveReceivers, cfg.liveEpochs)
+		fmt.Printf("%14s %6s %8s %12s %10s %14s\n", "arm", "procs", "cache", "fixes", "elapsed", "fixes/sec")
+		for _, procs := range []int{1, 4} {
+			for _, cache := range []bool{false, true} {
+				pt, err := benchEngineLiveOnce(cfg, procs, cache)
+				if err != nil {
+					return fmt.Errorf("live procs=%d cache=%v: %w", procs, cache, err)
+				}
+				report.LiveSeries = append(report.LiveSeries, pt)
+				fmt.Printf("%14s %6d %8v %12d %9.3fs %14.0f\n",
+					pt.Arm, pt.GOMAXPROCS, pt.EpochCache, pt.Fixes, pt.ElapsedSec, pt.FixesPerSec)
+			}
+		}
+	}
 	if cfg.jsonPath != "" {
 		if err := writeEngineJSON(cfg.jsonPath, report); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// benchEngineLiveOnce measures one live-generation arm: no pregenerated
+// epochs, so each timed step pays constellation propagation, visibility,
+// light-time emission and noise synthesis before solving. Cache on vs
+// off isolates the shared per-epoch snapshot's contribution; GOMAXPROCS
+// is pinned per arm and restored afterwards.
+func benchEngineLiveOnce(cfg engineBenchConfig, procs int, cache bool) (engineLivePoint, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	eng, err := engine.New(engine.Config{
+		Receivers:         cfg.liveReceivers,
+		Workers:           procs,
+		Solver:            cfg.solver,
+		Seed:              cfg.seed,
+		DisableEpochCache: !cache,
+		Sink:              func(engine.FixEvent) {},
+	})
+	if err != nil {
+		return engineLivePoint{}, err
+	}
+	ctx := context.Background()
+	if cfg.warmup > 0 {
+		if err := eng.Run(ctx, cfg.warmup); err != nil {
+			return engineLivePoint{}, err
+		}
+	}
+	before := eng.Stats()
+	start := time.Now()
+	if err := eng.Run(ctx, cfg.liveEpochs); err != nil {
+		return engineLivePoint{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	after := eng.Stats()
+	arm := fmt.Sprintf("live-p%d", procs)
+	if cache {
+		arm = fmt.Sprintf("live-cache-p%d", procs)
+	}
+	pt := engineLivePoint{
+		Arm:           arm,
+		GOMAXPROCS:    procs,
+		Receivers:     cfg.liveReceivers,
+		Workers:       eng.Workers(),
+		EpochCache:    cache,
+		Fixes:         after.Fixes - before.Fixes,
+		SolveFailures: after.SolveFailures - before.SolveFailures,
+		EpochErrors:   after.EpochErrors - before.EpochErrors,
+		ElapsedSec:    elapsed,
+	}
+	if elapsed > 0 {
+		pt.FixesPerSec = float64(pt.Fixes) / elapsed
+	}
+	return pt, nil
 }
 
 // benchEngineOnce measures one receiver count: build, pregenerate, warm

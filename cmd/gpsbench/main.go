@@ -76,6 +76,9 @@ func run(args []string) error {
 		engineSolver    = fs.String("engine-solver", "dlg", "solver for -engine: nr, dlo, dlg or bancroft")
 		engineWorkers   = fs.Int("engine-workers", 0, "engine shard count for -engine (0 = GOMAXPROCS)")
 		engineJSON      = fs.String("engine-json", "", "write the -engine throughput series as JSON to this file")
+		engineLive      = fs.Bool("engine-live", true, "also run the live-generation arms (epoch cache off/on at GOMAXPROCS 1 and 4) for -engine")
+		engineLiveRecv  = fs.Int("engine-live-receivers", 8, "receiver count for the -engine live-generation arms")
+		engineLiveEp    = fs.Int("engine-live-epochs", 800, "timed epochs per receiver for the -engine live-generation arms")
 		faultsOn        = fs.Bool("faults", false, "run the fault-degradation sweep (availability and eta vs fault intensity)")
 		faultsSpec      = fs.String("faults-spec", defaultFaultSpec, "fault program for -faults (fault spec grammar)")
 		faultsReceivers = fs.Int("faults-receivers", 4, "receiver sessions for -faults (round-robin over the Table 5.1 stations)")
@@ -121,6 +124,10 @@ func run(args []string) error {
 		if *engineWarmup < 0 {
 			return fmt.Errorf("-engine-warmup must be non-negative, have %d", *engineWarmup)
 		}
+		if *engineLive && (*engineLiveRecv < 1 || *engineLiveEp < 1) {
+			return fmt.Errorf("-engine-live-receivers and -engine-live-epochs must be positive, have %d and %d",
+				*engineLiveRecv, *engineLiveEp)
+		}
 		if err := runEngineBench(engineBenchConfig{
 			receivers: receivers,
 			epochs:    *engineEpochs,
@@ -129,6 +136,10 @@ func run(args []string) error {
 			workers:   *engineWorkers,
 			seed:      *seed,
 			jsonPath:  *engineJSON,
+
+			live:          *engineLive,
+			liveReceivers: *engineLiveRecv,
+			liveEpochs:    *engineLiveEp,
 		}); err != nil {
 			return err
 		}

@@ -29,6 +29,7 @@ import (
 type engineParams struct {
 	receivers  int
 	workers    int
+	epochCache bool // share per-epoch constellation snapshots across sessions
 	station    string
 	solver     string
 	addr       string
@@ -60,6 +61,7 @@ type engineParams struct {
 type servingConfig struct {
 	Receivers     int     `json:"receivers"`
 	Workers       int     `json:"workers"`
+	EpochCache    bool    `json:"epoch_cache"`
 	Station       string  `json:"station"`
 	Solver        string  `json:"solver"`
 	Rate          float64 `json:"rate"`
@@ -81,6 +83,7 @@ func configSnapshot(p engineParams) json.RawMessage {
 	raw, err := json.Marshal(servingConfig{
 		Receivers:     p.receivers,
 		Workers:       p.workers,
+		EpochCache:    p.epochCache,
 		Station:       p.station,
 		Solver:        p.solver,
 		Rate:          p.rate,
@@ -175,17 +178,18 @@ func runEngine(ctx context.Context, p engineParams) error {
 		onIncident = capturer.handle
 	}
 	ecfg := engine.Config{
-		Receivers:       p.receivers,
-		Workers:         p.workers,
-		Solver:          p.solver,
-		Seed:            p.seed,
-		Faults:          prog,
-		FaultSeed:       p.faultSeed,
-		Stations:        stations,
-		Registry:        reg,
-		CheckpointEvery: ckptEvery,
-		Quality:         qcfg,
-		OnIncident:      onIncident,
+		Receivers:         p.receivers,
+		Workers:           p.workers,
+		DisableEpochCache: !p.epochCache,
+		Solver:            p.solver,
+		Seed:              p.seed,
+		Faults:            prog,
+		FaultSeed:         p.faultSeed,
+		Stations:          stations,
+		Registry:          reg,
+		CheckpointEvery:   ckptEvery,
+		Quality:           qcfg,
+		OnIncident:        onIncident,
 		// The sink runs on shard goroutines; health counters are atomic
 		// and Broadcast locks internally, so no extra synchronization is
 		// needed. GGA/RMC must be copied (string conversion does) before

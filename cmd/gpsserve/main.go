@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string) error {
 		withRAIM   = fs.Bool("raim", false, "run RAIM integrity checks around each fix (needs >= 5 satellites)")
 		receivers  = fs.Int("receivers", 1, "independent receiver sessions; > 1 serves via the sharded fix engine (-station all round-robins the Table 5.1 stations)")
 		workers    = fs.Int("workers", 0, "engine shard count when -receivers > 1; 0 means GOMAXPROCS")
+		epochCache = fs.Bool("epoch-cache", true, "share one per-epoch constellation snapshot across engine receivers (needs -receivers > 1)")
 		faults     = fs.String("faults", "", "fault-injection program for engine mode, e.g. 'drop:prn=3,from=10,until=40;burst:sigma=8,from=60' (needs -receivers > 1)")
 		faultSeed  = fs.Int64("fault-seed", 1, "fault-injector seed (burst noise stream) for -faults")
 		ckptPath   = fs.String("checkpoint", "", "engine-mode checkpoint file: clock calibration, health state and last fix per session are saved here periodically and on shutdown (needs -receivers > 1)")
@@ -137,6 +138,7 @@ func run(ctx context.Context, args []string) error {
 		return runEngine(ctx, engineParams{
 			receivers:   *receivers,
 			workers:     *workers,
+			epochCache:  *epochCache,
 			station:     strings.ToUpper(strings.TrimSpace(*stationID)),
 			solver:      strings.ToLower(*solver),
 			addr:        *addr,
@@ -168,6 +170,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if setFlags["quality"] || setFlags["quality-window"] || setFlags["slo"] {
 		return fmt.Errorf("-quality/-quality-window/-slo configure the fix engine's quality layer; use -receivers > 1")
+	}
+	if setFlags["epoch-cache"] {
+		return fmt.Errorf("-epoch-cache shares constellation snapshots across engine sessions; use -receivers > 1")
 	}
 	if *jrnlPath != "" || setFlags["journal-sync"] {
 		return fmt.Errorf("-journal records the fix engine's flight journal; use -receivers > 1")

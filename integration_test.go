@@ -117,7 +117,7 @@ func TestPipelineDGPSSmoothedDLG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := scenario.DefaultConfig(55)
+	cfg := scenario.DefaultConfig(42)
 	cfg.IonoRemainder = 1.0 // uncorrected receivers: DGPS's use case
 	refGen := scenario.NewGenerator(st, cfg)
 	rover := st

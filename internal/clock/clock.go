@@ -13,7 +13,8 @@ package clock
 
 import (
 	"math"
-	"math/rand"
+
+	"gpsdl/internal/rng"
 )
 
 // Model is a receiver clock-bias truth model: BiasAt returns Δt at time t,
@@ -51,8 +52,8 @@ func (m *SteeringModel) BiasAt(t float64) float64 {
 	if m.Jitter > 0 {
 		// Derive a per-epoch deterministic jitter so BiasAt is a pure
 		// function of t (required for reproducible datasets).
-		rng := rand.New(rand.NewSource(m.JitterSeed ^ int64(math.Float64bits(t))))
-		b += m.Jitter * rng.NormFloat64()
+		s := rng.New(m.JitterSeed ^ int64(math.Float64bits(t)))
+		b += m.Jitter * s.NormFloat64()
 	}
 	return b
 }

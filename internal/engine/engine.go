@@ -15,12 +15,20 @@
 // steady-state per-fix hot path — generate-free step over pregenerated
 // epochs: linearize, solve, DOP, NMEA — performs zero heap allocations.
 //
-// Determinism guarantee: every epoch is a pure function of (Seed+receiver,
-// station, index·Step), each receiver's epochs are processed in index
-// order by exactly one shard, and batches only group consecutive indices
-// for scheduling. Per-receiver output sequences are therefore identical
-// for any Workers and BatchSize; only interleaving across receivers
-// varies.
+// Constellation sharing: all sessions observe the same sky, so the engine
+// builds one constellation and one epochcache.Cache over the canonical
+// epoch grid (unless DisableEpochCache). Each epoch's satellite states are
+// propagated once, published as an immutable snapshot, and read by every
+// session on every shard; the per-receiver work (visibility mask,
+// light-time/Sagnac emission, noise, solve) stays in the sessions.
+//
+// Determinism guarantee: every epoch is a pure function of (the receiver's
+// mixed seed, station, index·Step), each receiver's epochs are processed
+// in index order by exactly one shard, and batches only group consecutive
+// indices for scheduling. Per-receiver output sequences are therefore
+// identical for any Workers and BatchSize — and, because cached snapshots
+// hold exactly the state a lone generator computes, for the epoch cache
+// on or off; only interleaving across receivers varies.
 package engine
 
 import (
@@ -35,8 +43,10 @@ import (
 
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
+	"gpsdl/internal/epochcache"
 	"gpsdl/internal/fault"
 	"gpsdl/internal/journal"
+	"gpsdl/internal/orbit"
 	"gpsdl/internal/quality"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/slo"
@@ -90,8 +100,11 @@ type Config struct {
 	// Solver selects the per-receiver solver: "nr", "dlo", "dlg" or
 	// "bancroft". Empty means "dlg" (the paper's headline algorithm).
 	Solver string
-	// Seed is the base scenario seed; receiver r uses Seed+r, so every
-	// receiver sees distinct but reproducible measurements.
+	// Seed is the base scenario seed; receiver r's seed is derived by
+	// mixing (splitmix64), so every receiver sees distinct, reproducible
+	// measurements and no (Seed, receiver) pair aliases another — the old
+	// additive Seed+r scheme made e.g. Seed 7 receiver 0 identical to
+	// Seed 6 receiver 1.
 	Seed int64
 	// Step is the epoch spacing in seconds; ≤ 0 means 1.
 	Step float64
@@ -114,9 +127,10 @@ type Config struct {
 	// Faults is an optional fault program applied to every receiver's
 	// epoch stream (see internal/fault). Empty means fault-free.
 	Faults fault.Program
-	// FaultSeed drives the fault injector's burst noise; receiver r uses
-	// FaultSeed+r. The same (Faults, FaultSeed, Seed) triple reproduces
-	// bit-identical fix streams and fault-event logs for any worker count.
+	// FaultSeed drives the fault injector's burst noise; receiver r's
+	// injector seed is mixed the same way as Seed. The same (Faults,
+	// FaultSeed, Seed) triple reproduces bit-identical fix streams and
+	// fault-event logs for any worker count.
 	FaultSeed int64
 	// ReceiverFaults, when non-nil, supplies a per-receiver fault program
 	// that overrides Faults for receivers where it returns a non-nil
@@ -163,6 +177,16 @@ type Config struct {
 	// transitions, recovered panics, exhausted restart budgets). See
 	// Incident for the delivery contract.
 	OnIncident func(Incident)
+	// DisableEpochCache turns off the shared per-epoch constellation
+	// snapshot cache, making every session re-propagate the constellation
+	// itself (the pre-cache behavior). Output is bit-identical either
+	// way; disabling only costs throughput. Exists for benchmarking the
+	// cache and as an escape hatch.
+	DisableEpochCache bool
+	// EpochCacheSize overrides the snapshot ring capacity in epochs;
+	// ≤ 0 derives it from QueueDepth and BatchSize (the bound on how far
+	// shards can skew) with epochcache.DefaultCapacity as the floor.
+	EpochCacheSize int
 }
 
 // job is a half-open range of epoch indices [e0, e1) for one shard.
@@ -176,6 +200,12 @@ type shard struct {
 	sessions []*session
 	jobs     chan job
 	m        *shardMetrics
+
+	// cache is the engine's shared epoch cache (nil when disabled). The
+	// shard warms each epoch's snapshot once before stepping its live
+	// sessions, so same-epoch solves across the shard batch against one
+	// propagation.
+	cache *epochcache.Cache
 
 	// Shard-level quality window (nil when the quality layer is off).
 	// It slides over the last Window epochs of every session on the
@@ -206,7 +236,8 @@ type Engine struct {
 	shards   []*shard
 	sessions []*session // all sessions, indexed by receiver
 	cm       *chainMetrics
-	resume   int // first epoch index for RunPaced, set by Restore
+	cache    *epochcache.Cache // shared snapshot cache (nil when disabled)
+	resume   int               // first epoch index for RunPaced, set by Restore
 
 	// Quality layer (nil when Config.Quality is nil).
 	qcfg *QualityConfig
@@ -275,17 +306,36 @@ func New(cfg Config) (*Engine, error) {
 		fallback: core.NewFallbackMetrics(cfg.Registry),
 		raim:     core.NewRAIMMetrics(cfg.Registry),
 	}
+	if !cfg.DisableEpochCache {
+		// One constellation, one snapshot ring, shared by every session.
+		// Capacity covers the maximum epoch skew between shards (each can
+		// hold QueueDepth queued batches plus one in flight) with slack.
+		ccap := cfg.EpochCacheSize
+		if ccap <= 0 {
+			ccap = (cfg.QueueDepth + 2) * cfg.BatchSize
+			if ccap < epochcache.DefaultCapacity {
+				ccap = epochcache.DefaultCapacity
+			}
+		}
+		cache, err := epochcache.New(orbit.DefaultConstellation(), 0, cfg.Step,
+			epochcache.Options{Capacity: ccap, Registry: cfg.Registry})
+		if err != nil {
+			return nil, fmt.Errorf("engine: epoch cache: %w", err)
+		}
+		e.cache = cache
+	}
 	e.shards = make([]*shard, cfg.Workers)
 	for i := range e.shards {
 		e.shards[i] = &shard{
-			id: i,
-			m:  newShardMetrics(cfg.Registry, strconv.Itoa(i)),
+			id:    i,
+			m:     newShardMetrics(cfg.Registry, strconv.Itoa(i)),
+			cache: e.cache,
 		}
 	}
 	e.sessions = make([]*session, cfg.Receivers)
 	for r := 0; r < cfg.Receivers; r++ {
 		sh := e.shards[r%cfg.Workers]
-		s, err := newSession(cfg, r, sh.id, sh.m, e.cm)
+		s, err := newSession(cfg, r, sh.id, sh.m, e.cm, e.cache)
 		if err != nil {
 			return nil, err
 		}
@@ -351,11 +401,25 @@ func New(cfg Config) (*Engine, error) {
 
 // Pregenerate computes and caches epochs [0, n) for every session, so a
 // subsequent run measures only the fix path (solve, DOP, NMEA), not
-// scenario generation. Benchmarks use it; serving does not need it.
+// scenario generation. Benchmarks use it; serving does not need it. The
+// loop is epoch-outer so all sessions generate a given epoch back to
+// back: with the shared epoch cache that is one constellation propagation
+// per epoch total (session-outer order would wrap the snapshot ring
+// between sessions and evict every epoch before its next reader).
 func (e *Engine) Pregenerate(n int) error {
 	for _, s := range e.sessions {
-		if err := s.pregenerate(n); err != nil {
-			return err
+		s.pre = make([]scenario.Epoch, n)
+	}
+	for i := 0; i < n; i++ {
+		for _, s := range e.sessions {
+			ep, err := s.gen.EpochAt(float64(i) * s.step_)
+			if err != nil {
+				for _, s2 := range e.sessions {
+					s2.pre = nil
+				}
+				return fmt.Errorf("engine: receiver %d epoch %d: %w", s.recv, i, err)
+			}
+			s.pre[i] = ep
 		}
 	}
 	return nil
@@ -454,6 +518,18 @@ func (e *Engine) start(ctx context.Context) *sync.WaitGroup {
 // untouched and counts drained, so the dispatcher's close never strands
 // a queued batch and the drain summary can tell the two apart.
 func (sh *shard) run(ctx context.Context) {
+	// Warm the shared epoch cache only when some session will actually
+	// generate live; pregenerated sessions never read it, and warming
+	// would then pay a propagation per epoch for nothing.
+	warm := false
+	if sh.cache != nil {
+		for _, s := range sh.sessions {
+			if s.pre == nil {
+				warm = true
+				break
+			}
+		}
+	}
 	for jb := range sh.jobs {
 		sh.m.queueDepth.Set(float64(len(sh.jobs)))
 		if ctx.Err() != nil {
@@ -468,6 +544,13 @@ func (sh *shard) run(ctx context.Context) {
 			if ctx.Err() != nil {
 				aborted = true
 				break
+			}
+			if warm {
+				// One propagation covers every session on the shard for
+				// this epoch (and, ring permitting, the other shards').
+				// Errors are not dropped: a failed snapshot resurfaces
+				// from each session's own EpochAt as an epoch error.
+				_, _ = sh.cache.At(i)
 			}
 			for _, s := range sh.sessions {
 				sh.stepSession(s, i)

@@ -87,7 +87,7 @@ func TestQualityPageOnDegradation(t *testing.T) {
 	eng, err := New(Config{
 		Receivers: 2,
 		Workers:   2,
-		Seed:      7,
+		Seed:      42,
 		Faults:    prog,
 		FaultSeed: 99,
 		Quality: &QualityConfig{

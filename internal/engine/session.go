@@ -8,11 +8,13 @@ import (
 	"gpsdl/internal/checkpoint"
 	"gpsdl/internal/clock"
 	"gpsdl/internal/core"
+	"gpsdl/internal/epochcache"
 	"gpsdl/internal/eval"
 	"gpsdl/internal/fault"
 	"gpsdl/internal/geo"
 	"gpsdl/internal/nmea"
 	"gpsdl/internal/quality"
+	"gpsdl/internal/rng"
 	"gpsdl/internal/scenario"
 )
 
@@ -154,18 +156,38 @@ type session struct {
 	pre  []scenario.Epoch   // optional pregenerated epochs
 }
 
+// sessionSeed derives receiver r's seed from the base seed by double
+// splitmix64 mixing. The old additive Seed+r derivation aliased across
+// runs — (Seed 7, receiver 0) and (Seed 6, receiver 1) drew identical
+// measurement streams, so fleet experiments with adjacent base seeds
+// silently shared data. Mixing the base seed before adding r and
+// finalizing again leaves no additive structure for any (seed, receiver)
+// pair to collide through.
+func sessionSeed(base int64, r int) int64 {
+	return int64(rng.Mix64(rng.Mix64(uint64(base)) + uint64(r)))
+}
+
 // newSession builds receiver r's session. Station templates are assigned
-// round-robin and each receiver draws from its own seed stream Seed+r;
-// the fault injector likewise uses FaultSeed+r so burst noise is distinct
-// but reproducible per receiver.
-func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics) (*session, error) {
+// round-robin and each receiver draws from its own mixed seed stream (see
+// sessionSeed); the fault injector's seed is mixed the same way so burst
+// noise is distinct but reproducible per receiver. When the engine runs a
+// shared epoch cache, its constellation and the cache itself are
+// prepended to the generator options; caller-supplied SessionOptions come
+// after, so a custom WithConstellation still wins (and, by pointer
+// mismatch, safely disables the cache for that session).
+func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics, cache *epochcache.Cache) (*session, error) {
 	st := cfg.Stations[r%len(cfg.Stations)]
-	gcfg := scenario.DefaultConfig(cfg.Seed + int64(r))
+	gcfg := scenario.DefaultConfig(sessionSeed(cfg.Seed, r))
 	gcfg.Step = cfg.Step
 	gcfg.CodeOnly = true // the fix path needs pseudoranges only
 	var opts []scenario.Option
+	if cache != nil {
+		opts = append(opts,
+			scenario.WithConstellation(cache.Constellation()),
+			scenario.WithEpochCache(cache))
+	}
 	if cfg.SessionOptions != nil {
-		opts = cfg.SessionOptions(r)
+		opts = append(opts, cfg.SessionOptions(r)...)
 	}
 	s := &session{
 		recv:          r,
@@ -191,7 +213,7 @@ func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics) (
 		}
 	}
 	if len(prog) > 0 {
-		s.inj = fault.NewInjector(prog, cfg.FaultSeed+int64(r))
+		s.inj = fault.NewInjector(prog, sessionSeed(cfg.FaultSeed, r))
 	}
 	if err := s.buildSolvers(); err != nil {
 		return nil, err
@@ -233,22 +255,6 @@ func (s *session) restart() {
 		s.brkOpen = false
 		s.m.breakerOpenSessions.Dec()
 	}
-}
-
-// pregenerate caches epochs [0, n) so step skips scenario generation.
-// Faults are NOT baked in here: the injector runs inside step, so the
-// same pregenerated epochs serve any fault program.
-func (s *session) pregenerate(n int) error {
-	pre := make([]scenario.Epoch, n)
-	for i := 0; i < n; i++ {
-		e, err := s.gen.EpochAt(float64(i) * s.step_)
-		if err != nil {
-			return fmt.Errorf("engine: receiver %d epoch %d: %w", s.recv, i, err)
-		}
-		pre[i] = e
-	}
-	s.pre = pre
-	return nil
 }
 
 // step runs one epoch end to end: obtain observations, inject faults,

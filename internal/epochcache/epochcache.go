@@ -1,0 +1,164 @@
+// Package epochcache shares per-epoch constellation propagation across
+// receiver sessions. Every session in a multi-receiver engine observes
+// the same constellation at the same canonical epoch times, yet each
+// historically re-ran the full Kepler propagation — N sessions paid N×
+// for one ephemeris evaluation. The cache computes each satellite's
+// state (ECEF position for visibility, inertial position/velocity/
+// acceleration for the light-time solver) exactly once per epoch and
+// publishes it as an immutable snapshot that all sessions read; the
+// per-receiver work (elevation mask, Sagnac-corrected emission position,
+// noise synthesis, solve) stays in the sessions but starts from cached
+// propagation instead of fresh Kepler solves.
+//
+// Concurrency model: a fixed ring of slots indexed by epoch modulo
+// capacity. Readers take one atomic pointer load per lookup; the first
+// session to need an epoch computes it under that slot's mutex while
+// other slots stay untouched. A published *Snapshot is immutable and
+// remains valid for readers that hold it even after the slot is reused
+// for a later epoch, so there is no invalidation protocol beyond the
+// ring overwrite — old snapshots are garbage-collected when the last
+// reader drops them.
+package epochcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpsdl/internal/orbit"
+	"gpsdl/internal/telemetry"
+)
+
+// DefaultCapacity is the default ring size. Engine shards consume the
+// same epoch sequence but can skew by up to a queue of batches; the
+// default comfortably covers the engine's default queue depth × batch
+// size so a lagging shard still hits.
+const DefaultCapacity = 192
+
+// Options tunes a Cache.
+type Options struct {
+	// Capacity is the snapshot ring size in epochs; ≤ 0 means
+	// DefaultCapacity. A too-small capacity is a performance problem
+	// (recomputation), never a correctness one.
+	Capacity int
+	// Registry receives the cache's hit/miss/eviction counters; nil
+	// registers nothing (Stats still works).
+	Registry *telemetry.Registry
+}
+
+// Cache is a shared per-epoch constellation snapshot store over the
+// canonical timebase t = t0 + epoch·step. Safe for concurrent use.
+type Cache struct {
+	cons  *orbit.Constellation
+	t0    float64
+	step  float64
+	slots []slot
+
+	hits, misses, evictions atomic.Uint64
+
+	// Optional exported counters (nil without a registry).
+	mHits, mMisses, mEvictions *telemetry.Counter
+}
+
+// slot is one ring entry: the published snapshot plus the mutex that
+// serializes computing it.
+type slot struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
+}
+
+// Snapshot is the immutable per-epoch constellation state.
+type Snapshot struct {
+	Epoch int
+	T     float64
+	State orbit.EpochState
+}
+
+// New builds a cache over cons for the canonical timebase t0 + i·step.
+func New(cons *orbit.Constellation, t0, step float64, opt Options) (*Cache, error) {
+	if cons == nil {
+		return nil, fmt.Errorf("epochcache: nil constellation")
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("epochcache: step must be positive, have %v", step)
+	}
+	cap := opt.Capacity
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	c := &Cache{cons: cons, t0: t0, step: step, slots: make([]slot, cap)}
+	if opt.Registry != nil {
+		c.mHits = opt.Registry.Counter("epoch_cache_hits_total",
+			"Epoch-cache lookups served from a published snapshot")
+		c.mMisses = opt.Registry.Counter("epoch_cache_misses_total",
+			"Epoch-cache lookups that propagated the constellation")
+		c.mEvictions = opt.Registry.Counter("epoch_cache_evictions_total",
+			"Epoch-cache slot overwrites (ring reuse for a newer epoch)")
+	}
+	return c, nil
+}
+
+// Constellation returns the constellation the cache propagates. A
+// consumer configured with a different constellation must not use this
+// cache; scenario.Generator checks this identity before reading.
+func (c *Cache) Constellation() *orbit.Constellation { return c.cons }
+
+// At returns the snapshot for epoch index i ≥ 0, computing and
+// publishing it exactly once per epoch across all callers (modulo ring
+// reuse). The returned snapshot is immutable.
+func (c *Cache) At(epoch int) (*Snapshot, error) {
+	if epoch < 0 {
+		return nil, fmt.Errorf("epochcache: negative epoch %d", epoch)
+	}
+	sl := &c.slots[epoch%len(c.slots)]
+	if s := sl.snap.Load(); s != nil && s.Epoch == epoch {
+		c.hits.Add(1)
+		c.mHits.Inc()
+		return s, nil
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if s := sl.snap.Load(); s != nil && s.Epoch == epoch {
+		c.hits.Add(1)
+		c.mHits.Inc()
+		return s, nil
+	}
+	snap := &Snapshot{Epoch: epoch, T: c.t0 + float64(epoch)*c.step}
+	if err := c.cons.StateAt(snap.T, &snap.State); err != nil {
+		return nil, err
+	}
+	if old := sl.snap.Load(); old != nil {
+		c.evictions.Add(1)
+		c.mEvictions.Inc()
+	}
+	sl.snap.Store(snap)
+	c.misses.Add(1)
+	c.mMisses.Inc()
+	return snap, nil
+}
+
+// Lookup maps t back to a canonical epoch index and returns that
+// snapshot. A time off the canonical grid returns (nil, nil): the caller
+// generates uncached, which keeps arbitrary-time queries (clock probes,
+// ad-hoc epochs) correct without polluting the ring.
+func (c *Cache) Lookup(t float64) (*Snapshot, error) {
+	i := int((t - c.t0) / c.step)
+	// The division can land one index off for awkward steps; accept any
+	// neighbour whose canonical time is exactly t.
+	for _, cand := range [3]int{i, i + 1, i - 1} {
+		if cand >= 0 && c.t0+float64(cand)*c.step == t {
+			return c.At(cand)
+		}
+	}
+	return nil, nil
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
+}

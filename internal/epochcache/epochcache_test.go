@@ -1,0 +1,241 @@
+package epochcache
+
+import (
+	"sync"
+	"testing"
+
+	"gpsdl/internal/orbit"
+	"gpsdl/internal/telemetry"
+)
+
+func newTestCache(t testing.TB, capacity int) *Cache {
+	t.Helper()
+	c, err := New(orbit.DefaultConstellation(), 0, 1, Options{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSnapshotMatchesDirectPropagation: a cached snapshot is bit-identical
+// to propagating the constellation directly at the same epoch time.
+func TestSnapshotMatchesDirectPropagation(t *testing.T) {
+	cons := orbit.DefaultConstellation()
+	c, err := New(cons, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, epoch := range []int{0, 1, 777, 86399} {
+		snap, err := c.At(epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var direct orbit.EpochState
+		if err := cons.StateAt(float64(epoch), &direct); err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.State.Sats) != len(direct.Sats) {
+			t.Fatalf("epoch %d: %d sats, want %d", epoch, len(snap.State.Sats), len(direct.Sats))
+		}
+		for i := range direct.Sats {
+			if snap.State.Sats[i] != direct.Sats[i] {
+				t.Fatalf("epoch %d sat %d: cached state != direct state", epoch, i)
+			}
+		}
+	}
+}
+
+// TestComputeOnce: N concurrent readers of the same epoch produce exactly
+// one miss and share one snapshot pointer.
+func TestComputeOnce(t *testing.T) {
+	c := newTestCache(t, 8)
+	const readers = 16
+	snaps := make([]*Snapshot, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s, err := c.At(3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			snaps[r] = s
+		}(r)
+	}
+	wg.Wait()
+	for r := 1; r < readers; r++ {
+		if snaps[r] != snaps[0] {
+			t.Fatalf("reader %d got a different snapshot pointer", r)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits != readers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, readers-1)
+	}
+}
+
+// TestRingEviction: wrapping the ring overwrites old epochs (counted as
+// evictions) and still serves correct snapshots for the new ones.
+func TestRingEviction(t *testing.T) {
+	c := newTestCache(t, 4)
+	s0, err := c.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 4 maps to slot 0 and evicts epoch 0.
+	s4, err := c.At(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.Epoch != 4 || s4.T != 4 {
+		t.Fatalf("snapshot epoch/T = %d/%v, want 4/4", s4.Epoch, s4.T)
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// The old snapshot a reader already holds stays intact (immutable).
+	if s0.Epoch != 0 || len(s0.State.Sats) != orbit.DefaultSatCount {
+		t.Error("held snapshot mutated by eviction")
+	}
+	// Re-requesting epoch 0 recomputes it — correctness never depends on
+	// capacity.
+	s0b, err := c.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0b.State.Sats[0] != s0.State.Sats[0] {
+		t.Error("recomputed epoch 0 differs from the original")
+	}
+}
+
+// TestLookupGrid: Lookup resolves canonical grid times (including awkward
+// steps) and returns nil for off-grid times.
+func TestLookupGrid(t *testing.T) {
+	for _, step := range []float64{1, 0.1, 1.0 / 3, 86400.0 / 7} {
+		c, err := New(orbit.DefaultConstellation(), 0, step, Options{Capacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range []int{0, 1, 5, 7} {
+			tt := float64(i) * step
+			s, err := c.Lookup(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s == nil {
+				t.Fatalf("step=%v: Lookup(%v) missed a grid point", step, tt)
+			}
+			if s.Epoch != i || s.T != tt {
+				t.Fatalf("step=%v: Lookup(%v) = epoch %d T %v, want %d %v", step, tt, s.Epoch, s.T, i, tt)
+			}
+		}
+		if s, _ := c.Lookup(0.5 * step); s != nil {
+			t.Errorf("step=%v: off-grid time hit epoch %d", step, s.Epoch)
+		}
+		if s, _ := c.Lookup(-step); s != nil {
+			t.Errorf("step=%v: negative time hit epoch %d", step, s.Epoch)
+		}
+	}
+}
+
+// TestValidation covers constructor and At error paths.
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, 0, 1, Options{}); err == nil {
+		t.Error("nil constellation accepted")
+	}
+	if _, err := New(orbit.DefaultConstellation(), 0, 0, Options{}); err == nil {
+		t.Error("zero step accepted")
+	}
+	c := newTestCache(t, 4)
+	if _, err := c.At(-1); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	// Propagation failures surface, never a zero-filled snapshot.
+	bad := orbit.NewConstellation([]orbit.Satellite{{PRN: 9, Orbit: orbit.Elements{
+		SemiMajorAxis: orbit.NominalSemiMajorAxis, Eccentricity: 1.5}}})
+	cb, err := New(bad, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.At(0); err == nil {
+		t.Error("invalid elements did not propagate an error")
+	}
+}
+
+// TestRegistryCounters: with a registry, lookups land in the exported
+// counter families.
+func TestRegistryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c, err := New(orbit.DefaultConstellation(), 0, 1, Options{Capacity: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.At(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.At(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", got)
+	}
+}
+
+// TestWarmLookupZeroAlloc pins the serving property: a cache hit performs
+// zero heap allocations.
+func TestWarmLookupZeroAlloc(t *testing.T) {
+	c := newTestCache(t, 8)
+	if _, err := c.At(5); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := c.At(5); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm At: %v allocs per lookup, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := c.Lookup(5); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm Lookup: %v allocs per lookup, want 0", n)
+	}
+}
+
+// BenchmarkEpochCache measures the two lookup regimes: a warm hit (the
+// per-session steady state) and a cold miss (one full constellation
+// propagation, paid once per epoch for the whole engine).
+func BenchmarkEpochCache(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		c := newTestCache(b, 8)
+		if _, err := c.At(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.At(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := newTestCache(b, 2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate between two epochs mapping to the same slot so
+			// every lookup recomputes.
+			if _, err := c.At(i % 2 * 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

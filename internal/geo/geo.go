@@ -141,15 +141,51 @@ func (e ENU) Norm() float64 { return math.Sqrt(e.E*e.E + e.N*e.N + e.U*e.U) }
 // ToENU expresses target relative to the origin (an ECEF point) in the
 // origin's local East-North-Up frame.
 func ToENU(origin, target ECEF) ENU {
+	f := NewENUFrame(origin)
+	return f.ToENU(target)
+}
+
+// ENUFrame is the local East-North-Up frame at a fixed origin with the
+// origin's geodetic rotation terms precomputed. Converting one origin's
+// view of many targets (a receiver looking at a whole constellation)
+// through a frame pays the iterative ECEF→LLA conversion once instead of
+// once per target; the per-target arithmetic is identical to ToENU /
+// ElevationAzimuth, so results are bit-identical.
+type ENUFrame struct {
+	origin                         ECEF
+	sinLat, cosLat, sinLon, cosLon float64
+}
+
+// NewENUFrame builds the local frame at origin.
+func NewENUFrame(origin ECEF) ENUFrame {
 	ll := origin.ToLLA()
-	sinLat, cosLat := math.Sincos(ll.Lat)
-	sinLon, cosLon := math.Sincos(ll.Lon)
-	d := target.Sub(origin)
+	f := ENUFrame{origin: origin}
+	f.sinLat, f.cosLat = math.Sincos(ll.Lat)
+	f.sinLon, f.cosLon = math.Sincos(ll.Lon)
+	return f
+}
+
+// ToENU expresses target relative to the frame origin.
+func (f *ENUFrame) ToENU(target ECEF) ENU {
+	d := target.Sub(f.origin)
 	return ENU{
-		E: -sinLon*d.X + cosLon*d.Y,
-		N: -sinLat*cosLon*d.X - sinLat*sinLon*d.Y + cosLat*d.Z,
-		U: cosLat*cosLon*d.X + cosLat*sinLon*d.Y + sinLat*d.Z,
+		E: -f.sinLon*d.X + f.cosLon*d.Y,
+		N: -f.sinLat*f.cosLon*d.X - f.sinLat*f.sinLon*d.Y + f.cosLat*d.Z,
+		U: f.cosLat*f.cosLon*d.X + f.cosLat*f.sinLon*d.Y + f.sinLat*d.Z,
 	}
+}
+
+// ElevationAzimuth returns the look angles (radians) from the frame
+// origin to the target, bit-identical to the package-level function.
+func (f *ENUFrame) ElevationAzimuth(target ECEF) (elev, azim float64) {
+	enu := f.ToENU(target)
+	horiz := math.Hypot(enu.E, enu.N)
+	elev = math.Atan2(enu.U, horiz)
+	azim = math.Atan2(enu.E, enu.N)
+	if azim < 0 {
+		azim += 2 * math.Pi
+	}
+	return elev, azim
 }
 
 // FromENU converts a local ENU offset at origin back to an ECEF position.

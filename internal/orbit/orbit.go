@@ -86,12 +86,24 @@ func SolveKepler(m, ecc float64) (float64, error) {
 // PositionECI returns the satellite position at time t (seconds) in an
 // Earth-centered inertial frame aligned with ECEF at t = 0.
 func (e Elements) PositionECI(t float64) (geo.ECEF, error) {
+	p, _, err := e.StateECI(t)
+	return p, err
+}
+
+// StateECI returns the satellite position and velocity at time t in the
+// Earth-centered inertial frame aligned with ECEF at t = 0. The velocity
+// is the analytic derivative of the Keplerian motion, including the
+// nodal-precession (RAANRate) term; accuracy is limited only by the
+// Kepler-solver tolerance. Position arithmetic is identical to the
+// historical PositionECI, so positions are bit-identical to it.
+func (e Elements) StateECI(t float64) (pos, vel geo.ECEF, err error) {
 	dt := t - e.Toe
-	m := e.MeanAnomaly + e.MeanMotion()*dt
+	n := e.MeanMotion()
+	m := e.MeanAnomaly + n*dt
 	ecc := e.Eccentricity
 	ea, err := SolveKepler(m, ecc)
 	if err != nil {
-		return geo.ECEF{}, err
+		return geo.ECEF{}, geo.ECEF{}, err
 	}
 	sinE, cosE := math.Sincos(ea)
 	// True anomaly.
@@ -105,11 +117,26 @@ func (e Elements) PositionECI(t float64) (geo.ECEF, error) {
 	omega := e.RAAN + e.RAANRate*dt
 	sinO, cosO := math.Sincos(omega)
 	sinI, cosI := math.Sincos(e.Inclination)
-	return geo.ECEF{
+	pos = geo.ECEF{
 		X: xo*cosO - yo*cosI*sinO,
 		Y: xo*sinO + yo*cosI*cosO,
 		Z: yo * sinI,
-	}, nil
+	}
+	// In-plane rates: Ė from differentiating Kepler's equation, then the
+	// radial and argument-of-latitude rates.
+	eDot := n / (1 - ecc*cosE)
+	rDot := e.SemiMajorAxis * ecc * sinE * eDot
+	phiDot := eDot * math.Sqrt(1-ecc*ecc) / (1 - ecc*cosE)
+	xoDot := rDot*cosPhi - yo*phiDot
+	yoDot := rDot*sinPhi + xo*phiDot
+	// Rotate the in-plane velocity through the node, then add the nodal
+	// precession term Ω̇·(ẑ × pos) — note ∂pos/∂Ω = (−Y, X, 0).
+	vel = geo.ECEF{
+		X: xoDot*cosO - yoDot*cosI*sinO - e.RAANRate*pos.Y,
+		Y: xoDot*sinO + yoDot*cosI*cosO + e.RAANRate*pos.X,
+		Z: yoDot * sinI,
+	}
+	return pos, vel, nil
 }
 
 // PositionECEF returns the satellite position at time t in the rotating
@@ -214,28 +241,107 @@ func (c *Constellation) Satellites() []Satellite {
 // Len returns the number of satellites.
 func (c *Constellation) Len() int { return len(c.sats) }
 
+// SatState is one satellite's propagated state at an epoch time: the
+// receiver-independent part of epoch generation. It is computed once per
+// (satellite, epoch) — by an epoch cache shared across receiver sessions,
+// or locally by an uncached generator — and every per-receiver quantity
+// (look angles, light-time emission position) derives from it with cheap
+// arithmetic, no further Kepler solves.
+type SatState struct {
+	Sat Satellite
+	// Pos is the ECEF position at the epoch time, bit-identical to
+	// Orbit.PositionECEF(t); visibility tests use it.
+	Pos geo.ECEF
+	// PosECI, VelECI and AccECI are the inertial position, velocity and
+	// two-body acceleration at the epoch time, the Taylor basis the
+	// light-time solver expands around.
+	PosECI, VelECI, AccECI geo.ECEF
+}
+
+// EpochState holds every satellite's state at one epoch time. The Sats
+// slice is reused by StateAt; treat a published EpochState as immutable.
+type EpochState struct {
+	T    float64
+	Sats []SatState
+}
+
+// StateAt propagates every satellite to time t into dst, reusing dst's
+// backing storage. A propagation failure (invalid elements) aborts with
+// the offending PRN in the error — no satellite is ever silently skipped
+// or zero-filled.
+func (c *Constellation) StateAt(t float64, dst *EpochState) error {
+	dst.T = t
+	dst.Sats = dst.Sats[:0]
+	for _, s := range c.sats {
+		eci, vel, err := s.Orbit.StateECI(t)
+		if err != nil {
+			return fmt.Errorf("orbit: PRN %d at t=%v: %w", s.PRN, t, err)
+		}
+		r := eci.Norm()
+		acc := eci.Scale(-geo.GM / (r * r * r))
+		dst.Sats = append(dst.Sats, SatState{
+			Sat:    s,
+			Pos:    geo.RotateEarth(eci, t),
+			PosECI: eci,
+			VelECI: vel,
+			AccECI: acc,
+		})
+	}
+	return nil
+}
+
+// Emission solves the light-time equation from the cached epoch state:
+// the satellite position at t−τ expressed in the reception-time ECEF
+// frame (Sagnac correction), and the geometric range, where τ is the
+// signal travel time. The inertial position at t−τ is evaluated by a
+// second-order Taylor expansion around the epoch state (truncation error
+// ~10 nm at GPS dynamics over τ ≈ 75 ms), so the three fixed-point
+// iterations cost no Kepler solves and depend only on (state, recv) —
+// cache-shared and locally computed states give bit-identical results.
+func (st *SatState) Emission(recv geo.ECEF, t float64) (geo.ECEF, float64) {
+	tau := 0.075 // initial guess ≈ orbital radius / c
+	var pos geo.ECEF
+	var dist float64
+	for i := 0; i < 3; i++ {
+		p := geo.ECEF{
+			X: st.PosECI.X - st.VelECI.X*tau + 0.5*st.AccECI.X*tau*tau,
+			Y: st.PosECI.Y - st.VelECI.Y*tau + 0.5*st.AccECI.Y*tau*tau,
+			Z: st.PosECI.Z - st.VelECI.Z*tau + 0.5*st.AccECI.Z*tau*tau,
+		}
+		// One rotation through the full epoch time lands the inertial
+		// emission position directly in the reception-time frame.
+		pos = geo.RotateEarth(p, t)
+		dist = recv.DistanceTo(pos)
+		tau = dist / geo.SpeedOfLight
+	}
+	return pos, dist
+}
+
 // InView is one visible satellite together with its look angles.
 type InView struct {
 	Sat       Satellite
 	Pos       geo.ECEF // ECEF position at time t
 	Elevation float64  // radians
 	Azimuth   float64  // radians
+	// State points at the propagated state backing this satellite, valid
+	// as long as the EpochState it came from.
+	State *SatState
 }
 
-// Visible returns the satellites above elevMask (radians) as seen from the
-// receiver at time t, ordered by descending elevation.
-func (c *Constellation) Visible(receiver geo.ECEF, t, elevMask float64) ([]InView, error) {
-	out := make([]InView, 0, len(c.sats))
-	for _, s := range c.sats {
-		pos, err := s.Orbit.PositionECEF(t)
-		if err != nil {
-			return nil, fmt.Errorf("orbit: PRN %d at t=%v: %w", s.PRN, t, err)
-		}
-		elev, azim := geo.ElevationAzimuth(receiver, pos)
+// VisibleFromState returns the satellites above elevMask (radians) as
+// seen from the receiver, ordered by descending elevation, computed from
+// an already-propagated epoch state. The receiver's local frame is built
+// once; per-satellite arithmetic is identical to the historical Visible.
+func VisibleFromState(st *EpochState, receiver geo.ECEF, elevMask float64) []InView {
+	frame := geo.NewENUFrame(receiver)
+	out := make([]InView, 0, len(st.Sats))
+	for i := range st.Sats {
+		s := &st.Sats[i]
+		elev, azim := frame.ElevationAzimuth(s.Pos)
 		if elev < elevMask {
 			continue
 		}
-		out = append(out, InView{Sat: s, Pos: pos, Elevation: elev, Azimuth: azim})
+		out = append(out, InView{Sat: s.Sat, Pos: s.Pos, Elevation: elev, Azimuth: azim, State: s})
 	}
 	// Insertion sort by descending elevation (lists are ~10 long).
 	for i := 1; i < len(out); i++ {
@@ -243,5 +349,15 @@ func (c *Constellation) Visible(receiver geo.ECEF, t, elevMask float64) ([]InVie
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out, nil
+	return out
+}
+
+// Visible returns the satellites above elevMask (radians) as seen from the
+// receiver at time t, ordered by descending elevation.
+func (c *Constellation) Visible(receiver geo.ECEF, t, elevMask float64) ([]InView, error) {
+	var st EpochState
+	if err := c.StateAt(t, &st); err != nil {
+		return nil, err
+	}
+	return VisibleFromState(&st, receiver, elevMask), nil
 }

@@ -7,8 +7,10 @@ import (
 
 	"gpsdl/internal/atmosphere"
 	"gpsdl/internal/clock"
+	"gpsdl/internal/epochcache"
 	"gpsdl/internal/geo"
 	"gpsdl/internal/orbit"
+	"gpsdl/internal/rng"
 )
 
 // Config controls dataset generation. The zero value is not useful; start
@@ -97,6 +99,7 @@ type Generator struct {
 	station Station
 	cfg     Config
 	cons    *orbit.Constellation
+	cache   *epochcache.Cache
 	clk     clock.Model
 	posAt   func(t float64) geo.ECEF
 	visible func(elev, azim float64) bool
@@ -121,6 +124,21 @@ func WithConstellation(c *orbit.Constellation) Option {
 // WithClockModel substitutes a custom receiver clock truth model.
 func WithClockModel(m clock.Model) Option {
 	return func(g *Generator) { g.clk = m }
+}
+
+// WithEpochCache shares a per-epoch constellation snapshot cache with the
+// generator: epochs whose time lies on the cache's canonical grid read the
+// constellation state from the cache instead of re-propagating it, so N
+// receivers pay one Kepler solve per epoch instead of N. Output is
+// bit-identical with and without the cache — the cached state is the same
+// orbit.EpochState the generator would compute itself — so callers such
+// as gpsrun and eval that generate uncached stay exactly compatible. The
+// cache is only consulted when it was built over the *same* constellation
+// value the generator uses (pointer identity); a generator configured with
+// a different WithConstellation silently ignores a mismatched cache rather
+// than serving another constellation's geometry.
+func WithEpochCache(c *epochcache.Cache) Option {
+	return func(g *Generator) { g.cache = c }
 }
 
 // Fault describes an injected gross pseudo-range error: PRN gets Bias
@@ -233,14 +251,34 @@ func (g *Generator) TruthPosition(t float64) geo.ECEF { return g.posAt(t) }
 
 // EpochAt generates the observations for receiver time t. Generation is a
 // pure function of (Seed, station, t): re-generating any epoch gives
-// byte-identical results regardless of order.
+// byte-identical results regardless of order, and — because the cached
+// constellation state is exactly the state a lone generator computes —
+// regardless of whether a shared epoch cache is attached.
 func (g *Generator) EpochAt(t float64) (Epoch, error) {
 	recv := g.posAt(t)
 	mask := g.cfg.ElevMaskDeg * math.Pi / 180
-	vis, err := g.cons.Visible(recv, t, mask)
-	if err != nil {
-		return Epoch{}, fmt.Errorf("scenario: visibility at t=%v: %w", t, err)
+	// Constellation state: from the shared snapshot when the cache covers
+	// this time on its canonical grid, otherwise propagated locally. The
+	// local state lives on this call's stack/heap, never in the Generator,
+	// so concurrent EpochAt calls (GenerateRangeParallel) stay safe.
+	var st *orbit.EpochState
+	if g.cache != nil && g.cache.Constellation() == g.cons {
+		snap, err := g.cache.Lookup(t)
+		if err != nil {
+			return Epoch{}, fmt.Errorf("scenario: constellation at t=%v: %w", t, err)
+		}
+		if snap != nil {
+			st = &snap.State
+		}
 	}
+	if st == nil {
+		var local orbit.EpochState
+		if err := g.cons.StateAt(t, &local); err != nil {
+			return Epoch{}, fmt.Errorf("scenario: constellation at t=%v: %w", t, err)
+		}
+		st = &local
+	}
+	vis := orbit.VisibleFromState(st, recv, mask)
 	biasSec := g.clk.BiasAt(t)
 	var driftMPS float64
 	var recvVel geo.ECEF
@@ -256,9 +294,9 @@ func (g *Generator) EpochAt(t float64) (Epoch, error) {
 		// Signal emission position: iterate the light-time equation,
 		// expressing the satellite position in the reception-time frame
 		// (Sagnac correction).
-		emitPos, rng := g.emissionPosition(v.Sat, recv, t)
+		emitPos, dist := v.State.Emission(recv, t)
 		eps, iono, tropo, obsRng := g.satelliteErrorParts(v.Sat.PRN, t, v.Elevation)
-		pr := rng + geo.SpeedOfLight*biasSec + eps
+		pr := dist + geo.SpeedOfLight*biasSec + eps
 		for _, f := range g.faults {
 			if f.PRN == v.Sat.PRN && t >= f.From && t < f.Until {
 				pr += f.Bias
@@ -276,7 +314,7 @@ func (g *Generator) EpochAt(t float64) (Epoch, error) {
 			// — the code's thermal noise and multipath do NOT appear on
 			// the carrier (that asymmetry is what makes Hatch smoothing
 			// work).
-			obsOut.Carrier = rng + geo.SpeedOfLight*biasSec + tropo - iono +
+			obsOut.Carrier = dist + geo.SpeedOfLight*biasSec + tropo - iono +
 				g.carrierAmbiguity(v.Sat.PRN) + 0.003*obsRng.NormFloat64()
 			// Doppler: projected relative velocity plus clock drift.
 			satVel, verr := v.Sat.Orbit.VelocityECEF(t)
@@ -313,30 +351,9 @@ func (g *Generator) receiverVelocity(t float64) geo.ECEF {
 // (λ·N with N an integer, λ = 19.03 cm for L1), fixed for the day.
 func (g *Generator) carrierAmbiguity(prn int) float64 {
 	const lambdaL1 = 0.1903
-	rng := rand.New(rand.NewSource(obsSeed(g.cfg.Seed^int64(hashString(g.station.ID)), prn, -2)))
-	n := rng.Intn(2_000_000) - 1_000_000
+	s := rng.New(obsSeed(g.cfg.Seed^int64(hashString(g.station.ID)), prn, -2))
+	n := s.Intn(2_000_000) - 1_000_000
 	return lambdaL1 * float64(n)
-}
-
-// emissionPosition solves the light-time equation: the satellite position
-// at t−τ rotated into the reception-time ECEF frame, where τ is the signal
-// travel time. Two fixed-point iterations converge to sub-millimeter.
-func (g *Generator) emissionPosition(sat orbit.Satellite, recv geo.ECEF, t float64) (geo.ECEF, float64) {
-	tau := 0.075 // initial guess ≈ orbital radius / c
-	var pos geo.ECEF
-	var dist float64
-	for i := 0; i < 3; i++ {
-		p, err := sat.Orbit.PositionECEF(t - tau)
-		if err != nil {
-			// Orbit propagation of valid elements cannot fail; keep the
-			// last iterate if it somehow does.
-			break
-		}
-		pos = geo.RotateEarth(p, tau)
-		dist = recv.DistanceTo(pos)
-		tau = dist / geo.SpeedOfLight
-	}
-	return pos, dist
 }
 
 // satelliteError draws the satellite-dependent error εᵢˢ for one
@@ -354,28 +371,31 @@ func (g *Generator) satelliteError(prn int, t, elev float64) float64 {
 // satelliteErrorParts draws εᵢˢ and separately reports its ionospheric
 // component (which enters the carrier phase with opposite sign) and
 // tropospheric component (non-dispersive: same sign on the carrier). The
-// returned RNG continues the observation's deterministic stream so
-// callers can draw further per-observation noise.
-func (g *Generator) satelliteErrorParts(prn int, t, elev float64) (eps, iono, tropo float64, rng *rand.Rand) {
-	rng = rand.New(rand.NewSource(obsSeed(g.cfg.Seed^int64(hashString(g.station.ID)), prn, t)))
-	eps = g.cfg.NoiseSigma * rng.NormFloat64()
+// returned stream continues the observation's deterministic draws so
+// callers can synthesize further per-observation noise. Streams are
+// rng.Stream rather than math/rand: seeding the latter runs a 607-word
+// lagged-Fibonacci warm-up that dominated live generation cost (each
+// epoch seeds ~2 streams per visible satellite).
+func (g *Generator) satelliteErrorParts(prn int, t, elev float64) (eps, iono, tropo float64, obs rng.Stream) {
+	obs = rng.New(obsSeed(g.cfg.Seed^int64(hashString(g.station.ID)), prn, t))
+	eps = g.cfg.NoiseSigma * obs.NormFloat64()
 	if g.cfg.Multipath {
-		eps += atmosphere.MultipathSigma(elev) * rng.NormFloat64()
+		eps += atmosphere.MultipathSigma(elev) * obs.NormFloat64()
 	}
 	if g.cfg.IonoRemainder > 0 || g.cfg.TropoRemainder > 0 {
 		// Per-satellite model-mismatch factors in [-1, 1], fixed for the
 		// whole day (the broadcast model misfits a satellite pass
 		// coherently, not white-noise-like).
-		passRng := rand.New(rand.NewSource(obsSeed(g.cfg.Seed, prn, -1)))
-		uIono := passRng.Float64()*2 - 1
-		uTropo := passRng.Float64()*2 - 1
+		pass := rng.New(obsSeed(g.cfg.Seed, prn, -1))
+		uIono := pass.Float64()*2 - 1
+		uTropo := pass.Float64()*2 - 1
 		localTime := localSolarTime(g.station.Pos, t)
 		alt := g.station.Pos.ToLLA().Alt
 		iono = atmosphere.ResidualIono(elev, localTime, g.cfg.IonoRemainder, uIono)
 		tropo = atmosphere.ResidualTropo(elev, alt, g.cfg.TropoRemainder, uTropo)
 		eps += iono + tropo
 	}
-	return eps, iono, tropo, rng
+	return eps, iono, tropo, obs
 }
 
 // EpochTime is the canonical timebase: epoch i of a run starting at t0
@@ -390,12 +410,24 @@ func EpochTime(t0 float64, i int, step float64) float64 {
 
 // EpochCount returns how many epochs [t0, t1) holds at the given step:
 // the number of indices i ≥ 0 with EpochTime(t0, i, step) < t1. A step
-// ≤ 0 yields 0 (rather than an infinite loop).
+// ≤ 0 yields 0. The count is computed in closed form — ⌈(t1−t0)/step⌉
+// nudged by at most a couple of steps to honor the exact floating-point
+// boundary EpochTime uses — so day-long ranges no longer cost an O(n)
+// counting loop per call.
 func EpochCount(t0, t1, step float64) int {
-	if step <= 0 {
+	if step <= 0 || !(t0 < t1) {
 		return 0
 	}
-	n := 0
+	n := int(math.Ceil((t1 - t0) / step))
+	if n < 0 {
+		n = 0
+	}
+	// The division can disagree with EpochTime's rounding by an ULP at
+	// the boundary; walk to the exact answer. Monotonicity of
+	// t0 + i·step in i bounds each loop to a step or two.
+	for n > 0 && EpochTime(t0, n-1, step) >= t1 {
+		n--
+	}
 	for EpochTime(t0, n, step) < t1 {
 		n++
 	}

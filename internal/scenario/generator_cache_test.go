@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpsdl/internal/epochcache"
+	"gpsdl/internal/orbit"
+)
+
+// cachePair builds two generators for the same station and config: one
+// plain, one reading a shared epoch cache over the given grid.
+func cachePair(t *testing.T, step float64) (plain, cached *Generator, cache *epochcache.Cache) {
+	t.Helper()
+	st, err := StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(17)
+	cfg.Step = step
+	cons := orbit.DefaultConstellation()
+	cache, err = epochcache.New(cons, 0, step, epochcache.Options{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain = NewGenerator(st, cfg)
+	cached = NewGenerator(st, cfg, WithConstellation(cons), WithEpochCache(cache))
+	return plain, cached, cache
+}
+
+// TestEpochCacheBitIdenticalSerial is the tentpole's core guarantee at
+// the generator level: a cache-backed generator produces byte-identical
+// datasets to an uncached one, for awkward steps included.
+func TestEpochCacheBitIdenticalSerial(t *testing.T) {
+	for _, step := range []float64{1, 1.0 / 3} {
+		plain, cached, cache := cachePair(t, step)
+		t1 := 40 * step
+		want, err := plain.GenerateRange(0, t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cached.GenerateRange(0, t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Epochs, got.Epochs) {
+			t.Fatalf("step=%v: cached generation diverged from uncached", step)
+		}
+		if st := cache.Stats(); st.Hits+st.Misses == 0 {
+			t.Fatalf("step=%v: cache was never consulted", step)
+		}
+	}
+}
+
+// TestEpochCacheBitIdenticalParallel: concurrent EpochAt calls through
+// the shared cache still match uncached serial generation exactly.
+func TestEpochCacheBitIdenticalParallel(t *testing.T) {
+	plain, cached, _ := cachePair(t, 1)
+	want, err := plain.GenerateRange(0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.GenerateRangeParallel(0, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Epochs, got.Epochs) {
+		t.Fatal("parallel cached generation diverged from uncached serial")
+	}
+}
+
+// TestEpochCacheOffGrid: times off the cache's canonical grid fall back
+// to local propagation and still match the uncached generator.
+func TestEpochCacheOffGrid(t *testing.T) {
+	plain, cached, cache := cachePair(t, 1)
+	for _, tt := range []float64{0.5, 17.25, 100.001} {
+		want, err := plain.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cached.EpochAt(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("t=%v: off-grid epoch diverged", tt)
+		}
+	}
+	if st := cache.Stats(); st.Misses != 0 {
+		t.Errorf("off-grid times populated the cache: %+v", st)
+	}
+}
+
+// TestEpochCacheConstellationMismatchIgnored: a generator whose
+// constellation is not the one the cache was built over must ignore the
+// cache (pointer identity), not serve another constellation's geometry.
+func TestEpochCacheConstellationMismatchIgnored(t *testing.T) {
+	st, err := StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(17)
+	cache, err := epochcache.New(orbit.DefaultConstellation(), 0, 1, epochcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No WithConstellation: the generator builds its own (equal-valued,
+	// different pointer) constellation, so the cache must stay unused.
+	plain := NewGenerator(st, cfg)
+	mismatched := NewGenerator(st, cfg, WithEpochCache(cache))
+	want, err := plain.EpochAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mismatched.EpochAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("mismatched-cache generator diverged from plain")
+	}
+	if st := cache.Stats(); st.Hits+st.Misses != 0 {
+		t.Errorf("mismatched cache was consulted: %+v", st)
+	}
+}
+
+// TestEpochAtPropagationErrorSurfaces is the regression test for the
+// silent zero-position fallback: invalid orbital elements must abort the
+// epoch with the offending PRN in the error, never emit an observation
+// at ECEF (0,0,0).
+func TestEpochAtPropagationErrorSurfaces(t *testing.T) {
+	st, err := StationByID("YYR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := orbit.NewConstellation([]orbit.Satellite{{PRN: 23, Orbit: orbit.Elements{
+		SemiMajorAxis: orbit.NominalSemiMajorAxis,
+		Eccentricity:  1.5, // hyperbolic: SolveKepler rejects it
+	}}})
+	g := NewGenerator(st, DefaultConfig(1), WithConstellation(bad))
+	ep, err := g.EpochAt(0)
+	if err == nil {
+		t.Fatal("EpochAt accepted invalid orbital elements")
+	}
+	if !strings.Contains(err.Error(), "PRN 23") {
+		t.Errorf("error %q does not name the offending PRN", err)
+	}
+	if len(ep.Obs) != 0 {
+		t.Errorf("failed epoch still carried %d observations", len(ep.Obs))
+	}
+}
+
+// TestEpochCountClosedForm: the closed-form count equals direct
+// enumeration over a sweep of ranges, steps and offsets, including exact
+// epoch boundaries.
+func TestEpochCountClosedForm(t *testing.T) {
+	countByLoop := func(t0, t1, step float64) int {
+		n := 0
+		for EpochTime(t0, n, step) < t1 {
+			n++
+		}
+		return n
+	}
+	for _, step := range []float64{1, 0.1, 1.0 / 3, 86400.0 / 7, 2.5} {
+		for _, t0 := range []float64{0, 100.5, -30} {
+			for k := 0; k <= 60; k++ {
+				// Exact boundary: t1 on epoch k must exclude epoch k.
+				t1 := EpochTime(t0, k, step)
+				if got, want := EpochCount(t0, t1, step), countByLoop(t0, t1, step); got != want {
+					t.Fatalf("boundary: EpochCount(%v, %v, %v) = %d, want %d", t0, t1, step, got, want)
+				}
+				// Just past the boundary must include it.
+				t1 = EpochTime(t0, k, step) + step/2
+				if got, want := EpochCount(t0, t1, step), countByLoop(t0, t1, step); got != want {
+					t.Fatalf("midpoint: EpochCount(%v, %v, %v) = %d, want %d", t0, t1, step, got, want)
+				}
+			}
+		}
+	}
+	// A day of 1 Hz epochs — the case the closed form exists for — stays
+	// exact.
+	if got := EpochCount(0, 86400, 1); got != 86400 {
+		t.Fatalf("EpochCount(0, 86400, 1) = %d, want 86400", got)
+	}
+}

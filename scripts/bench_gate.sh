@@ -1,10 +1,16 @@
 #!/bin/bash
 # Throughput regression gate: re-runs the fix-engine benchmark sweep and
-# compares fixes/sec per receiver count against the committed baseline
-# (BENCH_engine.json). A fresh point more than TOLERANCE_PCT below its
-# baseline fails the gate; faster is always fine. The committed file is
-# refreshed by `make bench-json` — run that (on the reference machine)
-# after a deliberate perf change, and commit the delta alongside it.
+# compares fixes/sec per arm against the committed baseline
+# (BENCH_engine.json). Points are keyed "arm:receivers" — the
+# pregenerated sweep is arm "pregen", the live-generation arms carry
+# their own names ("live-p1", "live-cache-p4", ...), so cached and
+# uncached serving throughput are both gated. A fresh point more than
+# TOLERANCE_PCT below its baseline fails the gate; faster is always
+# fine. The committed file is refreshed by `make bench-json` — run that
+# (on the reference machine) after a deliberate perf change, and commit
+# the delta alongside it. The gate mirrors the baseline's pregenerated
+# sweep and uses gpsbench's default live-arm settings, matching how
+# `make bench-json` produces the baseline.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -17,30 +23,41 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT INT TERM
 fresh="$workdir/fresh.json"
 
-# Mirror the baseline's sweep so the points line up.
-receivers=$(grep -o '"receivers": [0-9]*' "$baseline" | awk '{print $2}' | paste -sd, -)
-[ -n "$receivers" ] || { echo "FAIL: no series points in $baseline"; exit 1; }
+# extract FILE: one "arm:receivers fixes_per_sec" line per series point,
+# in series order. Points before the first "arm" key are the
+# pregenerated sweep; each live point emits its "arm" before its metrics
+# (field order is part of the JSON contract, see engineLivePoint).
+extract() {
+    awk '
+        BEGIN              { arm = "pregen" }
+        /"arm":/           { v = $2; gsub(/[",]/, "", v); arm = v }
+        /"receivers":/     { v = $2; gsub(/,/, "", v); r = v }
+        /"fixes_per_sec":/ { v = $2; gsub(/,/, "", v); printf "%s:%s %s\n", arm, r, v }
+    ' "$1"
+}
+
+# Mirror the baseline's pregenerated sweep so the points line up.
+receivers=$(extract "$baseline" | awk -F'[: ]' '$1 == "pregen" { print $2 }' | paste -sd, -)
+[ -n "$receivers" ] || { echo "FAIL: no pregenerated series points in $baseline"; exit 1; }
 
 "$GO" run ./cmd/gpsbench -engine -engine-receivers "$receivers" -engine-json "$fresh" >"$workdir/bench.out" 2>&1 ||
     { echo "FAIL: benchmark run failed"; cat "$workdir/bench.out"; exit 1; }
 
-# extract FILE: one "receivers fixes_per_sec" pair per line, series order.
-extract() {
-    paste -d' ' \
-        <(grep -o '"receivers": [0-9]*' "$1" | awk '{print $2}') \
-        <(grep -o '"fixes_per_sec": [0-9.]*' "$1" | awk '{print $2}')
-}
-
 status=0
-while read -r recv base fresh_rate; do
+while read -r key base fkey fresh_rate; do
+    if [ "$key" != "$fkey" ] || [ -z "$fresh_rate" ]; then
+        echo "FAIL: series shape mismatch: baseline point '$key' vs fresh point '$fkey'"
+        status=1
+        break
+    fi
     verdict=$(awk -v b="$base" -v f="$fresh_rate" -v tol="$TOLERANCE_PCT" 'BEGIN {
         floor = b * (1 - tol / 100)
         printf "%s %.0f", (f >= floor) ? "ok" : "REGRESSED", floor
     }')
-    printf 'receivers=%-3s baseline=%-10.0f fresh=%-10.0f floor=%s -> %s\n' \
-        "$recv" "$base" "$fresh_rate" "${verdict#* }" "${verdict% *}"
+    printf '%-18s baseline=%-10.0f fresh=%-10.0f floor=%s -> %s\n' \
+        "$key" "$base" "$fresh_rate" "${verdict#* }" "${verdict% *}"
     [ "${verdict% *}" = ok ] || status=1
-done < <(join <(extract "$baseline") <(extract "$fresh"))
+done < <(paste -d' ' <(extract "$baseline") <(extract "$fresh"))
 
 if [ "$status" -ne 0 ]; then
     echo "FAIL: engine throughput regressed more than ${TOLERANCE_PCT}% below $baseline"
