@@ -86,6 +86,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzValidate -fuzztime=$(FUZZTIME) ./internal/nmea/
 	$(GO) test -fuzz=FuzzParseGGA -fuzztime=$(FUZZTIME) ./internal/nmea/
 	$(GO) test -fuzz=FuzzFrameReader -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -fuzz=FuzzRankOneApplyInv -fuzztime=$(FUZZTIME) ./internal/lsq/
 
 # Regenerate every table and figure of the paper at full 24 h × 1 Hz
 # scale (a few minutes), plus the ablations.
@@ -98,10 +99,18 @@ ablations:
 cover:
 	$(GO) test ./... -cover
 
-# Full coverage profile with a per-function breakdown.
+# Full coverage profile with a per-function breakdown, plus hard floors
+# on the numerical packages the weighted solve paths lean on: a drop
+# below 85% statement coverage in internal/lsq or internal/core fails
+# the target.
 test-cover:
 	$(GO) test ./... -coverprofile=coverage.out
 	$(GO) tool cover -func=coverage.out | tail -n 20
+	@for pkg in gpsdl/internal/lsq gpsdl/internal/core; do \
+		pct=$$($(GO) test -cover $$pkg | awk '{ for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { sub(/%/, "", $$i); print $$i } }'); \
+		echo "$$pkg coverage: $$pct% (floor 85%)"; \
+		awk -v p="$$pct" 'BEGIN { exit !(p < 85) }' && { echo "FAIL: $$pkg below the 85% coverage floor"; exit 1; } || true; \
+	done
 
 # End-to-end check of the gpsserve admin endpoint: boots the server with
 # -admin, scrapes /metrics and /healthz, and asserts the key metric

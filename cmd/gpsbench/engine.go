@@ -138,6 +138,22 @@ func runEngineBench(cfg engineBenchConfig) error {
 			}
 		}
 	}
+	if cfg.live && cfg.solver == "dlg" {
+		// DLG covariance-route arms: pregenerated epochs, so the delta
+		// between the O(m) Sherman–Morrison fast path (the engine default)
+		// and the paper's dense-Cholesky route is the per-fix DLG cost.
+		fmt.Printf("DLG covariance routes: receivers=%d epochs/receiver=%d (pregenerated)\n",
+			cfg.liveReceivers, cfg.epochs)
+		fmt.Printf("%14s %12s %10s %14s\n", "arm", "fixes", "elapsed", "fixes/sec")
+		for _, variant := range []string{"fast", "paper"} {
+			pt, err := benchEngineVariantOnce(cfg, variant)
+			if err != nil {
+				return fmt.Errorf("variant %s: %w", variant, err)
+			}
+			report.LiveSeries = append(report.LiveSeries, pt)
+			fmt.Printf("%14s %12d %9.3fs %14.0f\n", pt.Arm, pt.Fixes, pt.ElapsedSec, pt.FixesPerSec)
+		}
+	}
 	if cfg.jsonPath != "" {
 		if err := writeEngineJSON(cfg.jsonPath, report); err != nil {
 			return err
@@ -188,6 +204,58 @@ func benchEngineLiveOnce(cfg engineBenchConfig, procs int, cache bool) (engineLi
 		Receivers:     cfg.liveReceivers,
 		Workers:       eng.Workers(),
 		EpochCache:    cache,
+		Fixes:         after.Fixes - before.Fixes,
+		SolveFailures: after.SolveFailures - before.SolveFailures,
+		EpochErrors:   after.EpochErrors - before.EpochErrors,
+		ElapsedSec:    elapsed,
+	}
+	if elapsed > 0 {
+		pt.FixesPerSec = float64(pt.Fixes) / elapsed
+	}
+	return pt, nil
+}
+
+// benchEngineVariantOnce measures one DLG covariance route over
+// pregenerated epochs, isolating the solver hot path exactly like the
+// main sweep; the series point reuses the live-arm JSON shape so the
+// bench gate keys it by its arm name ("dlg-fast", "dlg-paper").
+func benchEngineVariantOnce(cfg engineBenchConfig, variant string) (engineLivePoint, error) {
+	eng, err := engine.New(engine.Config{
+		Receivers:  cfg.liveReceivers,
+		Workers:    cfg.workers,
+		Solver:     cfg.solver,
+		DLGVariant: variant,
+		Seed:       cfg.seed,
+		Sink:       func(engine.FixEvent) {},
+	})
+	if err != nil {
+		return engineLivePoint{}, err
+	}
+	pre := cfg.epochs
+	if cfg.warmup > pre {
+		pre = cfg.warmup
+	}
+	if err := eng.Pregenerate(pre); err != nil {
+		return engineLivePoint{}, err
+	}
+	ctx := context.Background()
+	if cfg.warmup > 0 {
+		if err := eng.Run(ctx, cfg.warmup); err != nil {
+			return engineLivePoint{}, err
+		}
+	}
+	before := eng.Stats()
+	start := time.Now()
+	if err := eng.Run(ctx, cfg.epochs); err != nil {
+		return engineLivePoint{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	after := eng.Stats()
+	pt := engineLivePoint{
+		Arm:           "dlg-" + variant,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Receivers:     cfg.liveReceivers,
+		Workers:       eng.Workers(),
 		Fixes:         after.Fixes - before.Fixes,
 		SolveFailures: after.SolveFailures - before.SolveFailures,
 		EpochErrors:   after.EpochErrors - before.EpochErrors,

@@ -23,19 +23,26 @@ import (
 var faultSweepIntensities = []float64{0, 0.25, 0.5, 0.75, 1}
 
 // faultSweepSolvers are the chain primaries compared per intensity. NR is
-// the eq. 5-2 reference; DLG is the paper's headline algorithm.
-var faultSweepSolvers = []string{"nr", "dlg"}
+// the eq. 5-2 reference; DLG is the paper's headline algorithm; "dlg-w"
+// is DLG with C/N0 weighting plus the innovation-outlier disruption
+// detector — the arm that survives the multi-satellite spoof and jam
+// segments single-exclusion RAIM cannot resolve.
+var faultSweepSolvers = []string{"nr", "dlg", "dlg-w"}
 
 // defaultFaultSpec is the reference adversarial program: a satellite
 // dropout, a gross step fault (RAIM bait), a diverging ramp, a wideband
-// multipath burst, a receiver clock jump, and an occlusion shrinking the
-// sky below the 4-satellite solver minimum.
+// multipath burst, a receiver clock jump, an occlusion shrinking the sky
+// below the 4-satellite solver minimum, a two-satellite coherent spoof
+// (defeats single-fault exclusion), and a wideband jam that degrades
+// both the pseudo-ranges and the advertised C/N0.
 const defaultFaultSpec = "drop:prn=7,from=60,until=180;" +
 	"step:prn=12,bias=350,from=120,until=240;" +
 	"ramp:prn=5,rate=2,from=150,until=300;" +
 	"burst:sigma=10,from=200,until=280;" +
 	"clockjump:at=260,bias=2e-4;" +
-	"shrink:n=3,from=320,until=380"
+	"shrink:n=3,from=320,until=380;" +
+	"spoof:n=2,bias=300,from=400,until=480;" +
+	"jam:sigma=15,from=500,until=560"
 
 // faultBenchConfig holds the -faults-* flag values.
 type faultBenchConfig struct {
@@ -138,14 +145,22 @@ func benchFaultsOnce(cfg faultBenchConfig, prog fault.Program, intensity float64
 	stations := scenario.Table51Stations()
 	errSum := make([]float64, cfg.receivers)
 	errN := make([]int, cfg.receivers)
+	// "dlg-w" is the weighted arm: a DLG primary with C/N0 → σ mapping
+	// and the disruption detector down-weighting innovation outliers.
+	primary, weighted := solver, false
+	if solver == "dlg-w" {
+		primary, weighted = "dlg", true
+	}
 	eng, err := engine.New(engine.Config{
-		Receivers: cfg.receivers,
-		Workers:   cfg.workers,
-		Solver:    solver,
-		Seed:      cfg.seed,
-		Stations:  stations,
-		Faults:    prog,
-		FaultSeed: cfg.faultSeed,
+		Receivers:  cfg.receivers,
+		Workers:    cfg.workers,
+		Solver:     primary,
+		Weighting:  weighted,
+		Disruption: weighted,
+		Seed:       cfg.seed,
+		Stations:   stations,
+		Faults:     prog,
+		FaultSeed:  cfg.faultSeed,
 		Sink: func(e engine.FixEvent) {
 			if e.Err != nil || e.Coast {
 				return

@@ -52,6 +52,10 @@ type engineParams struct {
 	incidentDir string        // incident bundle directory; "" disables capture
 	incidentGap time.Duration // minimum wall-clock spacing between bundles
 
+	dlgVariant string // DLG covariance route: fast, paper or explicit
+	weighting  bool   // C/N0 → sigma weighting on the solve paths
+	disruption bool   // innovation-outlier down-weighting before RAIM
+
 	logs *telemetry.Logging
 }
 
@@ -75,6 +79,9 @@ type servingConfig struct {
 	Journal       string  `json:"journal,omitempty"`
 	JournalSync   int     `json:"journal_sync,omitempty"`
 	IncidentDir   string  `json:"incident_dir,omitempty"`
+	DLGVariant    string  `json:"dlg_variant,omitempty"`
+	Weights       bool    `json:"weights,omitempty"`
+	Disrupt       bool    `json:"disrupt,omitempty"`
 }
 
 // configSnapshot marshals the bundle config block (errors degrade to
@@ -97,6 +104,9 @@ func configSnapshot(p engineParams) json.RawMessage {
 		Journal:       p.journalPath,
 		JournalSync:   p.journalSync,
 		IncidentDir:   p.incidentDir,
+		DLGVariant:    p.dlgVariant,
+		Weights:       p.weighting,
+		Disrupt:       p.disruption,
 	})
 	if err != nil {
 		return json.RawMessage("{}")
@@ -188,6 +198,9 @@ func runEngine(ctx context.Context, p engineParams) error {
 		Stations:          stations,
 		Registry:          reg,
 		CheckpointEvery:   ckptEvery,
+		DLGVariant:        p.dlgVariant,
+		Weighting:         p.weighting,
+		Disruption:        p.disruption,
 		Quality:           qcfg,
 		OnIncident:        onIncident,
 		// The sink runs on shard goroutines; health counters are atomic

@@ -83,6 +83,9 @@ func run(ctx context.Context, args []string) error {
 		jrnlSync   = fs.Int("journal-sync", 0, "record frames between journal sync points / fsyncs (with -journal; 0 uses the default, negative disables)")
 		incDir     = fs.String("incident-dir", "", "engine-mode incident bundle directory: SLO pages, recovered panics and failed sessions are captured here as self-contained forensics bundles (needs -receivers > 1)")
 		incGap     = fs.Duration("incident-interval", 30*time.Second, "minimum wall-clock spacing between incident bundles (with -incident-dir; 0 disables rate limiting)")
+		dlgVariant = fs.String("dlg-variant", "fast", "DLG covariance route: fast (O(m) Sherman-Morrison), paper (dense Cholesky) or explicit (eq. 4-21 reference)")
+		weights    = fs.Bool("weights", false, "map each satellite's C/N0 to a pseudo-range sigma and run the weighted solve paths (needs -receivers > 1)")
+		disrupt    = fs.Bool("disrupt", false, "down-weight satellites whose pseudo-range innovations are robust outliers before RAIM excludes; implies weighted solving (needs -receivers > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,8 +162,14 @@ func run(ctx context.Context, args []string) error {
 			journalSync: *jrnlSync,
 			incidentDir: *incDir,
 			incidentGap: *incGap,
+			dlgVariant:  *dlgVariant,
+			weighting:   *weights,
+			disruption:  *disrupt,
 			logs:        logs,
 		})
+	}
+	if *weights || *disrupt {
+		return fmt.Errorf("-weights/-disrupt configure the fix engine's weighted solve paths; use -receivers > 1")
 	}
 	if *faults != "" {
 		return fmt.Errorf("-faults needs the fix engine's degradation machinery; use -receivers > 1")
@@ -217,7 +226,11 @@ func run(ctx context.Context, args []string) error {
 	case "dlo":
 		s = core.NewDLOSolver(pred)
 	case "dlg":
-		s = core.NewDLGSolver(pred)
+		v, err := parseDLGVariant(*dlgVariant)
+		if err != nil {
+			return err
+		}
+		s = &core.DLGSolver{Predictor: pred, Variant: v}
 	case "bancroft":
 		s = core.BancroftSolver{}
 	default:
@@ -288,6 +301,21 @@ func run(ctx context.Context, args []string) error {
 		return cancelErr
 	}
 	return nil
+}
+
+// parseDLGVariant resolves the -dlg-variant flag for the single-receiver
+// path (engine mode validates the string itself via engine.Config).
+func parseDLGVariant(name string) (core.DLGVariant, error) {
+	switch strings.ToLower(name) {
+	case "", "fast":
+		return core.VariantFast, nil
+	case "paper":
+		return core.VariantPaper, nil
+	case "explicit":
+		return core.VariantExplicit, nil
+	default:
+		return 0, fmt.Errorf("unknown DLG variant %q (want fast, paper or explicit)", name)
+	}
 }
 
 // epochSource supplies the i-th epoch to stream.

@@ -1,0 +1,40 @@
+package atmosphere
+
+import "math"
+
+// CN0 ↔ σ mapping. The carrier-to-noise density C/N0 the tracking loops
+// report is the standard proxy for per-satellite pseudo-range quality:
+// code tracking jitter scales inversely with signal amplitude, so σ
+// grows 10× per 20 dB-Hz of C/N0 loss. The mapping is exactly
+// invertible, so a simulated observation can advertise a C/N0 that is
+// consistent with its synthesized error budget and a solver mapping it
+// back recovers an honest weight. It lives here — with the other
+// signal-path models — so both the scenario generator (forward) and the
+// solver layer (inverse) can share it without an import cycle.
+const (
+	// CN0RefDBHz is the carrier-to-noise density of a nominal open-sky
+	// signal near zenith.
+	CN0RefDBHz = 44.0
+	// SigmaAtRefM is the 1σ pseudo-range noise (meters) such a signal
+	// produces.
+	SigmaAtRefM = 0.8
+)
+
+// SigmaFromCN0 maps a reported carrier-to-noise density (dB-Hz) to the
+// 1σ pseudo-range noise in meters. Non-positive or non-finite C/N0
+// means the receiver reported nothing usable; the result is 0
+// ("unknown"), which the weighted solvers treat as the homoscedastic
+// default.
+func SigmaFromCN0(cn0 float64) float64 {
+	if cn0 <= 0 || math.IsNaN(cn0) || math.IsInf(cn0, 0) {
+		return 0
+	}
+	return SigmaAtRefM * math.Pow(10, (CN0RefDBHz-cn0)/20)
+}
+
+// CN0FromSigma is the exact inverse of SigmaFromCN0 for positive sigma:
+// the C/N0 a receiver would report for a signal whose tracking noise is
+// sigma meters 1σ.
+func CN0FromSigma(sigma float64) float64 {
+	return CN0RefDBHz - 20*math.Log10(sigma/SigmaAtRefM)
+}

@@ -69,6 +69,14 @@ type DLGSolver struct {
 	// Metrics, when non-nil, counts solves per covariance path and
 	// fast-path fallbacks (see NewGLSMetrics). Nil records nothing.
 	Metrics *GLSMetrics
+	// Weighted scales the covariance terms by each observation's Sigma:
+	// diag entries become ρⱼ²σⱼ² and the shared base term ρ₁²σ₁²
+	// (heteroscedastic eq. 4-26 — Theorem 4.2's structure survives
+	// because per-satellite variances only reshape the diagonal and the
+	// rank-one coefficient). Observations with Sigma unset (0) weigh as
+	// σ=1, so enabling Weighted on sigma-free input reproduces the
+	// unweighted solution bit for bit.
+	Weighted bool
 	// Scratch, when non-nil, supplies the reusable workspace (shared with
 	// whatever other solvers the owning session runs). Nil falls back to
 	// a lazily created private scratch, preserving the historical
@@ -86,12 +94,18 @@ func NewDLGSolver(p clock.Predictor) *DLGSolver {
 	return &DLGSolver{Predictor: p}
 }
 
-// Name implements Solver.
+// Name implements Solver. The names are literals, not concatenations:
+// Name runs on the per-fix hot path (the fallback chain labels every
+// result with it), which must stay allocation-free.
 func (s *DLGSolver) Name() string {
-	if s.Variant == VariantPaper {
+	switch s.Variant {
+	case VariantFast:
+		return "DLG-fast"
+	case VariantExplicit:
+		return "DLG-explicit"
+	default:
 		return "DLG"
 	}
-	return "DLG-" + s.Variant.String()
 }
 
 // scratch returns the workspace for this solve: the caller-provided
@@ -132,9 +146,17 @@ func (s *DLGSolver) Solve(t float64, obs []Observation) (Solution, error) {
 		if j == base {
 			continue
 		}
-		diag = append(diag, rhoE[j]*rhoE[j])
+		v := rhoE[j]
+		if s.Weighted {
+			v *= obsSigma(obs[j])
+		}
+		diag = append(diag, v*v)
 	}
-	shared := rhoE[base] * rhoE[base]
+	vb := rhoE[base]
+	if s.Weighted {
+		vb *= obsSigma(obs[base])
+	}
+	shared := vb * vb
 
 	var x [3]float64
 	switch s.Variant {

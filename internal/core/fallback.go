@@ -26,8 +26,9 @@ type FallbackResult struct {
 	// Excluded is the index (into the observation slice) of the
 	// satellite RAIM excluded before re-solving, or -1.
 	Excluded int
-	// Stat is the final RAIM residual statistic in meters (0 when the
-	// epoch had too few satellites for a residual test).
+	// Stat is the final RAIM residual statistic (meters on unweighted
+	// input, σ-normalized otherwise; 0 when the epoch had too few
+	// satellites for a residual test).
 	Stat float64
 	// Suspect is true when RAIM detected a fault it could neither
 	// exclude nor out-solve with any chain member: the fix is returned

@@ -21,6 +21,9 @@ const (
 	MetricRAIMChecks      = "gps_raim_checks_total"
 	MetricRAIMFaults      = "gps_raim_faults_total"
 	MetricRAIMExclusions  = "gps_raim_exclusions_total"
+
+	MetricDisruptChecks      = "gps_disruption_checks_total"
+	MetricDisruptDownweights = "gps_disruption_downweights_total"
 )
 
 // SolverMetrics bundles the instruments describing one solver's hot
@@ -171,6 +174,42 @@ func (m *GLSMetrics) countPath(v DLGVariant) {
 func (m *GLSMetrics) countFallback() {
 	if m != nil {
 		m.FastFallbacks.Inc()
+	}
+}
+
+// DisruptionMetrics counts disruption-detector activity: epochs scored
+// and satellites down-weighted.
+type DisruptionMetrics struct {
+	// Checks counts epochs the detector scored (enough satellites, a
+	// finite reference).
+	Checks *telemetry.Counter
+	// Downweights counts satellites whose σ was inflated.
+	Downweights *telemetry.Counter
+}
+
+// NewDisruptionMetrics registers the disruption-detector counters. Nil
+// registry yields nil.
+func NewDisruptionMetrics(reg *telemetry.Registry) *DisruptionMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &DisruptionMetrics{
+		Checks: reg.Counter(MetricDisruptChecks,
+			"Epochs scored by the disruption detector."),
+		Downweights: reg.Counter(MetricDisruptDownweights,
+			"Satellites down-weighted as disruption suspects."),
+	}
+}
+
+func (m *DisruptionMetrics) countCheck() {
+	if m != nil {
+		m.Checks.Inc()
+	}
+}
+
+func (m *DisruptionMetrics) countDownweights(n int) {
+	if m != nil && n > 0 {
+		m.Downweights.Add(uint64(n))
 	}
 }
 

@@ -37,9 +37,14 @@ type RAIM struct {
 	// Solver produces the fixes (required). Direct methods make the
 	// m+1 solves of an exclusion pass cheap.
 	Solver Solver
-	// Threshold is the detection limit on sqrt(RSS/(m−4)) in meters; a
-	// healthy epoch's statistic sits near the pseudo-range noise sigma.
-	// 0 means the default of 15 m.
+	// Threshold is the detection limit on sqrt(RSS/(m−4)); a healthy
+	// epoch's statistic sits near the pseudo-range noise sigma. Residuals
+	// are normalized by each observation's Sigma where set (unset weighs
+	// as σ=1), so on unweighted input the statistic is in meters, and on
+	// honestly-weighted input it is a robust z-score — a down-weighted
+	// satellite's inflated σ absorbs its residual instead of condemning a
+	// fix the weighted solvers already discounted. 0 means the default
+	// of 15.
 	Threshold float64
 	// Metrics, when non-nil, counts checks, detected faults, and
 	// exclusions (see NewRAIMMetrics). Nil records nothing.
@@ -130,7 +135,10 @@ func (r *RAIM) CheckCtx(ctx context.Context, t float64, obs []Observation) (RAIM
 
 // residualStat returns sqrt(RSS/(m−4)): the RMS of the pseudo-range
 // residuals normalized by the redundancy, using the solution's position
-// and clock bias.
+// and clock bias. Each residual is divided by the observation's
+// weighting σ (obsSigma: Sigma when set, else exactly 1, leaving
+// unweighted input bit-identical), so the integrity test judges every
+// satellite against its own advertised noise level.
 func residualStat(sol Solution, obs []Observation) float64 {
 	dof := len(obs) - 4
 	if dof < 1 {
@@ -139,7 +147,7 @@ func residualStat(sol Solution, obs []Observation) float64 {
 	var rss float64
 	for _, o := range obs {
 		pred := sol.Pos.DistanceTo(o.Pos) + sol.ClockBias
-		v := o.Pseudorange - pred
+		v := (o.Pseudorange - pred) / obsSigma(o)
 		rss += v * v
 	}
 	return math.Sqrt(rss / float64(dof))

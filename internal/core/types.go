@@ -46,6 +46,12 @@ type Observation struct {
 	// Elevation (radians) is optional metadata used by elevation-based
 	// satellite selection; zero when unknown.
 	Elevation float64
+	// Sigma is the per-satellite 1σ pseudo-range noise in meters, used by
+	// the weighted solve paths (WLS in NR via SigmaWeight, heteroscedastic
+	// Ψ in DLG). Zero means unknown and is treated as 1 — the paper's
+	// homoscedastic model — so unweighted callers are unaffected.
+	// Negative or non-finite values fail validation.
+	Sigma float64
 }
 
 // Solution is a position fix.
@@ -83,7 +89,8 @@ func checkMinObs(name string, obs []Observation, minimum int) error {
 			name, minimum, len(obs), ErrTooFewSatellites)
 	}
 	for i, o := range obs {
-		if !finite(o.Pseudorange) || !finite(o.Pos.X) || !finite(o.Pos.Y) || !finite(o.Pos.Z) {
+		if !finite(o.Pseudorange) || !finite(o.Pos.X) || !finite(o.Pos.Y) || !finite(o.Pos.Z) ||
+			o.Sigma < 0 || !finite(o.Sigma) {
 			return fmt.Errorf("%s observation %d: %w", name, i, ErrBadObservation)
 		}
 	}

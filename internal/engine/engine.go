@@ -100,6 +100,27 @@ type Config struct {
 	// Solver selects the per-receiver solver: "nr", "dlo", "dlg" or
 	// "bancroft". Empty means "dlg" (the paper's headline algorithm).
 	Solver string
+	// DLGVariant selects the DLG covariance path: "fast" (Sherman–
+	// Morrison, O(m) per solve), "paper" (dense Cholesky, the paper's
+	// measured cost profile) or "explicit" (literal eq. 4-21 reference).
+	// Empty means "fast" — the default flipped once the differential
+	// harness proved the three routes numerically equivalent; "paper"
+	// restores the previous behavior.
+	DLGVariant string
+	// Weighting maps each observation's reported C/N0 to a per-satellite
+	// σ (core.SigmaFromCN0) and solves heteroscedastically: weighted
+	// rows in NR, σ-scaled covariance terms in DLG. Off by default;
+	// sigma-free epochs solve identically either way, so enabling it on
+	// a CN0-free dataset is a no-op by construction.
+	Weighting bool
+	// Disruption runs the robust disruption detector before each solve:
+	// pseudo-range innovations against the last good fix are scored with
+	// median/MAD statistics and suspects have their σ inflated, so the
+	// weighted solvers pull spoofed or jammed satellites toward
+	// irrelevance without waiting for RAIM to exclude them. Implies
+	// weighted solvers (the inflated σ must be honored); epochs with
+	// down-weighted suspects report the session Degraded.
+	Disruption bool
 	// Seed is the base scenario seed; receiver r's seed is derived by
 	// mixing (splitmix64), so every receiver sees distinct, reproducible
 	// measurements and no (Seed, receiver) pair aliases another — the old
@@ -247,12 +268,15 @@ type Engine struct {
 	jw *journal.Writer
 }
 
-// chainMetrics bundles the engine-wide (cross-shard) fallback and RAIM
-// counters shared by every session's chain; the underlying counters are
-// atomic, so sharing across shard goroutines is safe.
+// chainMetrics bundles the engine-wide (cross-shard) fallback, RAIM,
+// DLG covariance-path and disruption counters shared by every session;
+// the underlying counters are atomic, so sharing across shard
+// goroutines is safe.
 type chainMetrics struct {
 	fallback *core.FallbackMetrics
 	raim     *core.RAIMMetrics
+	gls      *core.GLSMetrics
+	disrupt  *core.DisruptionMetrics
 }
 
 // New builds the engine: sessions, shards, queues and metrics. It
@@ -301,10 +325,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
+	if _, err := parseDLGVariant(cfg.DLGVariant); err != nil {
+		return nil, err
+	}
 	e := &Engine{cfg: cfg}
 	e.cm = &chainMetrics{
 		fallback: core.NewFallbackMetrics(cfg.Registry),
 		raim:     core.NewRAIMMetrics(cfg.Registry),
+		gls:      core.NewGLSMetrics(cfg.Registry),
+		disrupt:  core.NewDisruptionMetrics(cfg.Registry),
 	}
 	if !cfg.DisableEpochCache {
 		// One constellation, one snapshot ring, shared by every session.
@@ -765,11 +794,36 @@ func (e *Engine) Workers() int { return len(e.shards) }
 // sophistication, then the predictor-free closed form as the last resort.
 var canonicalChain = [4]string{"nr", "dlg", "dlo", "bancroft"}
 
+// solverParams carries the session-wide solver options down through
+// chain construction: the DLG covariance path, whether solvers honor
+// per-observation σ, and the shared DLG path counters.
+type solverParams struct {
+	variant  core.DLGVariant
+	weighted bool
+	gls      *core.GLSMetrics
+}
+
+// parseDLGVariant resolves Config.DLGVariant. Empty means VariantFast:
+// the O(m) Sherman–Morrison route is the engine default now that the
+// differential harness pins it to the paper and explicit routes.
+func parseDLGVariant(name string) (core.DLGVariant, error) {
+	switch name {
+	case "", "fast":
+		return core.VariantFast, nil
+	case "paper":
+		return core.VariantPaper, nil
+	case "explicit":
+		return core.VariantExplicit, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown DLG variant %q (want fast, paper or explicit)", name)
+	}
+}
+
 // newChain builds the session's fallback chain: the primary solver
 // followed by the remaining canonical solvers in order, all sharing the
 // session scratch (they run sequentially within a step).
-func newChain(primary string, pred clock.Predictor, sc *core.Scratch) (*core.FallbackChain, error) {
-	first, err := newSolver(primary, pred, sc)
+func newChain(primary string, pred clock.Predictor, sc *core.Scratch, sp solverParams) (*core.FallbackChain, error) {
+	first, err := newSolver(primary, pred, sc, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -779,7 +833,7 @@ func newChain(primary string, pred clock.Predictor, sc *core.Scratch) (*core.Fal
 		if name == primary {
 			continue
 		}
-		s, err := newSolver(name, pred, sc)
+		s, err := newSolver(name, pred, sc, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -789,10 +843,14 @@ func newChain(primary string, pred clock.Predictor, sc *core.Scratch) (*core.Fal
 }
 
 // newSolver builds the per-session solver wired to the session's scratch.
-func newSolver(name string, pred clock.Predictor, sc *core.Scratch) (core.Solver, error) {
+func newSolver(name string, pred clock.Predictor, sc *core.Scratch, sp solverParams) (core.Solver, error) {
 	switch name {
 	case "nr":
-		return &core.NRSolver{Scratch: sc}, nil
+		s := &core.NRSolver{Scratch: sc}
+		if sp.weighted {
+			s.Weight = core.SigmaWeight
+		}
+		return s, nil
 	case "dlo":
 		s := core.NewDLOSolver(pred)
 		s.Scratch = sc
@@ -800,6 +858,9 @@ func newSolver(name string, pred clock.Predictor, sc *core.Scratch) (core.Solver
 	case "dlg":
 		s := core.NewDLGSolver(pred)
 		s.Scratch = sc
+		s.Variant = sp.variant
+		s.Weighted = sp.weighted
+		s.Metrics = sp.gls
 		return s, nil
 	case "bancroft":
 		return core.BancroftSolver{}, nil

@@ -98,11 +98,18 @@ type session struct {
 	pred   clock.Predictor
 	warm   *core.NRSolver // feeds the predictor, gpsserve-style
 	chain  *core.FallbackChain
-	probe  core.Solver // cheap DLO used for half-open breaker probes
-	solver string      // primary solver name, kept for restart
+	probe  core.Solver  // cheap DLO used for half-open breaker probes
+	solver string       // primary solver name, kept for restart
+	sp     solverParams // DLG variant, weighting, shared path counters
 	cm     *chainMetrics
 	sink   FixSink
 	m      *shardMetrics
+
+	// C/N0-driven weighting and the disruption detector (Config.Weighting
+	// and Config.Disruption). weighting maps CN0 → Observation.Sigma;
+	// disrupt, when non-nil, scores innovations and inflates suspect σ.
+	weighting bool
+	disrupt   *core.DisruptionDetector
 
 	state     SessionState
 	lastGood  core.Solution // most recent non-suspect fix, for coasting
@@ -189,14 +196,26 @@ func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics, c
 	if cfg.SessionOptions != nil {
 		opts = append(opts, cfg.SessionOptions(r)...)
 	}
+	variant, err := parseDLGVariant(cfg.DLGVariant)
+	if err != nil {
+		return nil, err
+	}
 	s := &session{
-		recv:          r,
-		shard:         shardID,
-		step_:         cfg.Step,
-		station:       st.ID,
-		gen:           scenario.NewGenerator(st, gcfg, opts...),
-		pred:          eval.DefaultPredictor(st.Clock),
-		solver:        cfg.Solver,
+		recv:    r,
+		shard:   shardID,
+		step_:   cfg.Step,
+		station: st.ID,
+		gen:     scenario.NewGenerator(st, gcfg, opts...),
+		pred:    eval.DefaultPredictor(st.Clock),
+		solver:  cfg.Solver,
+		sp: solverParams{
+			variant: variant,
+			// Disruption acts by inflating σ, so it needs the weighted
+			// solve paths even when C/N0 weighting itself is off.
+			weighted: cfg.Weighting || cfg.Disruption,
+			gls:      cm.gls,
+		},
+		weighting:     cfg.Weighting,
 		cm:            cm,
 		sink:          cfg.Sink,
 		m:             m,
@@ -215,6 +234,9 @@ func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics, c
 	if len(prog) > 0 {
 		s.inj = fault.NewInjector(prog, sessionSeed(cfg.FaultSeed, r))
 	}
+	if cfg.Disruption {
+		s.disrupt = &core.DisruptionDetector{Metrics: cm.disrupt}
+	}
 	if err := s.buildSolvers(); err != nil {
 		return nil, err
 	}
@@ -229,7 +251,12 @@ func newSession(cfg Config, r, shardID int, m *shardMetrics, cm *chainMetrics, c
 func (s *session) buildSolvers() error {
 	sc := &core.Scratch{}
 	s.warm = &core.NRSolver{Scratch: sc}
-	chain, err := newChain(s.solver, s.pred, sc)
+	if s.sp.weighted {
+		// The warm-start feed honors the same weights as the chain, so a
+		// down-weighted suspect cannot drag the clock model either.
+		s.warm.Weight = core.SigmaWeight
+	}
+	chain, err := newChain(s.solver, s.pred, sc, s.sp)
 	if err != nil {
 		return err
 	}
@@ -293,9 +320,25 @@ func (s *session) step(i int) {
 	obs := s.obs[:0]
 	for j := range satObs {
 		o := &satObs[j]
-		obs = append(obs, core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation})
+		co := core.Observation{Pos: o.Pos, Pseudorange: o.Pseudorange, Elevation: o.Elevation}
+		if s.weighting && o.CN0 > 0 {
+			co.Sigma = core.SigmaFromCN0(o.CN0)
+		}
+		obs = append(obs, co)
 	}
 	s.obs = obs
+	// Disruption scoring: innovations against the last good fix (with the
+	// clock model's extrapolated bias where available). Suspects get their
+	// σ inflated before the warm solve and the chain see them, so neither
+	// the clock feed nor the fix trusts a spoofed satellite.
+	disrupted := false
+	if s.disrupt != nil && s.haveGood {
+		ref := s.lastGood
+		if bias, perr := s.pred.PredictBias(ep.T); perr == nil {
+			ref.ClockBias = bias * geo.SpeedOfLight
+		}
+		disrupted = s.disrupt.Downweight(ref, obs) > 0
+	}
 	// Feed the predictor from a warm NR solve (Section 4.2's "use the
 	// clock bias calculated by the NR method"), exactly as gpsserve does —
 	// but gate on position plausibility so a grossly faulted epoch cannot
@@ -347,7 +390,7 @@ func (s *session) step(i int) {
 		s.lastGoodT = ep.T
 		s.haveGood = true
 	}
-	if res.Degraded() {
+	if res.Degraded() || disrupted {
 		s.setState(StateDegraded)
 	} else {
 		s.setState(StateHealthy)

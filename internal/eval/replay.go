@@ -38,14 +38,19 @@ type ReplayInput struct {
 	Solution geo.ECEF `json:"solution"`
 }
 
-// Solvers returns the four solver configurations a replay runs the
-// captured epoch through, all sharing the captured clock estimate.
+// Solvers returns the solver configurations a replay runs the captured
+// epoch through, all sharing the captured clock estimate. The three DLG
+// covariance paths are listed separately: they agree to numerical
+// precision but not bit for bit, so a replay must re-run the exact
+// variant the capture names to reproduce the fix byte-identically.
 func (in *ReplayInput) Solvers() []core.Solver {
 	pred := clock.Constant{Bias: in.ClockBias}
 	return []core.Solver{
 		&core.NRSolver{},
 		&core.DLOSolver{Predictor: pred},
 		&core.DLGSolver{Predictor: pred},
+		&core.DLGSolver{Predictor: pred, Variant: core.VariantFast},
+		&core.DLGSolver{Predictor: pred, Variant: core.VariantExplicit},
 		core.BancroftSolver{},
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gpsdl/internal/core"
 	"gpsdl/internal/geo"
 	"gpsdl/internal/scenario"
 )
@@ -59,6 +60,20 @@ const (
 	// driven through the same deterministic spec grammar as every other
 	// fault. Outside a supervised engine the panic propagates.
 	KindPanic
+	// KindSpoof adds a coherent Bias to the N highest-elevation
+	// satellites simultaneously (a meaconing/spoofing attack repeating
+	// several strong signals with a common delay). With N ≥ 2 the attack
+	// defeats single-satellite RAIM exclusion — the identification loop
+	// assumes one fault — which is exactly the regime residual-based
+	// down-weighting still handles.
+	KindSpoof
+	// KindJam adds zero-mean Gaussian noise of the given Sigma to every
+	// pseudo-range and degrades each reported C/N0 consistently (to the
+	// value implied by the combined noise power), modeling a wideband
+	// jammer raising the receiver noise floor. Honest C/N0-driven
+	// weighting sees the degradation; unweighted solvers only see the
+	// extra scatter.
+	KindJam
 )
 
 // String returns the spec keyword for the kind.
@@ -78,6 +93,10 @@ func (k Kind) String() string {
 		return "shrink"
 	case KindPanic:
 		return "panic"
+	case KindSpoof:
+		return "spoof"
+	case KindJam:
+		return "jam"
 	default:
 		return "unknown"
 	}
@@ -99,9 +118,11 @@ type Clause struct {
 	Bias float64
 	// Rate is the ramp slope in m/s (KindRamp).
 	Rate float64
-	// Sigma is the burst noise standard deviation in meters (KindBurst).
+	// Sigma is the added noise standard deviation in meters (KindBurst,
+	// KindJam).
 	Sigma float64
-	// N is the shrink target satellite count (KindShrink).
+	// N is the shrink target satellite count (KindShrink) or the number
+	// of spoofed satellites (KindSpoof).
 	N int
 }
 
@@ -130,11 +151,11 @@ func (p Program) Scale(s float64) Program {
 	for i := range out {
 		c := &out[i]
 		switch c.Kind {
-		case KindStep, KindClockJump:
+		case KindStep, KindClockJump, KindSpoof:
 			c.Bias *= s
 		case KindRamp:
 			c.Rate *= s
-		case KindBurst:
+		case KindBurst, KindJam:
 			c.Sigma *= s
 		case KindDrop, KindShrink, KindPanic:
 			if !math.IsInf(c.Until, 1) {
@@ -256,6 +277,29 @@ func (in *Injector) Apply(t float64, obs []scenario.SatObs, dst []scenario.SatOb
 			// One event per epoch: the jump is a receiver-wide effect,
 			// not a per-satellite one.
 			ev = append(ev, Event{T: t, Kind: KindClockJump, Delta: delta})
+		case KindSpoof:
+			// Observations arrive sorted by descending elevation, so the
+			// prefix is the N strongest (most attack-worthy) satellites.
+			n := c.N
+			if n > len(dst) {
+				n = len(dst)
+			}
+			for i := 0; i < n; i++ {
+				dst[i].Pseudorange += c.Bias
+				ev = append(ev, Event{T: t, Kind: KindSpoof, PRN: dst[i].PRN, Delta: c.Bias})
+			}
+		case KindJam:
+			for i := range dst {
+				delta := c.Sigma * gauss(in.seed^jamStreamTag, dst[i].PRN, t)
+				dst[i].Pseudorange += delta
+				if cn0 := dst[i].CN0; cn0 > 0 {
+					// Report the C/N0 implied by the raised noise floor:
+					// the pre-jam σ combined with the jammer's σ in power.
+					s0 := core.SigmaFromCN0(cn0)
+					dst[i].CN0 = core.CN0FromSigma(math.Sqrt(s0*s0 + c.Sigma*c.Sigma))
+				}
+				ev = append(ev, Event{T: t, Kind: KindJam, PRN: dst[i].PRN, Delta: delta})
+			}
 		}
 	}
 	return dst, ev
@@ -297,6 +341,10 @@ type InjectedPanic struct {
 func (p InjectedPanic) Error() string {
 	return fmt.Sprintf("fault: injected panic at t=%g", p.T)
 }
+
+// jamStreamTag separates the jam noise stream from the burst stream, so
+// overlapping burst and jam clauses draw independent noise.
+const jamStreamTag = 0x5A4D5EED
 
 // gauss returns a standard normal draw that is a pure function of
 // (seed, prn, t) — the same splitmix64 stream-splitting scheme the

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"gpsdl/internal/core"
 	"gpsdl/internal/geo"
 	"gpsdl/internal/scenario"
 )
@@ -274,5 +275,131 @@ func TestApplyDataset(t *testing.T) {
 	// Input untouched.
 	if len(ds.Epochs[1].Obs) != 6 {
 		t.Error("ApplyDataset modified its input")
+	}
+}
+
+func TestApplySpoofHitsHighestElevations(t *testing.T) {
+	prog, err := ParseSpec("spoof:n=2,bias=300,from=0,until=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(prog, 1)
+	base := testEpoch(10)
+	ep, ev := in.ApplyEpoch(base)
+	for i, o := range ep.Obs {
+		delta := o.Pseudorange - base.Obs[i].Pseudorange
+		switch o.PRN {
+		case 7, 12: // the two highest elevations
+			if delta != 300 {
+				t.Errorf("PRN %d: spoof delta %g, want 300", o.PRN, delta)
+			}
+		default:
+			if delta != 0 {
+				t.Errorf("PRN %d perturbed by spoof targeting n=2", o.PRN)
+			}
+		}
+	}
+	if len(ev) != 2 || ev[0].Kind != KindSpoof || ev[0].PRN != 7 || ev[1].PRN != 12 {
+		t.Errorf("spoof events = %+v", ev)
+	}
+	// Outside the window nothing happens.
+	if ep, ev := in.ApplyEpoch(testEpoch(150)); len(ev) != 0 || ep.Obs[0].Pseudorange != base.Obs[0].Pseudorange {
+		t.Error("spoof active outside its window")
+	}
+	// n larger than the constellation spoofs everything without panicking.
+	wide, _ := ParseSpec("spoof:n=50,bias=10,from=0")
+	ep, ev = NewInjector(wide, 1).ApplyEpoch(base)
+	if len(ev) != len(base.Obs) {
+		t.Errorf("n=50 spoofed %d of %d satellites", len(ev), len(base.Obs))
+	}
+}
+
+func TestApplyJamDegradesCN0Consistently(t *testing.T) {
+	prog, err := ParseSpec("jam:sigma=20,from=0,until=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testEpoch(10)
+	for i := range base.Obs {
+		base.Obs[i].CN0 = 45 - float64(i)
+	}
+	in := NewInjector(prog, 7)
+	ep, ev := in.ApplyEpoch(base)
+	if len(ev) != len(base.Obs) {
+		t.Fatalf("%d jam events, want %d", len(ev), len(base.Obs))
+	}
+	perturbed := 0
+	for i, o := range ep.Obs {
+		if o.Pseudorange != base.Obs[i].Pseudorange {
+			perturbed++
+		}
+		if o.CN0 >= base.Obs[i].CN0 {
+			t.Errorf("PRN %d: C/N0 %g not degraded from %g", o.PRN, o.CN0, base.Obs[i].CN0)
+		}
+		// The reported C/N0 must match the combined noise power: jamming
+		// σ=20 m on top of the pre-jam budget.
+		s0 := core.SigmaFromCN0(base.Obs[i].CN0)
+		want := core.CN0FromSigma(math.Sqrt(s0*s0 + 20*20))
+		if math.Abs(o.CN0-want) > 1e-12 {
+			t.Errorf("PRN %d: jammed C/N0 %g, want %g", o.PRN, o.CN0, want)
+		}
+	}
+	if perturbed < len(base.Obs)-1 {
+		t.Errorf("jam noise perturbed only %d of %d pseudoranges", perturbed, len(base.Obs))
+	}
+	// Unknown C/N0 (0) stays unknown rather than going negative.
+	quiet := testEpoch(10)
+	ep, _ = in.ApplyEpoch(quiet)
+	for _, o := range ep.Obs {
+		if o.CN0 != 0 {
+			t.Errorf("PRN %d: jam invented C/N0 %g on CN0-free input", o.PRN, o.CN0)
+		}
+	}
+	// Jam noise is independent of the burst stream at the same (seed, t).
+	burst, _ := ParseSpec("burst:sigma=20,from=0,until=100")
+	bp, _ := NewInjector(burst, 7).ApplyEpoch(testEpoch(10))
+	jp, _ := NewInjector(prog, 7).ApplyEpoch(testEpoch(10))
+	same := 0
+	for i := range bp.Obs {
+		if bp.Obs[i].Pseudorange == jp.Obs[i].Pseudorange {
+			same++
+		}
+	}
+	if same == len(bp.Obs) {
+		t.Error("jam and burst drew identical noise from the same seed")
+	}
+}
+
+func TestSpoofJamSpecAndScale(t *testing.T) {
+	for _, spec := range []string{
+		"spoof:n=2,from=100,until=220,bias=300",
+		"jam:from=300,until=360,sigma=20",
+	} {
+		prog, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if got := prog.String(); got != spec {
+			t.Errorf("canonical form %q, want %q", got, spec)
+		}
+	}
+	for _, spec := range []string{
+		"spoof:n=2",          // no bias
+		"spoof:bias=300",     // no n
+		"spoof:n=0,bias=300", // n < 1
+		"jam:from=0",         // no sigma
+		"jam:sigma=0",        // sigma not positive
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+	prog, _ := ParseSpec("spoof:n=2,bias=300;jam:sigma=20")
+	half := prog.Scale(0.5)
+	if half[0].Bias != 150 || half[0].N != 2 {
+		t.Errorf("scaled spoof = %+v", half[0])
+	}
+	if half[1].Sigma != 10 {
+		t.Errorf("scaled jam = %+v", half[1])
 	}
 }

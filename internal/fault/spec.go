@@ -12,7 +12,8 @@ import (
 //	spec    = clause *( ";" clause )
 //	clause  = kind ":" field *( "," field )   |   kind
 //	field   = key "=" value
-//	kind    = "drop" | "step" | "ramp" | "burst" | "clockjump" | "shrink" | "panic"
+//	kind    = "drop" | "step" | "ramp" | "burst" | "clockjump" | "shrink" |
+//	          "panic" | "spoof" | "jam"
 //	key     = "prn" | "from" | "until" | "at" | "bias" | "rate" | "sigma" | "n"
 //
 // Examples:
@@ -24,6 +25,8 @@ import (
 //	clockjump:at=500,bias=0.001
 //	shrink:n=3,from=600,until=700
 //	panic:at=50,until=53
+//	spoof:n=2,bias=300,from=100,until=220
+//	jam:sigma=20,from=300,until=360
 //
 // "at" is an alias for "from" (natural for clock jumps). A missing
 // "until" means +Inf (for the rest of the run); a missing "from" means 0.
@@ -69,8 +72,12 @@ func parseClause(raw string) (Clause, error) {
 		c.Kind = KindShrink
 	case "panic":
 		c.Kind = KindPanic
+	case "spoof":
+		c.Kind = KindSpoof
+	case "jam":
+		c.Kind = KindJam
 	default:
-		return Clause{}, fmt.Errorf("fault: unknown kind %q in clause %q (want drop, step, ramp, burst, clockjump, shrink or panic)", kindStr, raw)
+		return Clause{}, fmt.Errorf("fault: unknown kind %q in clause %q (want drop, step, ramp, burst, clockjump, shrink, panic, spoof or jam)", kindStr, raw)
 	}
 	c.N = -1
 	for _, f := range strings.Split(rest, ",") {
@@ -145,6 +152,17 @@ func (c Clause) validate(raw string) error {
 		if c.N < 0 {
 			return fmt.Errorf("fault: clause %q: shrink needs n >= 0", raw)
 		}
+	case KindSpoof:
+		if c.Bias == 0 {
+			return fmt.Errorf("fault: clause %q: spoof needs bias", raw)
+		}
+		if c.N < 1 {
+			return fmt.Errorf("fault: clause %q: spoof needs n >= 1", raw)
+		}
+	case KindJam:
+		if c.Sigma <= 0 {
+			return fmt.Errorf("fault: clause %q: jam needs sigma > 0", raw)
+		}
 	}
 	return nil
 }
@@ -166,7 +184,7 @@ func (c Clause) String() string {
 	if c.PRN != 0 {
 		field("prn", strconv.Itoa(c.PRN))
 	}
-	if c.N >= 0 && c.Kind == KindShrink {
+	if c.N >= 0 && (c.Kind == KindShrink || c.Kind == KindSpoof) {
 		field("n", strconv.Itoa(c.N))
 	}
 	if c.From != 0 {

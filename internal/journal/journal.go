@@ -142,7 +142,9 @@ func StateName(s uint8) string {
 
 // solverNames indexes the solver identifiers that appear in
 // core.FallbackResult.Solver. Index 0 is reserved for "none/unknown".
-var solverNames = []string{"", "NR", "DLG", "DLO", "Bancroft", "TriSat", "coast"}
+// Only append to this table: the index is what journal records persist,
+// so reordering would mislabel every existing journal file.
+var solverNames = []string{"", "NR", "DLG", "DLO", "Bancroft", "TriSat", "coast", "DLG-fast", "DLG-explicit"}
 
 // SolverIndex maps a solver name to its table index (0 when unknown).
 func SolverIndex(name string) uint8 {

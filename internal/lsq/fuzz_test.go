@@ -1,0 +1,49 @@
+package lsq
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRankOneApplyInv drives the Sherman–Morrison kernel through the
+// degenerate corners of the covariance space: d → 0⁺ (subnormal diagonal
+// entries whose reciprocals overflow), s → ∞ (shared term dominating the
+// correction), and NaN/Inf in any slot. The contract under fuzzing is
+// strict: ApplyInv must either return an error or a fully finite y —
+// never panic, never leak a NaN/Inf component into the solver.
+func FuzzRankOneApplyInv(f *testing.F) {
+	f.Add(1.0, 2.0, 0.5, 1.0, -2.0, 3.0)
+	f.Add(math.SmallestNonzeroFloat64, 1.0, math.MaxFloat64, 1e300, -1e300, 0.0)
+	f.Add(5e-324, 5e-324, 1e308, 1.0, 1.0, 1.0)
+	f.Add(math.Inf(1), math.NaN(), -1.0, math.NaN(), math.Inf(-1), 1e-308)
+	f.Add(1e-300, 1e300, 0.0, 1e300, -1e300, 1e-300)
+	f.Fuzz(func(t *testing.T, d1, d2, s, x1, x2, x3 float64) {
+		cov := RankOneCov{Diag: []float64{d1, d2, d2}, S: s}
+		x := []float64{x1, x2, x3}
+		y, err := cov.ApplyInv(x)
+		if err != nil {
+			if y != nil {
+				t.Fatalf("ApplyInv(%v, s=%g) returned y=%v alongside error %v", cov.Diag, s, y, err)
+			}
+			return
+		}
+		if len(y) != len(x) {
+			t.Fatalf("ApplyInv returned %d components for %d inputs", len(y), len(x))
+		}
+		for i, v := range y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ApplyInv(diag=%v, s=%g, x=%v): y[%d] = %g not finite", cov.Diag, s, x, i, v)
+			}
+		}
+		// Non-finite inputs must never be accepted silently.
+		for _, v := range append(append([]float64{s}, cov.Diag...), x...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ApplyInv accepted non-finite input %g (diag=%v, s=%g, x=%v)", v, cov.Diag, s, x)
+			}
+		}
+		// A mismatched vector must error, not panic.
+		if _, err := cov.ApplyInv(x[:2]); err == nil {
+			t.Fatal("ApplyInv accepted short input vector")
+		}
+	})
+}

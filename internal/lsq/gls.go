@@ -2,6 +2,7 @@ package lsq
 
 import (
 	"fmt"
+	"math"
 
 	"gpsdl/internal/mat"
 )
@@ -17,8 +18,9 @@ import (
 func GLS(a *mat.Dense, b []float64, m *mat.Dense) ([]float64, error) {
 	rows, _ := a.Dims()
 	mr, mc := m.Dims()
-	if mr != rows || mc != rows {
-		panic(fmt.Sprintf("lsq: GLS covariance %dx%d for %d-row system", mr, mc, rows))
+	if mr != rows || mc != rows || len(b) != rows {
+		return nil, fmt.Errorf("lsq: GLS covariance %dx%d, b(%d) for %d-row system: %w",
+			mr, mc, len(b), rows, ErrDimensionMismatch)
 	}
 	ch, err := mat.FactorizeCholesky(m)
 	if err != nil {
@@ -38,6 +40,12 @@ func GLS(a *mat.Dense, b []float64, m *mat.Dense) ([]float64, error) {
 // paper: form M⁻¹, then (AᵀM⁻¹A)⁻¹AᵀM⁻¹b. Exposed for the A3 ablation so
 // the optimized paths can be benchmarked against the naive formula.
 func GLSExplicit(a *mat.Dense, b []float64, m *mat.Dense) ([]float64, error) {
+	rows, _ := a.Dims()
+	mr, mc := m.Dims()
+	if mr != rows || mc != rows || len(b) != rows {
+		return nil, fmt.Errorf("lsq: GLSExplicit covariance %dx%d, b(%d) for %d-row system: %w",
+			mr, mc, len(b), rows, ErrDimensionMismatch)
+	}
 	minv, err := mat.Inverse(m)
 	if err != nil {
 		return nil, fmt.Errorf("lsq: GLS explicit inverse: %w", err)
@@ -92,25 +100,39 @@ func (c RankOneCov) Dense() *mat.Dense {
 func (c RankOneCov) ApplyInv(x []float64) ([]float64, error) {
 	n := len(c.Diag)
 	if len(x) != n {
-		panic(fmt.Sprintf("lsq: RankOneCov.ApplyInv vec(%d) for dim %d", len(x), n))
+		return nil, fmt.Errorf("lsq: RankOneCov.ApplyInv vec(%d) for dim %d: %w",
+			len(x), n, ErrDimensionMismatch)
 	}
-	if c.S < 0 {
+	if c.S < 0 || math.IsNaN(c.S) || math.IsInf(c.S, 0) {
 		return nil, ErrBadWeights
 	}
 	y := make([]float64, n)
 	var sumInvD, sumXOverD float64
 	for i, d := range c.Diag {
-		if d <= 0 {
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
 			return nil, ErrBadWeights
+		}
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return nil, fmt.Errorf("lsq: RankOneCov.ApplyInv x[%d] not finite: %w", i, ErrNonFinite)
 		}
 		y[i] = x[i] / d
 		sumInvD += 1 / d
 		sumXOverD += x[i] / d
 	}
+	// A subnormal d can push Σ1/dⱼ to +Inf; the correction then collapses
+	// (factor → x̄ weighted limit) but intermediate Inf/Inf yields NaN.
+	// Guard the reduction sums and the final vector instead of trusting
+	// the per-entry checks alone.
 	denom := 1 + c.S*sumInvD
 	factor := c.S * sumXOverD / denom
+	if math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("lsq: RankOneCov.ApplyInv correction overflow: %w", ErrNonFinite)
+	}
 	for i, d := range c.Diag {
 		y[i] -= factor / d
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("lsq: RankOneCov.ApplyInv y[%d] not finite: %w", i, ErrNonFinite)
+		}
 	}
 	return y, nil
 }
@@ -121,8 +143,9 @@ func (c RankOneCov) ApplyInv(x []float64) ([]float64, error) {
 // cost O(m·n + n³) versus O(m³) for the generic path.
 func GLSRankOne(a *mat.Dense, b []float64, cov RankOneCov) ([]float64, error) {
 	rows, cols := a.Dims()
-	if len(cov.Diag) != rows {
-		panic(fmt.Sprintf("lsq: GLSRankOne covariance dim %d for %d-row system", len(cov.Diag), rows))
+	if len(cov.Diag) != rows || len(b) != rows {
+		return nil, fmt.Errorf("lsq: GLSRankOne covariance dim %d, b(%d) for %d-row system: %w",
+			len(cov.Diag), len(b), rows, ErrDimensionMismatch)
 	}
 	// Compute W = Ψ⁻¹A column by column and u = Ψ⁻¹b.
 	u, err := cov.ApplyInv(b)

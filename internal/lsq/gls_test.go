@@ -1,6 +1,7 @@
 package lsq
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -64,6 +65,65 @@ func TestGLSRejectsNonSPDCovariance(t *testing.T) {
 	}) // indefinite
 	if _, err := GLS(a, b, bad); err == nil {
 		t.Error("GLS with indefinite covariance succeeded")
+	}
+}
+
+// Both dense-covariance GLS entry points must reject shape mismatches
+// with ErrDimensionMismatch rather than panicking (the solver fallback
+// chain relies on errors propagating, not on recover).
+func TestGLSDimensionMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomDense(rng, 5, 3)
+	b := randomVec(rng, 5)
+	solvers := map[string]func(*mat.Dense, []float64, *mat.Dense) ([]float64, error){
+		"GLS":         GLS,
+		"GLSExplicit": GLSExplicit,
+	}
+	cases := []struct {
+		name string
+		b    []float64
+		cov  *mat.Dense
+	}{
+		{"cov too small", b, mat.Identity(4)},
+		{"cov too large", b, mat.Identity(6)},
+		{"cov not square", b, mat.NewDense(5, 4)},
+		{"rhs too short", b[:4], mat.Identity(5)},
+		{"rhs too long", append(append([]float64{}, b...), 1), mat.Identity(5)},
+	}
+	for name, solve := range solvers {
+		for _, tc := range cases {
+			x, err := solve(a, tc.b, tc.cov)
+			if !errors.Is(err, ErrDimensionMismatch) {
+				t.Errorf("%s %s: err = %v, want ErrDimensionMismatch", name, tc.name, err)
+			}
+			if x != nil {
+				t.Errorf("%s %s: returned solution %v on mismatch", name, tc.name, x)
+			}
+		}
+	}
+}
+
+func TestGLSRankOneDimensionMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomDense(rng, 5, 3)
+	b := randomVec(rng, 5)
+	good := randomRankOneCov(rng, 5)
+	cases := []struct {
+		name string
+		b    []float64
+		cov  RankOneCov
+	}{
+		{"diag too short", b, randomRankOneCov(rng, 4)},
+		{"diag too long", b, randomRankOneCov(rng, 6)},
+		{"rhs too short", b[:3], good},
+	}
+	for _, tc := range cases {
+		if _, err := GLSRankOne(a, tc.b, tc.cov); !errors.Is(err, ErrDimensionMismatch) {
+			t.Errorf("GLSRankOne %s: err = %v, want ErrDimensionMismatch", tc.name, err)
+		}
+	}
+	if _, err := good.ApplyInv(b[:2]); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ApplyInv short vector: err = %v, want ErrDimensionMismatch", err)
 	}
 }
 

@@ -25,6 +25,11 @@ var ErrBadWeights = errors.New("lsq: weights must be strictly positive")
 // vector does not match the design matrix's row count.
 var ErrDimensionMismatch = errors.New("lsq: dimension mismatch")
 
+// ErrNonFinite is returned when an input vector entry or an intermediate
+// result is NaN or ±Inf and the computation cannot produce a finite
+// solution.
+var ErrNonFinite = errors.New("lsq: non-finite value")
+
 // OLS returns the ordinary least-squares solution x = (AᵀA)⁻¹Aᵀb via the
 // normal equations solved with Cholesky. This matches how the paper's
 // algorithms are specified (eq. 4-12) and is the fastest route for the

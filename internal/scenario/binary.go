@@ -25,10 +25,14 @@ import (
 //	epochs   uint32 count, then per epoch:
 //	           t float64, n uint16, n × obsRecord
 //	obsRecord prn uint16, pos 3×float64, pr, pr2, carrier, doppler,
-//	           vel 3×float64, elev float64
+//	           vel 3×float64, elev float64, cn0 float64 (version ≥ 2)
+//
+// Version history: v1 lacked the trailing cn0 field; ReadBinary still
+// accepts v1 files (CN0 loads as 0 = unknown) while WriteBinary always
+// emits the current version.
 const (
 	binaryMagic   = "GPSDLBIN"
-	binaryVersion = 1
+	binaryVersion = 2
 )
 
 // WriteBinary writes the dataset in the compact binary format.
@@ -101,6 +105,7 @@ func (d *Dataset) WriteBinary(w io.Writer) error {
 			writeF(o.Vel.Y)
 			writeF(o.Vel.Z)
 			writeF(o.Elevation)
+			writeF(o.CN0)
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -159,7 +164,7 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return fail("version", err)
 	}
-	if version != binaryVersion {
+	if version < 1 || version > binaryVersion {
 		return nil, fmt.Errorf("scenario: unsupported binary version %d", version)
 	}
 	ds := &Dataset{}
@@ -243,6 +248,9 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 				&o.Pos.X, &o.Pos.Y, &o.Pos.Z,
 				&o.Pseudorange, &o.Pseudorange2, &o.Carrier, &o.Doppler,
 				&o.Vel.X, &o.Vel.Y, &o.Vel.Z, &o.Elevation,
+			}
+			if version >= 2 {
+				fields = append(fields, &o.CN0)
 			}
 			for _, f := range fields {
 				if *f, err = readF(); err != nil {

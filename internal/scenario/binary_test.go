@@ -100,9 +100,69 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 		t.Error("ReadBinary accepted wrong version")
 	}
 	// Truncated body.
-	data[8] = 1
+	data[8] = binaryVersion
 	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-5])); err == nil {
 		t.Error("ReadBinary accepted truncated body")
+	}
+}
+
+// TestBinaryReadsVersion1 checks backward compatibility: a version-1
+// file (no CN0 field in the observation records) still loads, with CN0
+// reported as 0 = unknown.
+func TestBinaryReadsVersion1(t *testing.T) {
+	st, _ := StationByID("SRZN")
+	g := NewGenerator(st, DefaultConfig(7))
+	ds, err := g.GenerateRange(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode as v1 by stripping the trailing CN0 float from each
+	// observation record and patching the version field.
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	v1 := make([]byte, 0, len(v2))
+	// Header: magic(8) + version(2) + station id + pos + date + clock +
+	// config block. Easiest robust approach: walk the same layout.
+	idLen := int(v2[10])
+	dateOff := 11 + idLen + 24
+	dateLen := int(v2[dateOff])
+	epochCountOff := dateOff + 1 + dateLen + 1 + 8*6 + 2 // config: seed+5 floats interleaved with 2 bool bytes
+	headerEnd := epochCountOff + 4
+	v1 = append(v1, v2[:headerEnd]...)
+	v1[8], v1[9] = 1, 0 // version 1, little-endian
+	off := headerEnd
+	for e := 0; e < ds.Len(); e++ {
+		v1 = append(v1, v2[off:off+8]...) // t
+		n := int(v2[off+8]) | int(v2[off+9])<<8
+		v1 = append(v1, v2[off+8:off+10]...)
+		off += 10
+		for j := 0; j < n; j++ {
+			const v2Rec = 2 + 11*8 + 8 // prn + 11 floats + cn0
+			v1 = append(v1, v2[off:off+v2Rec-8]...)
+			off += v2Rec
+		}
+	}
+	back, err := ReadBinary(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("epochs: %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Epochs {
+		for j, o := range back.Epochs[i].Obs {
+			if o.CN0 != 0 {
+				t.Fatalf("epoch %d obs %d: v1 read produced CN0 %v, want 0", i, j, o.CN0)
+			}
+			want := ds.Epochs[i].Obs[j]
+			want.CN0 = 0
+			if o != want {
+				t.Fatalf("epoch %d obs %d mismatch:\n  %+v\n  %+v", i, j, o, want)
+			}
+		}
 	}
 }
 

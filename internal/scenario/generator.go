@@ -84,6 +84,15 @@ type SatObs struct {
 	// Elevation (radians) is carried for satellite-selection strategies
 	// and diagnostics; real receivers compute it from the fix anyway.
 	Elevation float64 `json:"elev"`
+	// CN0 is the reported carrier-to-noise density in dB-Hz: the signal-
+	// quality figure tracking loops expose and weighted solvers consume.
+	// It is synthesized consistently with the observation's code-noise
+	// budget (core.CN0FromSigma of the thermal+multipath σ at this
+	// elevation, ±cn0FlutterDB of deterministic flutter), so a solver
+	// mapping it back through core.SigmaFromCN0 recovers an honest weight.
+	// NLOS reflections in urban-canyon scenarios and jamming faults
+	// suppress it. Zero in datasets generated before the field existed.
+	CN0 float64 `json:"cn0,omitempty"`
 }
 
 // Epoch is one second of observations.
@@ -96,14 +105,16 @@ type Epoch struct {
 
 // Generator produces epochs for one station.
 type Generator struct {
-	station Station
-	cfg     Config
-	cons    *orbit.Constellation
-	cache   *epochcache.Cache
-	clk     clock.Model
-	posAt   func(t float64) geo.ECEF
-	visible func(elev, azim float64) bool
-	faults  []Fault
+	station   Station
+	cfg       Config
+	cons      *orbit.Constellation
+	cache     *epochcache.Cache
+	clk       clock.Model
+	posAt     func(t float64) geo.ECEF
+	visible   func(elev, azim float64) bool
+	faults    []Fault
+	canyon    *UrbanCanyon
+	canyonLOS func(elev, azim float64) bool
 }
 
 // Option customizes a Generator.
@@ -188,6 +199,41 @@ func CanyonMask(axis, halfWidth, roofline float64) func(elev, azim float64) bool
 			}
 		}
 		return false
+	}
+}
+
+// UrbanCanyon models a street canyon: satellites below the roofline and
+// off the street axis lose line of sight. A fraction of them are still
+// tracked through a building reflection — arriving with a positive
+// excess-path bias and a suppressed C/N0 — and the rest drop out
+// entirely. This is the adversarial regime the paper never tested:
+// the NLOS bias is a gross, non-Gaussian error that honest per-satellite
+// weighting (via the suppressed C/N0) handles gracefully where
+// homoscedastic solvers absorb it in full.
+type UrbanCanyon struct {
+	// Axis is the street direction in radians clockwise from north;
+	// HalfWidth is the angular half-opening along the axis; Roofline is
+	// the elevation above which the sky is always clear. Same geometry
+	// as CanyonMask.
+	Axis, HalfWidth, Roofline float64
+	// ReflectProb is the probability an occluded satellite is still
+	// tracked via a reflection (deterministic per seed/PRN/epoch);
+	// the remainder are blocked. 0 reduces to pure CanyonMask blockage.
+	ReflectProb float64
+	// NLOSBiasM is the mean excess path of a reflection in meters; each
+	// reflected observation carries NLOSBiasM·(0.5 + u), u uniform [0,1).
+	NLOSBiasM float64
+	// CN0LossDB is how much a reflection suppresses the reported C/N0.
+	CN0LossDB float64
+}
+
+// WithUrbanCanyon installs a street-canyon environment model: occlusion
+// by the canyon geometry, with ReflectProb of the occluded satellites
+// kept as biased NLOS reflections instead of dropped.
+func WithUrbanCanyon(c UrbanCanyon) Option {
+	return func(g *Generator) {
+		g.canyon = &c
+		g.canyonLOS = CanyonMask(c.Axis, c.HalfWidth, c.Roofline)
 	}
 }
 
@@ -291,22 +337,41 @@ func (g *Generator) EpochAt(t float64) (Epoch, error) {
 		if g.visible != nil && !g.visible(v.Elevation, v.Azimuth) {
 			continue
 		}
+		// Environment stream: canyon reflection draws and C/N0 flutter.
+		// Independent of the error stream (separate tag in the seed mix)
+		// so pseudo-range noise is byte-identical with and without the
+		// C/N0 model, and identical across CodeOnly modes.
+		env := rng.New(obsSeed(g.cfg.Seed^int64(hashString(g.station.ID))^envStreamTag, v.Sat.PRN, t))
+		nlos := false
+		var nlosBias float64
+		if g.canyon != nil && !g.canyonLOS(v.Elevation, v.Azimuth) {
+			if env.Float64() >= g.canyon.ReflectProb {
+				continue // blocked by the buildings
+			}
+			nlos = true
+			nlosBias = g.canyon.NLOSBiasM * (0.5 + env.Float64())
+		}
 		// Signal emission position: iterate the light-time equation,
 		// expressing the satellite position in the reception-time frame
 		// (Sagnac correction).
 		emitPos, dist := v.State.Emission(recv, t)
 		eps, iono, tropo, obsRng := g.satelliteErrorParts(v.Sat.PRN, t, v.Elevation)
-		pr := dist + geo.SpeedOfLight*biasSec + eps
+		pr := dist + geo.SpeedOfLight*biasSec + eps + nlosBias
 		for _, f := range g.faults {
 			if f.PRN == v.Sat.PRN && t >= f.From && t < f.Until {
 				pr += f.Bias
 			}
+		}
+		cn0 := g.nominalCN0(v.Elevation) + (env.Float64()*2-1)*cn0FlutterDB
+		if nlos {
+			cn0 -= g.canyon.CN0LossDB
 		}
 		obsOut := SatObs{
 			PRN:         v.Sat.PRN,
 			Pos:         emitPos,
 			Pseudorange: pr,
 			Elevation:   v.Elevation,
+			CN0:         cn0,
 		}
 		if !g.cfg.CodeOnly {
 			// Carrier phase: same geometry/clock/troposphere, opposite-
@@ -333,6 +398,31 @@ func (g *Generator) EpochAt(t float64) (Epoch, error) {
 		epoch.Obs = append(epoch.Obs, obsOut)
 	}
 	return epoch, nil
+}
+
+// envStreamTag separates the environment stream (canyon reflections,
+// C/N0 flutter) from the per-observation error stream in the seed mix.
+const envStreamTag = 0x7E57C0DE5EED
+
+// cn0FlutterDB is the half-range of the deterministic C/N0 flutter:
+// reported signal quality wobbles around the elevation-model value, so
+// derived weights are realistic estimates rather than oracle truth.
+const cn0FlutterDB = 0.7
+
+// nominalCN0 maps elevation to the C/N0 a receiver would report, by
+// inverting the solver-side σ model over this generator's code-noise
+// budget (thermal + elevation-dependent multipath). Zero noise — some
+// synthetic configs — reports the reference C/N0.
+func (g *Generator) nominalCN0(elev float64) float64 {
+	variance := g.cfg.NoiseSigma * g.cfg.NoiseSigma
+	if g.cfg.Multipath {
+		mp := atmosphere.MultipathSigma(elev)
+		variance += mp * mp
+	}
+	if variance <= 0 {
+		return atmosphere.CN0RefDBHz
+	}
+	return atmosphere.CN0FromSigma(math.Sqrt(variance))
 }
 
 // clockDrift numerically differentiates the receiver clock bias (s/s).
