@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (Go -fuzztime syntax).
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race bench bench-json bench-quality bench-faults bench-recovery bench-gate bench-journal determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke chaos-smoke slo-smoke incident-smoke clean
+.PHONY: all build vet lint test race bench bench-json bench-broadcast bench-quality bench-faults bench-recovery bench-gate bench-journal determinism fault-determinism fuzz-smoke figures ablations cover test-cover metrics-smoke trace-smoke chaos-smoke slo-smoke incident-smoke cluster-smoke clean
 
-all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke chaos-smoke slo-smoke incident-smoke bench-json bench-gate
+all: build vet test determinism fault-determinism race fuzz-smoke metrics-smoke trace-smoke chaos-smoke slo-smoke incident-smoke cluster-smoke bench-json bench-broadcast bench-gate
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ bench:
 # count); the series EXPERIMENTS.md tracks.
 bench-json:
 	$(GO) run ./cmd/gpsbench -engine -engine-receivers 1,2,4,8 -engine-json BENCH_engine.json
+
+# Serving fan-out comparison: NMEA text vs binary delta frames across
+# subscriber counts (delivered fixes/sec, bytes/sec, bytes/fix), written
+# to BENCH_broadcast.json. The bytes-per-fix series is gated by
+# bench-gate; a frame-size growth fails the build.
+bench-broadcast:
+	$(GO) run ./cmd/gpsbench -broadcast -broadcast-json BENCH_broadcast.json
 
 # Solution-quality sweep: each solver through the canonical degradation
 # scenarios (clean/burst/step/shrink/clockjump) with the quality layer
@@ -137,6 +144,15 @@ chaos-smoke:
 # ok to page, spend the error budget, and force health downgrades.
 slo-smoke:
 	GO="$(GO)" ./scripts/slo_smoke.sh
+
+# Node-kill chaos check of the multi-node serving tier (race-built
+# gpsserve x2 + gpsproxy + gpsclient): kill -9 one node mid-stream; the
+# proxy must re-home its sessions onto the survivor by checkpoint
+# handoff, clients must resume with strictly consecutive epochs, and
+# every fix delivered across the failover must be bit-identical to an
+# uninterrupted same-seed run.
+cluster-smoke:
+	GO="$(GO)" ./scripts/cluster_smoke.sh
 
 # End-to-end check of the black-box forensics loop (race-built gpsserve):
 # a RAIM-evading step fault must page, capture a self-contained incident

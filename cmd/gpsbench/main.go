@@ -106,6 +106,12 @@ func run(args []string) error {
 		journalSync     = fs.Int("journal-sync", 0, "record frames between journal sync points for -journal (0 = default, negative disables fsync)")
 		journalTrials   = fs.Int("journal-trials", 5, "interleaved trials per arm for -journal; the fastest run of each arm is compared")
 		journalJSON     = fs.String("journal-json", "BENCH_journal.json", "write the -journal overhead comparison as JSON to this file (empty disables)")
+		broadcastOn     = fs.Bool("broadcast", false, "run the serving fan-out benchmark (NMEA text vs binary delta frames across subscriber counts)")
+		broadcastRecv   = fs.Int("broadcast-receivers", 4, "receiver sessions generating the fix set for -broadcast")
+		broadcastEpochs = fs.Int("broadcast-epochs", 1500, "epochs per receiver for -broadcast")
+		broadcastCli    = fs.String("broadcast-clients", "1,4,16,64", "comma-separated subscriber counts for -broadcast")
+		broadcastTrials = fs.Int("broadcast-trials", 5, "runs per (arm, clients) cell for -broadcast; the fastest is kept")
+		broadcastJSON   = fs.String("broadcast-json", "BENCH_broadcast.json", "write the -broadcast sweep as JSON to this file (empty disables)")
 		metricsOut      = fs.String("metrics-out", "", "write a final Prometheus-format metrics snapshot to this file")
 		traceOut        = fs.String("trace-out", "", "write the figure sweeps' epoch traces as a Chrome trace_event file (open in Perfetto)")
 		traceN          = fs.Int("trace", 4096, "epoch traces retained for -trace-out")
@@ -230,7 +236,29 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn && !*recoveryOn && !*qualityOn && !*journalOn {
+	if *broadcastOn {
+		if *broadcastRecv < 1 {
+			return fmt.Errorf("-broadcast-receivers must be positive, have %d", *broadcastRecv)
+		}
+		if *broadcastEpochs < 1 {
+			return fmt.Errorf("-broadcast-epochs must be positive, have %d", *broadcastEpochs)
+		}
+		clients, err := parseClientList(*broadcastCli)
+		if err != nil {
+			return fmt.Errorf("-broadcast-clients: %w", err)
+		}
+		if err := runBroadcastBench(broadcastBenchConfig{
+			receivers: *broadcastRecv,
+			epochs:    *broadcastEpochs,
+			clients:   clients,
+			trials:    *broadcastTrials,
+			seed:      *seed,
+			jsonPath:  *broadcastJSON,
+		}); err != nil {
+			return err
+		}
+	}
+	if *fig == "" && *ablation == "" && !*engineOn && !*faultsOn && !*recoveryOn && !*qualityOn && !*journalOn && !*broadcastOn {
 		*fig = "all"
 	}
 	cfg := benchConfig{duration: *duration, step: *step, seed: *seed, epochs: *epochs, plot: *plot, csvDir: *csvDir}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"gpsdl/internal/clock"
+	"gpsdl/internal/cluster"
 	"gpsdl/internal/core"
 	"gpsdl/internal/engine"
 	"gpsdl/internal/eval"
@@ -62,6 +63,11 @@ type health struct {
 	// /healthz and /debug/status distinguish a deliberate drain from a
 	// stall during the grace window.
 	draining atomic.Bool
+
+	// lastRestore holds the most recent checkpoint-restore verdict —
+	// startup -restore or a cluster handoff adoption — so a node that
+	// silently fell back to cold start is visible on /healthz.
+	lastRestore atomic.Pointer[cluster.RestoreOutcome]
 }
 
 // newHealth returns a tracker whose instruments are registered in reg
@@ -98,6 +104,13 @@ func (h *health) recordFix(hdop float64) {
 func (h *health) startDrain() {
 	if h != nil {
 		h.draining.Store(true)
+	}
+}
+
+// recordRestore notes a checkpoint-restore outcome (startup or handoff).
+func (h *health) recordRestore(o cluster.RestoreOutcome) {
+	if h != nil {
+		h.lastRestore.Store(&o)
 	}
 }
 
@@ -152,6 +165,9 @@ type healthStatus struct {
 	Restarts            uint64 `json:"restarts,omitempty"`
 	// Checkpoint reports checkpoint liveness when -checkpoint is set.
 	Checkpoint *checkpointStatus `json:"checkpoint,omitempty"`
+	// Restore is the most recent checkpoint-restore verdict (startup
+	// -restore or handoff adoption); absent before any restore attempt.
+	Restore *cluster.RestoreOutcome `json:"restore,omitempty"`
 }
 
 // status snapshots the current liveness verdict.
@@ -184,6 +200,7 @@ func (h *health) status() (healthStatus, int) {
 			s.Restarts += sh.Restarts
 		}
 	}
+	s.Restore = h.lastRestore.Load()
 	if h.ckptPath != "" {
 		cs := &checkpointStatus{Path: h.ckptPath, AgeSeconds: -1}
 		if last := h.lastCkptNanos.Load(); last != 0 {
@@ -233,6 +250,11 @@ func newAdminMux(st *serverTelemetry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if st.node != nil {
+		// Cluster control plane: session discovery, checkpoint fetch,
+		// and handoff adoption (gpsproxy drives these).
+		st.node.Routes(mux)
+	}
 	return mux
 }
 
@@ -262,6 +284,7 @@ type serverTelemetry struct {
 	health  *health
 	eng     *engine.Engine    // engine mode only; nil for the single-receiver loop
 	inc     *incidentCapturer // engine mode with -incident-dir; nil otherwise
+	node    *cluster.Node     // cluster serving tier (-wire); nil otherwise
 }
 
 // wireTelemetry instruments the server around registry reg. logs may be

@@ -17,17 +17,21 @@ import (
 	"time"
 
 	"gpsdl/internal/checkpoint"
+	"gpsdl/internal/cluster"
 	"gpsdl/internal/engine"
 	"gpsdl/internal/fault"
 	"gpsdl/internal/journal"
 	"gpsdl/internal/scenario"
 	"gpsdl/internal/slo"
 	"gpsdl/internal/telemetry"
+	"gpsdl/internal/wire"
 )
 
 // engineParams is the subset of gpsserve flags the engine mode consumes.
 type engineParams struct {
 	receivers  int
+	sessions   []int  // explicit global session ids (cluster mode); empty uses receivers
+	wireAddr   string // binary fix-stream listener; "" disables the cluster tier
 	workers    int
 	epochCache bool // share per-epoch constellation snapshots across sessions
 	station    string
@@ -170,6 +174,12 @@ func runEngine(ctx context.Context, p engineParams) error {
 		// checkpoint cells must refresh even without -checkpoint.
 		ckptEvery = p.ckptEvery
 	}
+	if p.wireAddr != "" && ckptEvery == 0 {
+		// Cluster serving needs live checkpoint cells (the handoff
+		// payload) and uses the same cadence as the wire keyframe blocks,
+		// so a handoff point always lands on a chain-restart boundary.
+		ckptEvery = p.ckptEvery
+	}
 	var jfile *os.File
 	if p.journalPath != "" {
 		jfile, err = os.Create(p.journalPath)
@@ -187,6 +197,10 @@ func runEngine(ctx context.Context, p engineParams) error {
 		}
 		onIncident = capturer.handle
 	}
+	// node is captured by the sink closure below; it is assigned (or left
+	// nil) before the engine starts running, so shard goroutines only
+	// ever observe the final value.
+	var node *cluster.Node
 	ecfg := engine.Config{
 		Receivers:         p.receivers,
 		Workers:           p.workers,
@@ -209,6 +223,12 @@ func runEngine(ctx context.Context, p engineParams) error {
 		// the callback returns.
 		Sink: func(e engine.FixEvent) {
 			h.recordEpoch()
+			if node != nil {
+				// The wire hub gets every event, misses included: a MISS
+				// frame tells subscribers "no fix this epoch" where a
+				// skipped epoch would read as a stream gap.
+				node.Publish(e)
+			}
 			if e.Err != nil {
 				return
 			}
@@ -216,6 +236,10 @@ func runEngine(ctx context.Context, p engineParams) error {
 			b.Broadcast(string(e.GGA))
 			b.Broadcast(string(e.RMC))
 		},
+	}
+	if len(p.sessions) > 0 {
+		ecfg.Receivers = 0
+		ecfg.SessionIDs = p.sessions
 	}
 	if jfile != nil {
 		ecfg.JournalSink = jfile
@@ -226,19 +250,44 @@ func runEngine(ctx context.Context, p engineParams) error {
 		return err
 	}
 	h.shards = eng.ShardHealth
+	if p.wireAddr != "" {
+		// The cluster serving tier: a Node owning the wire hub plus this
+		// primary engine, with the /cluster/* control plane on the admin
+		// mux. Adopted engines are built from a copy of this exact config
+		// (same seed/solver/stations), which is what makes handed-off
+		// streams bit-identical to the dead node's.
+		node = cluster.NewNode(ctx, cluster.NodeConfig{
+			Base:      ecfg,
+			Rate:      p.rate,
+			Hub:       wire.HubConfig{KeyframeEvery: ckptEvery},
+			Registry:  reg,
+			Log:       p.logs.Component("cluster"),
+			OnRestore: h.recordRestore,
+		})
+		node.Track(eng)
+	}
 	if capturer != nil {
 		capturer.start(eng, h, configSnapshot(p))
 	}
 	clog := p.logs.Component("checkpoint")
+	// One shared family for every restore path (startup and handoff
+	// adoptions) — the registry dedupes by name, so this is the same
+	// counter cluster.NewNode registered when -wire is on.
+	restoreFails := reg.Counter("gps_restore_failures_total",
+		"Checkpoint restore attempts that fell back to cold start (corrupt, unreadable, or rejected checkpoints).")
 	if p.restore {
-		restoreCheckpoint(eng, p.ckptPath, clog)
+		restoreCheckpoint(eng, p.ckptPath, h, restoreFails, clog)
 	}
 	ln, err := net.Listen("tcp", p.addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", p.addr, err)
 	}
+	nSessions := p.receivers
+	if len(p.sessions) > 0 {
+		nSessions = len(p.sessions)
+	}
 	fmt.Printf("gpsserve: engine mode, %d receivers × %s over %d workers on %s (%g epoch/s each)\n",
-		p.receivers, p.solver, eng.Workers(), ln.Addr(), p.rate)
+		nSessions, p.solver, eng.Workers(), ln.Addr(), p.rate)
 	if p.faults != "" {
 		fmt.Printf("gpsserve: fault injection active: %s (seed %d)\n", prog.String(), p.faultSeed)
 	}
@@ -255,13 +304,23 @@ func runEngine(ctx context.Context, p engineParams) error {
 	bctx, bcancel := context.WithCancel(context.Background())
 	defer bcancel()
 	if p.adminAddr != "" {
-		tel := &serverTelemetry{reg: reg, health: h, eng: eng, inc: capturer}
+		tel := &serverTelemetry{reg: reg, health: h, eng: eng, inc: capturer, node: node}
 		bound, err := listenAdmin(bctx, p.adminAddr, tel, p.logs.Component("admin"))
 		if err != nil {
 			ln.Close()
 			return err
 		}
 		fmt.Printf("gpsserve: admin on http://%s (/metrics /healthz /debug/status /debug/incidents)\n", bound)
+	}
+	if node != nil {
+		wln, err := net.Listen("tcp", p.wireAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("wire listen %s: %w", p.wireAddr, err)
+		}
+		ws := &wire.Server{Hub: node.Hub}
+		go func() { _ = ws.Serve(bctx, wln) }()
+		fmt.Printf("gpsserve: wire fix streams on %s (resume tokens honored)\n", wln.Addr())
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- b.Serve(bctx, ln) }()
@@ -281,19 +340,32 @@ func runEngine(ctx context.Context, p engineParams) error {
 			case <-saverStop:
 				return
 			case <-t.C:
-				saveCheckpoint(eng.Snapshot(), p.ckptPath, h, clog)
+				if node != nil {
+					// The merged node snapshot covers adopted sessions too.
+					saveCheckpoint(node.Snapshot(), p.ckptPath, h, clog)
+				} else {
+					saveCheckpoint(eng.Snapshot(), p.ckptPath, h, clog)
+				}
 			}
 		}
 	}()
 
 	err = paceEngine(ctx, eng, p.rate, p.logs.Component("engine"))
 
-	// Ordered drain. The engine is quiescent once RunPaced returns, so
-	// SnapshotFinal reads exact session state for the final checkpoint.
+	// Ordered drain. The engine is quiescent once RunPaced returns (and
+	// adopted engines once node.Wait returns — their pacers share ctx),
+	// so SnapshotFinal reads exact session state for the final checkpoint.
 	close(saverStop)
 	<-saverDone
+	if node != nil {
+		node.Wait()
+	}
 	if p.ckptPath != "" {
-		saveCheckpoint(eng.SnapshotFinal(), p.ckptPath, h, clog)
+		if node != nil {
+			saveCheckpoint(node.SnapshotFinal(), p.ckptPath, h, clog)
+		} else {
+			saveCheckpoint(eng.SnapshotFinal(), p.ckptPath, h, clog)
+		}
 	}
 	// The engine is quiescent: no further incidents will be delivered,
 	// so the capturer can drain its queue and the journal take its final
@@ -310,6 +382,12 @@ func runEngine(ctx context.Context, p engineParams) error {
 		}
 	}
 	h.startDrain()
+	if node != nil {
+		// Binary subscribers get their channels closed; a reconnecting
+		// client carries its resume token to the node that adopts these
+		// sessions.
+		node.Hub.Shutdown()
+	}
 	flushed := b.Flush(p.drainWait)
 	bcancel()
 	cancelErr := <-serveErr
@@ -329,25 +407,44 @@ func runEngine(ctx context.Context, p engineParams) error {
 // restoreCheckpoint resumes eng from the checkpoint at path. Every
 // failure mode — missing file, corrupt or truncated payload,
 // configuration mismatch — degrades to a logged cold start rather than
-// an error: a server that cannot resume should still serve.
-func restoreCheckpoint(eng *engine.Engine, path string, log *slog.Logger) {
+// an error: a server that cannot resume should still serve. Failures
+// are no longer silent beyond the log line: each one increments
+// gps_restore_failures_total, and the outcome (ok / cold-start /
+// corrupt / rejected) is recorded on the health tracker for /healthz
+// and /debug/status.
+func restoreCheckpoint(eng *engine.Engine, path string, h *health,
+	failures *telemetry.Counter, log *slog.Logger) {
+	record := func(outcome, detail string, sessions, epoch int) {
+		h.recordRestore(cluster.RestoreOutcome{
+			Outcome: outcome, Detail: detail, Sessions: sessions, Epoch: epoch,
+		})
+	}
 	st, err := checkpoint.Load(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
+		// A missing file is the normal first boot, not a failure.
+		record("cold-start", "no checkpoint file", 0, 0)
 		log.Info("no checkpoint; cold start", "path", path)
 		return
 	case errors.Is(err, checkpoint.ErrCorrupt):
+		failures.Inc()
+		record("corrupt", err.Error(), 0, 0)
 		log.Warn("checkpoint corrupt; cold start", "path", path, "err", err)
 		return
 	case err != nil:
+		failures.Inc()
+		record("corrupt", err.Error(), 0, 0)
 		log.Warn("checkpoint unreadable; cold start", "path", path, "err", err)
 		return
 	}
 	n, err := eng.Restore(st)
 	if err != nil {
+		failures.Inc()
+		record("rejected", err.Error(), 0, 0)
 		log.Warn("checkpoint rejected; cold start", "path", path, "err", err)
 		return
 	}
+	record("ok", "", n, st.Epoch)
 	log.Info("restored from checkpoint", "path", path, "sessions", n, "epoch", st.Epoch)
 	fmt.Printf("gpsserve: restored %d sessions from %s, resuming at epoch %d\n", n, path, st.Epoch)
 }

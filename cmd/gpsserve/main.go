@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"gpsdl/internal/clock"
+	"gpsdl/internal/cluster"
 	"gpsdl/internal/core"
 	"gpsdl/internal/eval"
 	"gpsdl/internal/geo"
@@ -86,6 +87,8 @@ func run(ctx context.Context, args []string) error {
 		dlgVariant = fs.String("dlg-variant", "fast", "DLG covariance route: fast (O(m) Sherman-Morrison), paper (dense Cholesky) or explicit (eq. 4-21 reference)")
 		weights    = fs.Bool("weights", false, "map each satellite's C/N0 to a pseudo-range sigma and run the weighted solve paths (needs -receivers > 1)")
 		disrupt    = fs.Bool("disrupt", false, "down-weight satellites whose pseudo-range innovations are robust outliers before RAIM excludes; implies weighted solving (needs -receivers > 1)")
+		wireAddr   = fs.String("wire", "", "binary fix-stream listener address for cluster serving (resume tokens, delta frames); enables engine mode")
+		sessions   = fs.String("session-ids", "", "comma-separated global session ids this node hosts, e.g. '0,1' (cluster mode; replaces -receivers); enables engine mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,22 +127,34 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if *receivers > 1 {
+	var sessionIDs []int
+	if *sessions != "" {
+		if setFlags["receivers"] {
+			return fmt.Errorf("-session-ids replaces -receivers (a cluster node hosts explicit global ids); drop one")
+		}
+		sessionIDs, err = cluster.ParseSessionIDs(*sessions)
+		if err != nil {
+			return fmt.Errorf("-session-ids: %v", err)
+		}
+	}
+	if *receivers > 1 || *wireAddr != "" || len(sessionIDs) > 0 {
 		// Engine mode runs many sessions; the single-receiver-only
 		// features must be explicitly absent rather than silently off.
 		switch {
 		case *dataset != "":
-			return fmt.Errorf("-dataset replay supports a single receiver; drop -receivers %d", *receivers)
+			return fmt.Errorf("-dataset replay supports a single receiver; drop -receivers/-session-ids/-wire")
 		case *withRAIM:
-			return fmt.Errorf("-raim supports a single receiver; drop -receivers %d", *receivers)
+			return fmt.Errorf("-raim supports a single receiver; drop -receivers/-session-ids/-wire")
 		case *traceDump != "":
-			return fmt.Errorf("-trace-dump supports a single receiver; drop -receivers %d", *receivers)
+			return fmt.Errorf("-trace-dump supports a single receiver; drop -receivers/-session-ids/-wire")
 		}
 		if *qualityWin < 10 {
 			return fmt.Errorf("-quality-window must be >= 10 epochs, have %d", *qualityWin)
 		}
 		return runEngine(ctx, engineParams{
 			receivers:   *receivers,
+			sessions:    sessionIDs,
+			wireAddr:    *wireAddr,
 			workers:     *workers,
 			epochCache:  *epochCache,
 			station:     strings.ToUpper(strings.TrimSpace(*stationID)),

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"gpsdl/internal/cluster"
 	"gpsdl/internal/engine"
 	"gpsdl/internal/quality"
 )
@@ -26,6 +27,9 @@ type statusResponse struct {
 	// Quality is the engine's consolidated quality/SLO verdict; absent
 	// in single-receiver mode or with the quality layer disabled.
 	Quality *engine.FleetQuality `json:"quality,omitempty"`
+	// Cluster is the serving-tier block (-wire): hosted sessions with
+	// stream heads, handoff/adoption counters, and hub fan-out stats.
+	Cluster *cluster.NodeStatus `json:"cluster,omitempty"`
 }
 
 // statusTopDefault bounds the worst-sessions ranking when ?top= is
@@ -48,6 +52,10 @@ func (st *serverTelemetry) statusHandler(w http.ResponseWriter, r *http.Request)
 	resp.Health, _ = st.health.status()
 	if st.eng != nil && st.eng.QualityEnabled() {
 		resp.Quality = st.eng.Quality(topK)
+	}
+	if st.node != nil {
+		ns := st.node.Status()
+		resp.Cluster = &ns
 	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -94,6 +102,20 @@ func writeStatusText(w http.ResponseWriter, resp *statusResponse) {
 	if h.Checkpoint != nil {
 		fmt.Fprintf(tw, "checkpoint\t%s\tepoch %d\tsaved %s ago\n",
 			h.Checkpoint.Path, h.Checkpoint.Epoch, fmtAge(h.Checkpoint.AgeSeconds))
+	}
+	if h.Restore != nil {
+		line := h.Restore.Outcome
+		if h.Restore.Detail != "" {
+			line += " (" + h.Restore.Detail + ")"
+		}
+		fmt.Fprintf(tw, "restore\t%s\tsessions %d\tepoch %d\n",
+			line, h.Restore.Sessions, h.Restore.Epoch)
+	}
+	if c := resp.Cluster; c != nil {
+		fmt.Fprintf(tw, "cluster\t%d engines\thandoffs %d\tadopted %d\trestore failures %d\n",
+			c.Engines, c.Handoffs, c.AdoptedSessions, c.RestoreFailures)
+		fmt.Fprintf(tw, "hub\t%d sessions\t%d subscribers\t%d published\t%d replayed\t%d evicted\n",
+			c.Hub.Sessions, c.Hub.Subscribers, c.Hub.Published, c.Hub.Replayed, c.Hub.Evicted)
 	}
 	if len(h.Shards) > 0 {
 		fmt.Fprintf(tw, "\nSHARD\tHEALTHY\tDEGRADED\tCOASTING\tQUARANT\tFAILED\tBREAKER\tPANICS\tRESTARTS\n")

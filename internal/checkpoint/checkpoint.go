@@ -97,6 +97,29 @@ type State struct {
 	Sessions []Session `json:"sessions"`
 }
 
+// Filter returns a copy of st containing only the session records
+// whose Receiver id is in ids, with the Receivers echo rewritten to
+// len(ids) — the shape a checkpoint handoff sends to a survivor node
+// that will host exactly those sessions. Ids with no record in st are
+// simply absent from the result (the adopting engine cold-starts
+// them); the Epoch echo is kept, since it is the cluster-wide resume
+// point, not a per-session property.
+func (s *State) Filter(ids []int) *State {
+	want := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		want[id] = struct{}{}
+	}
+	out := *s
+	out.Receivers = len(ids)
+	out.Sessions = nil
+	for i := range s.Sessions {
+		if _, ok := want[s.Sessions[i].Receiver]; ok {
+			out.Sessions = append(out.Sessions, s.Sessions[i])
+		}
+	}
+	return &out
+}
+
 // Encode renders the state in checkpoint file format (header + JSON).
 func Encode(s *State) ([]byte, error) {
 	payload, err := json.Marshal(s)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"gpsdl/internal/checkpoint"
@@ -67,19 +68,60 @@ func (e *Engine) Restore(st *checkpoint.State) (int, error) {
 			st.Solver, st.Seed, st.Step, st.Receivers,
 			e.cfg.Solver, e.cfg.Seed, e.cfg.Step, e.cfg.Receivers)
 	}
+	byID := make(map[int]*session, len(e.sessions))
+	for _, s := range e.sessions {
+		byID[s.recv] = s
+	}
 	restored := 0
 	for i := range st.Sessions {
 		cs := &st.Sessions[i]
-		if cs.Receiver < 0 || cs.Receiver >= len(e.sessions) {
+		// Checkpoint records are keyed by global receiver id; records
+		// for sessions this engine does not host are skipped (a handoff
+		// may filter the state, or hand a superset to a subset engine).
+		s, ok := byID[cs.Receiver]
+		if !ok {
 			continue
 		}
-		if err := e.sessions[cs.Receiver].restore(cs); err != nil {
+		if err := s.restore(cs); err != nil {
 			return restored, err
 		}
 		restored++
 	}
 	e.resume = st.Epoch
 	return restored, nil
+}
+
+// FastForward advances the engine from its restore point to epoch `to`
+// by running the full solve path unpaced over [ResumeEpoch, to) — the
+// session-migration catch-up: a survivor that restored a dead node's
+// periodic checkpoint at epoch C replays C..head so its predictor,
+// breaker and fix state land exactly where the dead node's were, and
+// every replayed epoch flows through the Sink (the wire hub's replay
+// ring plus client ack filtering turn those into dedup-able frames,
+// never duplicate deliveries). Must be called before RunPaced; no-op
+// when to ≤ ResumeEpoch.
+func (e *Engine) FastForward(ctx context.Context, to int) error {
+	if to <= e.resume {
+		return nil
+	}
+	if err := e.RunRange(ctx, e.resume, to); err != nil {
+		return err
+	}
+	e.resume = to
+	return nil
+}
+
+// SkipTo moves the resume point forward without computing the skipped
+// epochs — the graceful-degradation fallback when a handed-off
+// checkpoint cannot be restored: the adopting node cold-starts the
+// sessions at the cluster's current epoch instead of refusing them
+// (the clients see a declared gap plus the NR re-warm-up, not a dead
+// session). Must be called before any run; no-op when epoch is behind
+// the current resume point.
+func (e *Engine) SkipTo(epoch int) {
+	if epoch > e.resume {
+		e.resume = epoch
+	}
 }
 
 // ResumeEpoch reports the epoch index RunPaced will start from (set by

@@ -94,6 +94,18 @@ type FixSink func(FixEvent)
 type Config struct {
 	// Receivers is the number of independent receiver sessions (≥ 1).
 	Receivers int
+	// SessionIDs, when non-nil, names the global receiver ids this
+	// engine hosts instead of the implicit 0..Receivers-1. Everything
+	// derived per receiver — the mixed scenario seed, the station
+	// template, fault programs, FixEvent.Receiver and checkpoint
+	// records — is keyed by the global id, not the engine-local index,
+	// so an engine hosting {1, 3} produces bit-identical output for
+	// those receivers to a larger engine hosting {0, 1, 2, 3}. This is
+	// what makes cross-node session migration possible: a survivor
+	// node builds an engine over exactly the orphaned ids and restores
+	// their checkpoint records. Ids must be unique and ≥ 0; Receivers
+	// must be zero or match len(SessionIDs).
+	SessionIDs []int
 	// Workers is the shard count; ≤ 0 means GOMAXPROCS. It is clamped
 	// to Receivers (a shard with no receivers would be useless).
 	Workers int
@@ -283,6 +295,25 @@ type chainMetrics struct {
 // validates the configuration and resolves defaults as documented on
 // Config.
 func New(cfg Config) (*Engine, error) {
+	if cfg.SessionIDs != nil {
+		if len(cfg.SessionIDs) == 0 {
+			return nil, fmt.Errorf("engine: SessionIDs must not be empty when set")
+		}
+		if cfg.Receivers != 0 && cfg.Receivers != len(cfg.SessionIDs) {
+			return nil, fmt.Errorf("engine: Receivers=%d contradicts len(SessionIDs)=%d", cfg.Receivers, len(cfg.SessionIDs))
+		}
+		cfg.Receivers = len(cfg.SessionIDs)
+		seen := make(map[int]struct{}, len(cfg.SessionIDs))
+		for _, id := range cfg.SessionIDs {
+			if id < 0 {
+				return nil, fmt.Errorf("engine: negative session id %d", id)
+			}
+			if _, dup := seen[id]; dup {
+				return nil, fmt.Errorf("engine: duplicate session id %d", id)
+			}
+			seen[id] = struct{}{}
+		}
+	}
 	if cfg.Receivers < 1 {
 		return nil, fmt.Errorf("engine: Receivers must be >= 1, have %d", cfg.Receivers)
 	}
@@ -362,14 +393,21 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.sessions = make([]*session, cfg.Receivers)
-	for r := 0; r < cfg.Receivers; r++ {
-		sh := e.shards[r%cfg.Workers]
-		s, err := newSession(cfg, r, sh.id, sh.m, e.cm, e.cache)
+	for idx := 0; idx < cfg.Receivers; idx++ {
+		// The global receiver id drives all derived state (seed,
+		// station, faults); the engine-local index only places the
+		// session on a shard.
+		id := idx
+		if cfg.SessionIDs != nil {
+			id = cfg.SessionIDs[idx]
+		}
+		sh := e.shards[idx%cfg.Workers]
+		s, err := newSession(cfg, id, sh.id, sh.m, e.cm, e.cache)
 		if err != nil {
 			return nil, err
 		}
 		s.posInShard = len(sh.sessions)
-		e.sessions[r] = s
+		e.sessions[idx] = s
 		sh.sessions = append(sh.sessions, s)
 	}
 	if cfg.Quality != nil {
@@ -788,6 +826,16 @@ func (e *Engine) ShardHealth() []ShardHealth {
 
 // Workers reports the resolved shard count.
 func (e *Engine) Workers() int { return len(e.shards) }
+
+// SessionIDs reports the global receiver ids this engine hosts, in
+// construction order.
+func (e *Engine) SessionIDs() []int {
+	ids := make([]int, len(e.sessions))
+	for i, s := range e.sessions {
+		ids[i] = s.recv
+	}
+	return ids
+}
 
 // canonicalChain is the fallback order of ISSUE 4: the iterative
 // reference first, then the paper's direct methods by decreasing

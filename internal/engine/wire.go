@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"gpsdl/internal/journal"
+	"gpsdl/internal/wire"
+)
+
+// Wire converts a FixEvent into its binary wire representation. This is
+// the single FixEvent → wire.Fix mapping shared by the serving sink and
+// the cluster handoff machinery, so "byte-identical frames after
+// failover" is a property of one converter rather than two that must be
+// kept in agreement by hand. Solve failures become MISS frames: the
+// epoch is declared on the wire (a subscriber can distinguish "no fix"
+// from "stream gap") and the delta chain is left untouched.
+func (e FixEvent) Wire() wire.Fix {
+	f := wire.Fix{
+		Session: e.Receiver,
+		Epoch:   uint64(e.Epoch),
+		State:   uint8(e.State),
+	}
+	if e.Err != nil {
+		f.Miss = true
+		return f
+	}
+	f.X, f.Y, f.Z = e.Sol.Pos.X, e.Sol.Pos.Y, e.Sol.Pos.Z
+	f.ClockBias = e.Sol.ClockBias
+	f.HDOP = e.HDOP
+	f.Sats = e.Sats
+	f.Solver = journal.SolverIndex(e.Solver)
+	f.Coast = e.Coast
+	f.Suspect = e.Suspect
+	f.Degraded = e.State == StateDegraded
+	return f
+}

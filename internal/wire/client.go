@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientConfig configures a reconnecting binary subscriber.
+type ClientConfig struct {
+	// Addr is the wire listener (gpsserve -wire or gpsproxy -addr).
+	Addr string
+	// Session is the session id to subscribe to.
+	Session int
+	// Resume is the initial resume token ack: the last epoch already
+	// consumed in a previous life, or −1 to start live.
+	Resume int64
+
+	// BackoffBase and BackoffMax bound the jittered exponential
+	// reconnect backoff (full jitter: sleep ~ U(0, min(max,
+	// base·2^attempt))). Defaults 50 ms and 3 s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetryBudget is the number of consecutive failed connection
+	// attempts tolerated before the client gives up and closes Fixes
+	// with an error. Any successfully decoded fix refills the budget.
+	// ≤ 0 means 8.
+	RetryBudget int
+
+	// OnEvent, when set, observes connection lifecycle events
+	// (connects, RESUME verdicts, gaps, disconnects, retries).
+	OnEvent func(ClientEvent)
+
+	// Dial overrides the dialer (tests). Default: net.Dialer with a
+	// 2 s timeout.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// sleep overrides backoff sleeping (tests).
+	sleep func(ctx context.Context, d time.Duration) error
+	// jitter overrides the backoff jitter source (tests); returns
+	// values in [0, 1).
+	jitter func() float64
+}
+
+// ClientEvent is one connection lifecycle observation.
+type ClientEvent struct {
+	Kind string // "connect", "resume", "gap", "disconnect", "retry", "give-up"
+	// Resume is set for "resume" and "gap" events.
+	Resume Resume
+	// Err is set for "disconnect", "retry" and "give-up".
+	Err error
+	// Attempt is the consecutive-failure count for "retry".
+	Attempt int
+	// Sleep is the backoff chosen for "retry".
+	Sleep time.Duration
+}
+
+// ErrRetryBudgetExhausted reports that the client gave up after
+// RetryBudget consecutive failed connection attempts.
+var ErrRetryBudgetExhausted = errors.New("wire: retry budget exhausted")
+
+// Client is a reconnecting subscriber. It maintains the resume token
+// across reconnects — the last epoch it delivered on Fixes — so a
+// server or proxy failover is bridged with zero duplicated and zero
+// silently-skipped fixes (a replay-ring gap is surfaced as a "gap"
+// event, and shows as an epoch jump, never silently).
+type Client struct {
+	cfg    ClientConfig
+	fixes  chan Fix
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	err       error
+	delivered atomic.Int64 // last delivered epoch, −1 none
+	closeOnce sync.Once
+}
+
+// DialSession starts a client. The returned Client's Fixes channel
+// carries decoded, deduplicated fixes until ctx ends, Close is called,
+// or the retry budget runs out (then Err explains).
+func DialSession(ctx context.Context, cfg ClientConfig) *Client {
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 3 * time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 8
+	}
+	if cfg.Dial == nil {
+		addr := cfg.Addr
+		cfg.Dial = func(ctx context.Context) (net.Conn, error) {
+			d := net.Dialer{Timeout: 2 * time.Second}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if cfg.jitter == nil {
+		cfg.jitter = rand.Float64
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	c := &Client{
+		cfg:    cfg,
+		fixes:  make(chan Fix, 64),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	c.delivered.Store(cfg.Resume)
+	go c.run(ctx)
+	return c
+}
+
+// Fixes delivers decoded fixes in strictly increasing epoch order. It
+// closes when the client stops; check Err then.
+func (c *Client) Fixes() <-chan Fix { return c.fixes }
+
+// LastDelivered is the resume token ack: the last epoch delivered on
+// Fixes (−1 if none beyond the configured Resume).
+func (c *Client) LastDelivered() int64 { return c.delivered.Load() }
+
+// Err reports why the client stopped (nil for Close/ctx cancellation).
+// Valid after Fixes closes.
+func (c *Client) Err() error {
+	<-c.done
+	return c.err
+}
+
+// Close stops the client.
+func (c *Client) Close() {
+	c.closeOnce.Do(c.cancel)
+	<-c.done
+}
+
+func (c *Client) event(e ClientEvent) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(e)
+	}
+}
+
+// backoff returns the full-jitter sleep for consecutive failure n (1-based).
+func (c *Client) backoff(n int) time.Duration {
+	max := c.cfg.BackoffBase << uint(n-1)
+	if max > c.cfg.BackoffMax || max <= 0 {
+		max = c.cfg.BackoffMax
+	}
+	return time.Duration(c.cfg.jitter() * float64(max))
+}
+
+func (c *Client) run(ctx context.Context) {
+	defer close(c.done)
+	defer close(c.fixes)
+	failures := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		progressed, err := c.session(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if progressed {
+			failures = 0
+		}
+		failures++
+		if failures > c.cfg.RetryBudget {
+			c.err = fmt.Errorf("%w after %d attempts: %v", ErrRetryBudgetExhausted, failures-1, err)
+			c.event(ClientEvent{Kind: "give-up", Err: c.err})
+			return
+		}
+		sleep := c.backoff(failures)
+		c.event(ClientEvent{Kind: "retry", Err: err, Attempt: failures, Sleep: sleep})
+		if c.cfg.sleep(ctx, sleep) != nil {
+			return
+		}
+	}
+}
+
+// session runs one connection: dial, subscribe with the current resume
+// token, then decode and deliver until the stream breaks. It reports
+// whether any fix was delivered (progress refills the retry budget).
+func (c *Client) session(ctx context.Context) (progressed bool, err error) {
+	conn, err := c.cfg.Dial(ctx)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	// Unblock the read loop on cancellation.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	ack := c.delivered.Load()
+	if _, err := conn.Write(AppendSubscribe(nil, c.cfg.Session, ack)); err != nil {
+		return false, fmt.Errorf("subscribe: %w", err)
+	}
+	c.event(ClientEvent{Kind: "connect"})
+
+	fr := NewFrameReader(conn)
+	var dec FixDecoder
+	sawResume := false
+	for {
+		p, err := fr.Next()
+		if err != nil {
+			c.event(ClientEvent{Kind: "disconnect", Err: err})
+			return progressed, err
+		}
+		switch Kind(p) {
+		case KindResume:
+			r, err := DecodeResume(p)
+			if err != nil {
+				return progressed, err
+			}
+			kind := "resume"
+			if r.Status == StatusGap {
+				kind = "gap"
+			}
+			c.event(ClientEvent{Kind: kind, Resume: r})
+			sawResume = true
+		case KindFix:
+			if !sawResume {
+				return progressed, fmt.Errorf("wire: fix before resume")
+			}
+			f, err := dec.DecodeFix(p)
+			if err != nil {
+				return progressed, err
+			}
+			// Dedup filter: chain-priming replay covers epochs the
+			// client already consumed; decode them (the delta chain
+			// needs them) but do not deliver.
+			if int64(f.Epoch) <= c.delivered.Load() {
+				continue
+			}
+			select {
+			case c.fixes <- f:
+				c.delivered.Store(int64(f.Epoch))
+				progressed = true
+			case <-ctx.Done():
+				return progressed, ctx.Err()
+			}
+		default:
+			return progressed, fmt.Errorf("wire: unexpected frame kind %d", Kind(p))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server accepts binary subscribers on a listener and bridges them to
+// a Hub: one SUBSCRIBE in, a RESUME verdict out, then encoded frames
+// until the subscriber is evicted or the connection drops.
+type Server struct {
+	Hub *Hub
+	// HandshakeTimeout bounds waiting for the SUBSCRIBE frame
+	// (default 5 s); WriteTimeout bounds each frame write (default
+	// 5 s — a stuck peer is evicted by queue overflow well before a
+	// write blocks that long).
+	HandshakeTimeout time.Duration
+	WriteTimeout     time.Duration
+	// OnError, when set, observes per-connection failures.
+	OnError func(err error)
+
+	wg sync.WaitGroup
+}
+
+// Serve accepts until ctx ends or the listener closes. It closes ln on
+// ctx cancellation and returns after every connection handler exits.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(ctx, conn); err != nil && s.OnError != nil {
+				s.OnError(err)
+			}
+		}()
+	}
+}
+
+func (s *Server) handle(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	ht := s.HandshakeTimeout
+	if ht <= 0 {
+		ht = 5 * time.Second
+	}
+	wt := s.WriteTimeout
+	if wt <= 0 {
+		wt = 5 * time.Second
+	}
+	conn.SetReadDeadline(time.Now().Add(ht))
+	fr := NewFrameReader(conn)
+	p, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	req, err := DecodeSubscribe(p)
+	if err != nil {
+		return err
+	}
+	sub := s.Hub.Subscribe(req.Session, req.Ack)
+	defer sub.Close()
+
+	conn.SetWriteDeadline(time.Now().Add(wt))
+	if _, err := conn.Write(AppendResume(nil, sub.Resume)); err != nil {
+		return err
+	}
+
+	// Drain the read side: a client write is a protocol error, a read
+	// error/EOF means the client left. Either way the writer below is
+	// released by closing the connection.
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		conn.SetReadDeadline(time.Time{})
+		buf := make([]byte, 256)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				conn.Close()
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case frame, ok := <-sub.C:
+			if !ok {
+				// Evicted (slow) or hub shutdown: drop the connection;
+				// the client reconnects with its resume token.
+				return nil
+			}
+			conn.SetWriteDeadline(time.Now().Add(wt))
+			if _, err := conn.Write(frame); err != nil {
+				return err
+			}
+		case <-readDone:
+			return nil
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}

@@ -1,0 +1,513 @@
+// Package wire implements the compact binary fix protocol the
+// horizontal serving tier speaks between gpsserve nodes, the gpsproxy
+// gateway, and subscribing clients. It is the binary sibling of the
+// NMEA text broadcast: instead of fanning ~80-byte sentences to every
+// client, each session-epoch is encoded once into a delta/varint frame
+// (~20 bytes steady state) and the same buffer is written to every
+// subscriber of that session.
+//
+// # Frame envelope
+//
+//	frame := marker 0xB5 | payloadLen uvarint | payload | crc32(payload) u32le
+//
+// The first payload byte is the frame kind. Every frame is
+// independently checksummed, so a torn TCP stream or a flipped byte
+// fails loudly at the reader instead of decoding into plausible
+// garbage positions.
+//
+// # Frames
+//
+//	SUBSCRIBE (client → server): protocol version, session id, and the
+//	  resume token's ack epoch — the last epoch the client has safely
+//	  consumed (−1 for "no history, start live"). The server must
+//	  answer with RESUME.
+//	RESUME (server → client): the server's verdict on the token: the
+//	  epoch the stream will resume at, the session's current head
+//	  epoch, and a status byte (see Status*). A RESUME always arrives
+//	  promptly — an unknown or evicted session gets StatusUnknown or a
+//	  cold-start resume, never silence.
+//	FIX (server → client): one session-epoch. Positions and clock bias
+//	  are quantized to millimetres; a keyframe carries absolute values,
+//	  every other frame carries zigzag varint deltas against the
+//	  previous non-miss epoch. The keyframe rule is a pure function of
+//	  the fix history — the first non-miss fix inside each
+//	  KeyframeEvery-sized block of absolute epochs is a keyframe — so
+//	  the byte stream for a given history is identical no matter which
+//	  node encodes it (the handoff bit-identity property), and misses
+//	  landing on block boundaries cannot starve the chain of keyframes.
+//	  An encoder additionally forces a keyframe on its very first fix,
+//	  where no delta reference exists yet; a handed-off encoder that
+//	  starts mid-block therefore re-aligns with an uninterrupted
+//	  encoder's bytes at the next block boundary at the latest.
+//	  Epochs where no fix was produced are MISS frames (FixMiss flag):
+//	  they keep the epoch sequence gapless on the wire so a client can
+//	  distinguish "the solver failed" from "frames were lost".
+//
+// Delta decoding is stateful: a subscription always starts at a
+// keyframe (the Hub guarantees it), and integer delta accumulation is
+// exact, so every subscriber reconstructs bit-identical quantized
+// fixes regardless of when it joined.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Protocol constants. Version bumps whenever the frame or field
+// encoding changes incompatibly.
+const (
+	Version     = 1
+	FrameMarker = 0xB5
+
+	// Frame kinds (first payload byte).
+	KindSubscribe = 1
+	KindResume    = 2
+	KindFix       = 3
+
+	// MaxFramePayload bounds a single frame payload; readers reject
+	// larger length prefixes as corruption.
+	MaxFramePayload = 1 << 16
+
+	// DefaultKeyframeEvery is the absolute-epoch keyframe block size:
+	// the first non-miss fix of each block is encoded absolute, so
+	// independently restarted encoders re-align within one block.
+	DefaultKeyframeEvery = 32
+)
+
+// Subscribe statuses a RESUME frame can carry.
+const (
+	// StatusLive: the token was current (or absent); the stream starts
+	// at the session head with no replay.
+	StatusLive = iota
+	// StatusReplay: the token's ack was behind the head and the replay
+	// ring covered the gap; the stream resumes exactly at ack+1 (after
+	// chain-priming frames the client has already consumed).
+	StatusReplay
+	// StatusGap: the ack was too old for the replay ring; the stream
+	// resumes at the oldest replayable keyframe. The gap is explicit —
+	// Resume.Resume > ack+1 — never silent.
+	StatusGap
+	// StatusCold: the session exists but has produced no frames yet;
+	// the stream starts from its first future frame.
+	StatusCold
+	// StatusUnknown: the session id is not hosted here. The documented
+	// cold-start response of the resume contract: the subscription
+	// stays registered (frames flow if the session is adopted later,
+	// e.g. mid-handoff), but the client is told its token matched
+	// nothing.
+	StatusUnknown
+)
+
+// StatusName renders a RESUME status byte.
+func StatusName(s uint8) string {
+	switch s {
+	case StatusLive:
+		return "live"
+	case StatusReplay:
+		return "replay"
+	case StatusGap:
+		return "gap"
+	case StatusCold:
+		return "cold"
+	case StatusUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("status(%d)", s)
+	}
+}
+
+// FIX frame flag bits.
+const (
+	// FixKeyframe: absolute (not delta) position/bias/HDOP fields.
+	FixKeyframe = 1 << iota
+	// FixMiss: the epoch produced no fix (solver failure, quarantine,
+	// epoch error); the frame carries no position fields.
+	FixMiss
+	// FixCoast: dead-reckoning position hold, not a fresh solve.
+	FixCoast
+	// FixSuspect: the fix carries an unresolved integrity fault.
+	FixSuspect
+	// FixDegraded: the session reported a degraded health state.
+	FixDegraded
+)
+
+// Subscribe is the decoded SUBSCRIBE payload: the resume token.
+type Subscribe struct {
+	Version int
+	Session int
+	// Ack is the last epoch the client consumed; −1 subscribes live.
+	Ack int64
+}
+
+// Resume is the decoded RESUME payload.
+type Resume struct {
+	Session int
+	Status  uint8
+	// Resume is the first epoch the stream will deliver (0 when the
+	// session has no history and none is promised).
+	Resume uint64
+	// Head is the session's latest published epoch, −1 when none.
+	Head int64
+}
+
+// Fix is one decoded session-epoch. Position, clock bias and HDOP are
+// millimetre / milli-unit quantized — exactly what was on the wire, so
+// two decoders that consumed the same epochs hold bit-identical values.
+type Fix struct {
+	Session int
+	Epoch   uint64
+	// X, Y, Z is the ECEF position in meters (mm resolution); Miss
+	// frames carry none.
+	X, Y, Z   float64
+	ClockBias float64
+	HDOP      float64
+	Sats      int
+	// State is the engine session-state ordinal (journal.StateName
+	// renders it); Solver the solver-table index (journal.SolverName).
+	State  uint8
+	Solver uint8
+	Miss   bool
+	Coast  bool
+	// Suspect / Degraded mirror the FixEvent integrity flags.
+	Suspect  bool
+	Degraded bool
+}
+
+// Flags packs the fix's boolean state into FIX frame flag bits
+// (keyframe excluded — that is the encoder's choice, not the fix's).
+func (f *Fix) flags() byte {
+	var fl byte
+	if f.Miss {
+		fl |= FixMiss
+	}
+	if f.Coast {
+		fl |= FixCoast
+	}
+	if f.Suspect {
+		fl |= FixSuspect
+	}
+	if f.Degraded {
+		fl |= FixDegraded
+	}
+	return fl
+}
+
+// Quantization: millimetre fixed point, saturating like the flight
+// journal's, so non-finite or absurd inputs cannot produce unbounded
+// varints.
+const quantMax = 1 << 40
+
+func quant(v float64) int64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	q := math.Round(v * 1000)
+	if q > quantMax {
+		return quantMax
+	}
+	if q < -quantMax {
+		return -quantMax
+	}
+	return int64(q)
+}
+
+func unquant(q int64) float64 { return float64(q) / 1000 }
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendFrame wraps payload in the frame envelope and appends it.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = append(dst, FrameMarker)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// AppendSubscribe appends a SUBSCRIBE frame for token (session, ack).
+func AppendSubscribe(dst []byte, session int, ack int64) []byte {
+	p := make([]byte, 0, 16)
+	p = append(p, KindSubscribe, Version)
+	p = binary.AppendUvarint(p, uint64(session))
+	p = binary.AppendUvarint(p, zigzag(ack))
+	return AppendFrame(dst, p)
+}
+
+// AppendResume appends a RESUME frame.
+func AppendResume(dst []byte, r Resume) []byte {
+	p := make([]byte, 0, 24)
+	p = append(p, KindResume)
+	p = binary.AppendUvarint(p, uint64(r.Session))
+	p = append(p, r.Status)
+	p = binary.AppendUvarint(p, r.Resume)
+	p = binary.AppendUvarint(p, zigzag(r.Head))
+	return AppendFrame(dst, p)
+}
+
+// errTruncated reports a payload shorter than its fields claim.
+var errTruncated = errors.New("wire: truncated payload")
+
+// payloadReader walks a frame payload.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.err = errTruncated
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// DecodeSubscribe parses a SUBSCRIBE payload (kind byte included).
+func DecodeSubscribe(p []byte) (Subscribe, error) {
+	r := payloadReader{b: p}
+	if k := r.byte(); k != KindSubscribe {
+		return Subscribe{}, fmt.Errorf("wire: subscribe: kind %d", k)
+	}
+	s := Subscribe{Version: int(r.byte())}
+	s.Session = int(r.uvarint())
+	s.Ack = unzigzag(r.uvarint())
+	if r.err != nil {
+		return Subscribe{}, fmt.Errorf("wire: subscribe: %w", r.err)
+	}
+	if s.Version != Version {
+		return Subscribe{}, fmt.Errorf("wire: subscribe: unsupported protocol version %d", s.Version)
+	}
+	return s, nil
+}
+
+// DecodeResume parses a RESUME payload (kind byte included).
+func DecodeResume(p []byte) (Resume, error) {
+	r := payloadReader{b: p}
+	if k := r.byte(); k != KindResume {
+		return Resume{}, fmt.Errorf("wire: resume: kind %d", k)
+	}
+	var res Resume
+	res.Session = int(r.uvarint())
+	res.Status = r.byte()
+	res.Resume = r.uvarint()
+	res.Head = unzigzag(r.uvarint())
+	if r.err != nil {
+		return Resume{}, fmt.Errorf("wire: resume: %w", r.err)
+	}
+	return res, nil
+}
+
+// PeekFix extracts (session, epoch, keyframe) from a FIX payload
+// without delta state — what a relay needs to route and deduplicate
+// frames it cannot (and must not) decode.
+func PeekFix(p []byte) (session int, epoch uint64, keyframe bool, err error) {
+	r := payloadReader{b: p}
+	if k := r.byte(); k != KindFix {
+		return 0, 0, false, fmt.Errorf("wire: fix: kind %d", k)
+	}
+	session = int(r.uvarint())
+	epoch = r.uvarint()
+	flags := r.byte()
+	if r.err != nil {
+		return 0, 0, false, fmt.Errorf("wire: fix: %w", r.err)
+	}
+	return session, epoch, flags&FixKeyframe != 0, nil
+}
+
+// FixEncoder holds one session stream's delta state. Not safe for
+// concurrent use; the Hub serializes per session.
+type FixEncoder struct {
+	// KeyframeEvery is the absolute-epoch keyframe block size; ≤ 0
+	// means DefaultKeyframeEvery.
+	KeyframeEvery int
+
+	havePrev  bool
+	prevEpoch uint64   // epoch of the previous non-miss fix
+	prev      [4]int64 // qx qy qz qbias
+	prevHDOP  int64
+}
+
+// AppendFix encodes f as one framed FIX, appends it to dst, and
+// reports whether the frame is a keyframe. The first non-miss fix
+// after construction is a forced keyframe; after that, the first
+// non-miss fix of each KeyframeEvery epoch block is a keyframe and
+// every other epoch is a delta against the previous non-miss fix.
+func (e *FixEncoder) AppendFix(dst []byte, f *Fix) ([]byte, bool) {
+	every := e.KeyframeEvery
+	if every <= 0 {
+		every = DefaultKeyframeEvery
+	}
+	p := make([]byte, 0, 48)
+	p = append(p, KindFix)
+	p = binary.AppendUvarint(p, uint64(f.Session))
+	p = binary.AppendUvarint(p, f.Epoch)
+	flags := f.flags()
+	if f.Miss {
+		p = append(p, flags, f.State, f.Solver)
+		p = binary.AppendUvarint(p, uint64(f.Sats))
+		return AppendFrame(dst, p), false
+	}
+	q := [4]int64{quant(f.X), quant(f.Y), quant(f.Z), quant(f.ClockBias)}
+	qh := quant(f.HDOP)
+	key := !e.havePrev || f.Epoch/uint64(every) != e.prevEpoch/uint64(every)
+	if key {
+		flags |= FixKeyframe
+	}
+	p = append(p, flags, f.State, f.Solver)
+	p = binary.AppendUvarint(p, uint64(f.Sats))
+	if key {
+		for _, v := range q {
+			p = binary.AppendUvarint(p, zigzag(v))
+		}
+		p = binary.AppendUvarint(p, zigzag(qh))
+	} else {
+		for i, v := range q {
+			p = binary.AppendUvarint(p, zigzag(v-e.prev[i]))
+		}
+		p = binary.AppendUvarint(p, zigzag(qh-e.prevHDOP))
+	}
+	e.prev, e.prevHDOP, e.havePrev, e.prevEpoch = q, qh, true, f.Epoch
+	return AppendFrame(dst, p), key
+}
+
+// FixDecoder mirrors FixEncoder: it accumulates deltas exactly, so a
+// decoder that consumed a stream from any keyframe holds bit-identical
+// values to the encoder.
+type FixDecoder struct {
+	havePrev bool
+	prev     [4]int64
+	prevHDOP int64
+}
+
+// ErrDeltaWithoutKeyframe reports a delta frame arriving before any
+// keyframe primed the chain — a subscription that did not start at a
+// keyframe, which the Hub never produces.
+var ErrDeltaWithoutKeyframe = errors.New("wire: delta fix before any keyframe")
+
+// DecodeFix parses a FIX payload (kind byte included) and updates the
+// delta chain.
+func (d *FixDecoder) DecodeFix(p []byte) (Fix, error) {
+	r := payloadReader{b: p}
+	if k := r.byte(); k != KindFix {
+		return Fix{}, fmt.Errorf("wire: fix: kind %d", k)
+	}
+	var f Fix
+	f.Session = int(r.uvarint())
+	f.Epoch = r.uvarint()
+	flags := r.byte()
+	f.State = r.byte()
+	f.Solver = r.byte()
+	f.Sats = int(r.uvarint())
+	f.Miss = flags&FixMiss != 0
+	f.Coast = flags&FixCoast != 0
+	f.Suspect = flags&FixSuspect != 0
+	f.Degraded = flags&FixDegraded != 0
+	if f.Miss {
+		if r.err != nil {
+			return Fix{}, fmt.Errorf("wire: fix: %w", r.err)
+		}
+		return f, nil
+	}
+	var q [4]int64
+	var qh int64
+	if flags&FixKeyframe != 0 {
+		for i := range q {
+			q[i] = unzigzag(r.uvarint())
+		}
+		qh = unzigzag(r.uvarint())
+	} else {
+		if !d.havePrev {
+			return Fix{}, ErrDeltaWithoutKeyframe
+		}
+		for i := range q {
+			q[i] = d.prev[i] + unzigzag(r.uvarint())
+		}
+		qh = d.prevHDOP + unzigzag(r.uvarint())
+	}
+	if r.err != nil {
+		return Fix{}, fmt.Errorf("wire: fix: %w", r.err)
+	}
+	d.prev, d.prevHDOP, d.havePrev = q, qh, true
+	f.X, f.Y, f.Z = unquant(q[0]), unquant(q[1]), unquant(q[2])
+	f.ClockBias = unquant(q[3])
+	f.HDOP = unquant(qh)
+	return f, nil
+}
+
+// FrameReader reads framed payloads off a byte stream, verifying the
+// envelope CRC. The returned payload is valid until the next call.
+type FrameReader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r (buffered internally).
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, 4096)}
+}
+
+// ErrBadFrame reports an envelope violation: bad marker, oversized
+// length prefix, or CRC mismatch. A stream that produced it cannot be
+// resynchronized and should be closed.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// Next returns the next frame's payload.
+func (fr *FrameReader) Next() ([]byte, error) {
+	m, err := fr.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if m != FrameMarker {
+		return nil, fmt.Errorf("%w: marker %#x", ErrBadFrame, m)
+	}
+	n, err := binary.ReadUvarint(fr.br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
+	}
+	need := int(n) + 4
+	if cap(fr.buf) < need {
+		fr.buf = make([]byte, need)
+	}
+	buf := fr.buf[:need]
+	if _, err := io.ReadFull(fr.br, buf); err != nil {
+		return nil, err
+	}
+	payload := buf[:n]
+	want := binary.LittleEndian.Uint32(buf[n:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, frame says %08x", ErrBadFrame, got, want)
+	}
+	return payload, nil
+}
+
+// Kind returns a payload's frame kind (0 when empty).
+func Kind(p []byte) byte {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}

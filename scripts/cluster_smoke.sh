@@ -1,0 +1,150 @@
+#!/bin/bash
+# Node-kill chaos test for the multi-node serving tier: two race-built
+# gpsserve nodes behind a gpsproxy, one gpsclient streaming session 1
+# through the proxy on its resume token, then kill -9 of the node
+# hosting that session mid-stream. Asserts the failover contract:
+#   - the proxy declares the node dead and re-homes its sessions onto
+#     the survivor by checkpoint handoff (survivor restore outcome "ok",
+#     not a cold start)
+#   - the client's stream stays strictly consecutive across the kill:
+#     zero duplicated epochs, zero silently-skipped epochs
+#   - every fix delivered across the failover is bit-identical to an
+#     uninterrupted same-seed run of the session
+#   - the failover/handoff counters move on the proxy and the survivor
+# Needs bash and curl.
+set -euo pipefail
+
+GO=${GO:-go}
+seed=11
+rate=150
+count=600
+workdir=$(mktemp -d)
+
+cleanup() {
+    for p in "${pid_a:-}" "${pid_b:-}" "${pid_p:-}" "${pid_ref:-}" "${pid_client:-}"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1"
+    for f in node_a node_b proxy client.events; do
+        [ -f "$workdir/$f.log" ] && { echo "--- $f ---"; tail -40 "$workdir/$f.log"; }
+    done
+    exit 1
+}
+
+# wait_grep FILE PATTERN DESC: poll up to 15 s for PATTERN in FILE.
+wait_grep() {
+    for _ in $(seq 1 150); do
+        grep -q "$2" "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    fail "$3 never appeared"
+}
+
+"$GO" build -race -o "$workdir/gpsserve" ./cmd/gpsserve
+"$GO" build -race -o "$workdir/gpsproxy" ./cmd/gpsproxy
+"$GO" build -race -o "$workdir/gpsclient" ./cmd/gpsclient
+
+# start_node NAME SESSION_IDS: boots one serving node and parses its
+# wire/admin addresses from the banners into wire_NAME / admin_NAME.
+start_node() {
+    local name=$1 ids=$2 log="$workdir/node_$1.log"
+    "$workdir/gpsserve" -session-ids "$ids" -seed "$seed" -rate "$rate" \
+        -checkpoint-every 50 -addr 127.0.0.1:0 -wire 127.0.0.1:0 -admin 127.0.0.1:0 \
+        >"$log" 2>&1 &
+    eval "pid_$name=$!"
+    disown %% # silence bash's job-control obituary for the kill -9 victim
+    wait_grep "$log" '^gpsserve: wire fix streams on' "node $name wire banner"
+    wait_grep "$log" '^gpsserve: admin on' "node $name admin banner"
+    eval "wire_$name=$(sed -n 's|^gpsserve: wire fix streams on \([0-9.:]*\).*|\1|p' "$log")"
+    eval "admin_$name=$(sed -n 's|^gpsserve: admin on http://\([^ ]*\).*|\1|p' "$log")"
+}
+
+# ---- Topology: a hosts the victim session, b survives ------------------
+start_node a 0,1
+start_node b 2,3
+
+"$workdir/gpsproxy" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -node "a=$wire_a,http://$admin_a" -node "b=$wire_b,http://$admin_b" \
+    -health-interval 200ms -health-threshold 3 -poll-interval 200ms \
+    -retry-budget 50 >"$workdir/proxy.log" 2>&1 &
+pid_p=$!
+wait_grep "$workdir/proxy.log" '^gpsproxy: relaying fix streams on' "proxy banner"
+proxy=$(sed -n 's|^gpsproxy: relaying fix streams on \([0-9.:]*\) .*|\1|p' "$workdir/proxy.log")
+padmin=$(sed -n 's|^gpsproxy: admin on http://\([^ ]*\) .*|\1|p' "$workdir/proxy.log")
+
+# ---- Chaos stream: session 1 from epoch 1 through the proxy ------------
+"$workdir/gpsclient" -addr "$proxy" -session 1 -resume 0 -count "$count" \
+    -events >"$workdir/client.out" 2>"$workdir/client.events.log" &
+pid_client=$!
+
+# Let the stream pass epoch 250 so node a has refreshed checkpoints
+# (every 50 epochs) and the proxy's 200 ms poll has cached one.
+for _ in $(seq 1 300); do
+    lines=$(wc -l <"$workdir/client.out" 2>/dev/null || echo 0)
+    [ "$lines" -ge 250 ] && break
+    kill -0 "$pid_client" 2>/dev/null || fail "client died before the kill point"
+    sleep 0.1
+done
+[ "${lines:-0}" -ge 250 ] || fail "stream never reached epoch 250 (at $lines)"
+
+# ---- kill -9 the node hosting the streamed session ---------------------
+kill -9 "$pid_a"
+pid_a=
+
+# The proxy must declare a dead and fail its sessions over.
+for _ in $(seq 1 150); do
+    fo=$(curl -fsS "http://$padmin/metrics" 2>/dev/null |
+        awk '$1 == "gpsproxy_failovers_total" { print $2 }')
+    [ "${fo:-0}" -ge 1 ] 2>/dev/null && break
+    sleep 0.1
+done
+[ "${fo:-0}" -ge 1 ] || fail "gpsproxy_failovers_total never moved after kill -9"
+
+# The client must ride the failover to completion.
+if ! wait "$pid_client"; then
+    pid_client=
+    fail "client did not survive the failover"
+fi
+pid_client=
+
+# ---- Verdicts ----------------------------------------------------------
+# Strictly consecutive epochs 1..count: no duplicates, no silent skips.
+awk -v want="$count" '
+    { split($2, kv, "="); epoch = kv[2]
+      if (epoch != NR) { printf "epoch %s at line %d (want %d)\n", epoch, NR, NR; bad = 1; exit 1 } }
+    END { if (!bad && NR != want) { printf "stream ended at %d of %d\n", NR, want; exit 1 } }
+' "$workdir/client.out" || fail "client stream not gapless across the kill"
+
+# The survivor adopted by checkpoint handoff, not cold start.
+hz=$(curl -fsS "http://$admin_b/healthz")
+printf '%s' "$hz" | grep -q '"outcome":"ok"' ||
+    fail "survivor restore outcome not ok: $hz"
+curl -fsS "http://$admin_b/cluster/sessions" | grep -q '"id":1' ||
+    fail "survivor does not host session 1"
+bh=$(curl -fsS "http://$admin_b/metrics" |
+    awk '$1 == "gps_cluster_handoffs_total" { print $2 }')
+[ "${bh:-0}" -ge 1 ] || fail "survivor gps_cluster_handoffs_total=$bh, want >= 1"
+ph=$(curl -fsS "http://$padmin/metrics" |
+    awk '$1 == "gpsproxy_handoffs_total" { print $2 }')
+[ "${ph:-0}" -ge 1 ] || fail "gpsproxy_handoffs_total=$ph, want >= 1"
+curl -fsS "http://$padmin/healthz" | grep -q '"status":"degraded"' ||
+    fail "proxy /healthz is not degraded with one node down"
+
+# ---- Bit-identity: interrupted == uninterrupted ------------------------
+# Session content depends only on (session id, seed), not placement, so
+# a fresh single-node run of session 1 is the uninterrupted reference.
+start_node ref 1
+"$workdir/gpsclient" -addr "$wire_ref" -session 1 -resume 0 -count "$count" \
+    >"$workdir/ref.out" 2>/dev/null ||
+    fail "reference client failed"
+cmp -s "$workdir/client.out" "$workdir/ref.out" || {
+    diff "$workdir/client.out" "$workdir/ref.out" | head -10
+    fail "fixes across the failover differ from the uninterrupted run"
+}
+
+echo "cluster smoke OK (kill -9 failover: gapless resume, checkpoint handoff on survivor, $count fixes bit-identical to uninterrupted run)"
